@@ -1,0 +1,45 @@
+"""Feedback-loop bench (future-work extension, quantitative).
+
+Trains the feedback adaptor on a simulated interaction log and checks
+that interaction data helps where query logs help in practice: recurring
+queries.  Held-out queries are reported for context (the delta there is
+expected to hover around zero at this corpus scale).
+"""
+
+import pytest
+
+from repro.experiments import feedback_loop, format_table
+
+
+def test_feedback_loop(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: feedback_loop.run(
+            context, n_train_queries=20, n_eval_queries=10, k=10,
+            learning_rate=1.0, seed=99,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print("Feedback loop")
+    print(format_table(
+        ["measure", "value"],
+        [
+            ["recurring baseline", report.recurring_baseline],
+            ["recurring adapted", report.recurring_adapted],
+            ["held-out baseline", report.heldout_baseline],
+            ["held-out adapted", report.heldout_adapted],
+            ["interactions", report.training_interactions],
+            ["accepts", report.training_accepts],
+            ["boosts", report.boost_count],
+        ],
+    ))
+
+    # the log was actually learned from
+    assert report.training_accepts > 0
+    assert report.boost_count > 0
+    # feedback must not hurt recurring queries (and typically helps)
+    assert report.recurring_adapted >= report.recurring_baseline - 0.02
+    # generalization stays in a sane band
+    assert report.heldout_adapted >= report.heldout_baseline - 0.15

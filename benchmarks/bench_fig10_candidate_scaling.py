@@ -1,0 +1,44 @@
+"""Figure 10 bench — time vs size of the hidden-state candidate lists.
+
+Regenerates the paper's sensitivity sweep: "how many similar terms for
+each input term can we fetch to ensure a fast response?"  Shapes
+asserted: cost grows with the candidate-list size n (the n² transition
+factor) yet stays interactive through n = 20, the paper's recommended
+operating range.
+"""
+
+import pytest
+
+from repro.experiments import fig10_candidate_scaling, format_table
+
+SIZES = (5, 10, 15, 20, 30, 40)
+
+
+def test_fig10_candidate_scaling(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: fig10_candidate_scaling.run(
+            context, sizes=SIZES, query_length=4, n_queries=20, k=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print(
+        f"Figure 10 — time vs candidates/term "
+        f"(length {report.query_length}, k={report.k})"
+    )
+    rows = [
+        [size, report.total_by_size[size].mean * 1000] for size in SIZES
+    ]
+    print(format_table(["candidates per term", "mean ms"], rows))
+
+    assert set(report.total_by_size) == set(SIZES)
+
+    # decoding cost grows with the state space
+    assert (
+        report.total_by_size[40].mean > report.total_by_size[5].mean
+    )
+
+    # interactive at the paper's recommended n <= 20
+    assert report.total_by_size[20].mean < 0.2

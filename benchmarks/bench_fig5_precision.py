@@ -1,0 +1,55 @@
+"""Figure 5 bench — Precision@N of the three reformulation methods.
+
+Regenerates the paper's effectiveness figure: average Precision@{1,3,5,
+7,10} over mixed-format queries, judged by the simulated three-judge
+panel.  Shape asserted: the TAT-based method dominates both baselines at
+every reported rank position (the paper's headline result).
+
+The relative order of the two baselines (Rank-based vs Co-occurrence)
+varies with the corpus seed in our cleaner synthetic data; the paper's
+Figure 5 had Rank-based ahead.  See EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import fig5_precision, format_table
+from repro.experiments.fig5_precision import METHOD_LABELS, RANK_POSITIONS
+
+
+def test_fig5_precision(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: fig5_precision.run(context, n_queries=30, k=10),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print(f"Figure 5 — Precision@N over {report.n_queries} queries")
+    headers = ["method"] + [f"P@{n}" for n in RANK_POSITIONS]
+    rows = [
+        [METHOD_LABELS[m]] + [report.curves[m][n] for n in RANK_POSITIONS]
+        for m in report.curves
+    ]
+    print(format_table(headers, rows))
+
+    tat = report.curves["tat"]
+    rank = report.curves["rank"]
+    cooc = report.curves["cooccurrence"]
+    for n in RANK_POSITIONS:
+        assert 0.0 <= tat[n] <= 1.0
+        assert tat[n] >= rank[n] - 1e-9, f"TAT loses to rank-based at P@{n}"
+        assert tat[n] >= cooc[n] - 1e-9, (
+            f"TAT loses to co-occurrence at P@{n}"
+        )
+    # the win is real, not a tie artifact
+    assert tat[10] > min(rank[10], cooc[10])
+
+    # paired-bootstrap significance of the P@10 deltas (direction must
+    # favor TAT; small-sample p-values are reported, not gated hard)
+    for baseline in ("rank", "cooccurrence"):
+        boot = report.significance_vs("tat", baseline, seed=1)
+        print(
+            f"TAT vs {baseline}: ΔP@10={boot.mean_difference:+.3f}, "
+            f"bootstrap p={boot.p_value:.3f}"
+        )
+        assert boot.mean_difference >= 0

@@ -1,0 +1,48 @@
+"""Figure 7 bench — Algorithm 2 vs Algorithm 3 run time by query length.
+
+Regenerates the paper's efficiency comparison over a sampled workload of
+queries with lengths 1..8.  Shapes asserted: Algorithm 3 (Viterbi + A*)
+is faster than the extended top-k Viterbi on long queries, the gap grows
+with length, and even length-8 queries decode at interactive speed.
+"""
+
+import pytest
+
+from repro.experiments import fig7_alg_comparison, format_table
+
+
+def test_fig7_alg2_vs_alg3(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: fig7_alg_comparison.run(
+            context, n_queries=160, max_len=8, k=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print(f"Figure 7 — decode time by query length (k={report.k})")
+    rows = [
+        [
+            length,
+            report.alg2_by_length[length].mean * 1000,
+            report.alg3_by_length[length].mean * 1000,
+            report.speedup_at(length),
+        ]
+        for length in sorted(report.alg2_by_length)
+    ]
+    print(format_table(["length", "Alg2 ms", "Alg3 ms", "speedup"], rows))
+
+    assert set(report.alg2_by_length) == set(range(1, 9))
+
+    # Alg 3 wins on long queries and the advantage grows with length
+    assert report.speedup_at(8) > 2.0
+    assert report.speedup_at(8) > report.speedup_at(2)
+
+    # both stay interactive (paper: < 0.2 s at length 8 on 2012 hardware)
+    assert report.alg3_by_length[8].mean < 0.2
+
+    # Alg 2 cost grows with query length (the O(m n^2 k log k) factor)
+    assert (
+        report.alg2_by_length[8].mean > report.alg2_by_length[2].mean
+    )

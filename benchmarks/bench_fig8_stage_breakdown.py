@@ -1,0 +1,50 @@
+"""Figure 8 bench — Algorithm 3 stage times by query length.
+
+Regenerates the paper's two-stage breakdown (Viterbi initialization vs A*
+search).  Shapes asserted: both stages grow with query length and the
+total remains far below the paper's 0.2 s interactive bound.
+
+Known constant-factor deviation: the paper found the Viterbi stage more
+costly; in this implementation the Viterbi table is vectorized numpy
+while the A* expansion is pure Python, so the stage ratio flips.  The
+stage *curves* (both increasing in m, total interactive) match.
+"""
+
+import pytest
+
+from repro.experiments import fig8_stage_breakdown, format_table
+
+
+def test_fig8_stage_breakdown(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: fig8_stage_breakdown.run(
+            context, n_queries=160, max_len=8, k=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print(f"Figure 8 — Alg 3 stage times (k={report.k})")
+    rows = [
+        [
+            length,
+            report.viterbi_by_length[length].mean * 1000,
+            report.astar_by_length[length].mean * 1000,
+            report.total_mean(length) * 1000,
+        ]
+        for length in sorted(report.viterbi_by_length)
+    ]
+    print(format_table(["length", "viterbi ms", "a* ms", "total ms"], rows))
+
+    lengths = sorted(report.viterbi_by_length)
+    assert lengths == list(range(1, 9))
+
+    # both stages grow from short to long queries
+    assert (
+        report.viterbi_by_length[8].mean > report.viterbi_by_length[1].mean
+    )
+    assert report.astar_by_length[8].mean > report.astar_by_length[1].mean
+
+    # interactive end to end
+    assert report.total_mean(8) < 0.2

@@ -1,0 +1,48 @@
+"""Figure 9 bench — time vs number of returned queries (k), length 6.
+
+Shapes asserted, as in the paper: the Viterbi stage is insensitive to k
+(it always computes the full table), while the A* stage grows roughly
+linearly with k — "the time cost in A* search strategy stage grows
+linearly with k ... which demonstrates the scalability in terms of the
+result size".
+"""
+
+import pytest
+
+from repro.experiments import fig9_topk_scaling, format_table
+
+KS = (1, 5, 10, 20, 30, 40, 50)
+
+
+def test_fig9_topk_scaling(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: fig9_topk_scaling.run(
+            context, ks=KS, query_length=6, n_queries=20
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print(f"Figure 9 — time vs k (length {report.query_length})")
+    rows = [
+        [
+            k,
+            report.viterbi_by_k[k].mean * 1000,
+            report.astar_by_k[k].mean * 1000,
+        ]
+        for k in KS
+    ]
+    print(format_table(["k", "viterbi ms", "a* ms"], rows))
+
+    # A* stage grows with k
+    assert report.astar_by_k[50].mean > report.astar_by_k[1].mean
+
+    # roughly linear: growing k 5x from 10 to 50 grows time by far less
+    # than the quadratic 25x (generous noise envelope)
+    ratio = report.astar_by_k[50].mean / report.astar_by_k[10].mean
+    assert ratio < 15.0
+
+    # Viterbi stage is k-independent (allow noise)
+    v_times = [report.viterbi_by_k[k].mean for k in KS]
+    assert max(v_times) < 5 * min(v_times)

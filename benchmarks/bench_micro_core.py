@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the core operations (proper multi-round timing).
+
+These complement the table/figure macro-benches with stable per-operation
+numbers: offline random walk, closeness extraction, HMM build, and the
+three decoding algorithms on one fixed query.
+"""
+
+import pytest
+
+from repro.core.astar import astar_topk
+from repro.core.enumeration import RankBasedReformulator
+from repro.core.viterbi import viterbi_top1, viterbi_topk
+from repro.graph.closeness import ClosenessExtractor
+from repro.graph.randomwalk import RandomWalkEngine
+from repro.graph.similarity import SimilarityExtractor
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def fixed_query(context):
+    return list(
+        context.workloads.queries_of_length(4, 1)[0].keywords
+    )
+
+
+@pytest.fixture(scope="module")
+def fixed_hmm(context, fixed_query):
+    return context.reformulator("tat").build_hmm(fixed_query)
+
+
+def test_bench_index_build(benchmark, context):
+    database = context.database
+    result = benchmark(lambda: InvertedIndex(database).build())
+    assert result.vocabulary_size() > 0
+
+
+def test_bench_random_walk(benchmark, context):
+    engine = RandomWalkEngine(context.graph.adjacency)
+    node = context.graph.resolve_text_one("probabilistic")
+    preference = engine.indicator_preference(node)
+    result = benchmark(lambda: engine.walk(preference))
+    assert result.converged
+
+
+def test_bench_contextual_similarity_cold(benchmark, context):
+    node = context.graph.resolve_text_one("probabilistic")
+
+    def run():
+        extractor = SimilarityExtractor(context.graph)
+        return extractor.similar_nodes(node, 15)
+
+    result = benchmark(run)
+    assert len(result) == 15
+
+
+def test_bench_closeness_extraction(benchmark, context):
+    node = context.graph.resolve_text_one("probabilistic")
+
+    def run():
+        extractor = ClosenessExtractor(context.graph)
+        return extractor.close_terms(node, 10)
+
+    result = benchmark(run)
+    assert result
+
+
+def test_bench_hmm_build(benchmark, context, fixed_query):
+    reformulator = context.reformulator("tat")
+    hmm = benchmark(lambda: reformulator.build_hmm(fixed_query))
+    assert hmm.length == len(fixed_query)
+
+
+def test_bench_viterbi_top1(benchmark, fixed_hmm):
+    result = benchmark(lambda: viterbi_top1(fixed_hmm))
+    assert result.score >= 0
+
+
+def test_bench_alg2_viterbi_topk(benchmark, fixed_hmm):
+    result = benchmark(lambda: viterbi_topk(fixed_hmm, 10))
+    assert result
+
+
+def test_bench_alg3_astar_topk(benchmark, fixed_hmm):
+    result = benchmark(lambda: astar_topk(fixed_hmm, 10))
+    assert result.queries
+
+
+def test_bench_rank_baseline(benchmark, context, fixed_query):
+    states = context.reformulator("rank").candidates.build(fixed_query)
+
+    def run():
+        return RankBasedReformulator(states).topk(10)
+
+    result = benchmark(run)
+    assert result
+
+
+def test_bench_keyword_search(benchmark, context):
+    def run():
+        return context.search.search(["probabilistic", "query"])
+
+    result = benchmark(run)
+    assert result.size >= 0

@@ -1,0 +1,64 @@
+"""Bench: result-size estimation vs exact search (Section IV-C's idea).
+
+The paper argues candidate validation must estimate result sizes rather
+than run searches.  This bench quantifies the trade: rank correlation
+with the exact engine and the online speedup once the summary is warm.
+"""
+
+import time
+
+import pytest
+from scipy import stats
+
+from repro.experiments import format_table
+from repro.search.estimate import ResultSizeEstimator
+from repro.search.keyword import KeywordSearchEngine
+
+
+def test_estimation_fidelity_and_speed(benchmark, context):
+    engine = KeywordSearchEngine(
+        context.tuple_graph, context.index, max_depth=2, max_results=100_000
+    )
+    estimator = ResultSizeEstimator(
+        context.tuple_graph, context.index, depth=2
+    )
+    queries = context.workloads.mixed_queries(30)
+
+    def run():
+        actual = [engine.result_size(list(q.keywords)) for q in queries]
+        # warm the summary, then time the pure-intersection estimates
+        for q in queries:
+            estimator.estimate(list(q.keywords))
+        start = time.perf_counter()
+        estimated = [
+            estimator.estimate(list(q.keywords)) for q in queries
+        ]
+        estimate_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for q in queries:
+            engine.search(list(q.keywords))
+        search_seconds = time.perf_counter() - start
+        rho, _p = stats.spearmanr(actual, estimated)
+        return float(rho), search_seconds, estimate_seconds
+
+    rho, search_s, estimate_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print("\n" + "=" * 60)
+    print("Result-size estimation vs exact search (30 queries)")
+    print(format_table(
+        ["measure", "value"],
+        [
+            ["Spearman rho vs engine", rho],
+            ["exact search seconds", search_s],
+            ["estimation seconds (warm)", estimate_s],
+            ["speedup", search_s / max(1e-9, estimate_s)],
+        ],
+    ))
+
+    # the summary must rank queries like the engine does...
+    assert rho > 0.7
+    # ...and answer much faster once warm
+    assert estimate_s < search_s

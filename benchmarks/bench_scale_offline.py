@@ -1,0 +1,47 @@
+"""Offline-stage scalability bench (beyond the paper's reporting).
+
+Sweeps corpus sizes and checks the growth behaviour an adopter cares
+about: graph size grows with the corpus, and the offline per-term
+extraction stays tractable at every size.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments import scale
+
+
+def test_offline_scalability(benchmark):
+    report = benchmark.pedantic(
+        lambda: scale.run(paper_counts=(300, 600, 1200, 2400)),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print("Offline-stage scalability")
+    rows = [
+        [
+            p.n_papers, p.nodes, p.edges,
+            p.index_seconds * 1000, p.graph_seconds * 1000,
+            p.similarity_per_term * 1000, p.closeness_per_term * 1000,
+        ]
+        for p in report.points
+    ]
+    print(format_table(
+        ["papers", "nodes", "edges", "index ms", "graph ms",
+         "sim/term ms", "clos/term ms"],
+        rows,
+    ))
+
+    by_papers = report.by_papers()
+    # structure grows with the corpus
+    assert by_papers[2400].nodes > by_papers[300].nodes
+    assert by_papers[2400].edges > by_papers[300].edges
+
+    # the offline stage stays tractable: per-term extraction under 1 s
+    # even at the largest size (the whole vocabulary is a few thousand
+    # walks, i.e. minutes — matching the paper's offline framing)
+    for point in report.points:
+        assert point.similarity_per_term < 1.0
+        assert point.closeness_per_term < 1.0

@@ -1,0 +1,48 @@
+"""Table I bench — close terms/conferences of a target term.
+
+Regenerates the paper's Table I: the ranked close terms and close
+conferences of "probabilistic", plus the joint-result validation the
+paper ran against Google.  The shape asserted: close terms are topically
+coherent and scores decrease monotonically.
+"""
+
+import pytest
+
+from repro.experiments import format_table, table1_close_terms
+
+
+def test_table1_close_terms(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: table1_close_terms.run(context, top_n=8),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print("Table I — close terms of 'probabilistic'")
+    print(format_table(["close term", "closeness"], report.close_terms))
+    print(format_table(
+        ["close conference", "closeness"], report.close_conferences
+    ))
+    print(format_table(
+        ["conference", "joint results"], report.joint_result_counts
+    ))
+
+    # shape: non-empty, sorted, positive (paper: 'generation',
+    # 'distribution' etc. top the list)
+    scores = [s for _t, s in report.close_terms]
+    assert len(scores) == 8
+    assert scores == sorted(scores, reverse=True)
+    assert all(s > 0 for s in scores)
+
+    # topical coherence: most close terms share/relate to the target topic
+    truth = context.corpus.ground_truth
+    coherent = sum(
+        truth.terms_relevant("probabilistic", term)
+        or not truth.topics_of_term(term)
+        for term, _s in report.close_terms
+    )
+    assert coherent >= 5
+
+    # the validation column exists for every close conference
+    assert len(report.joint_result_counts) == len(report.close_conferences)

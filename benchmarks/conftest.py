@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+The experiment context (corpus + offline stage + all three pipelines) is
+built once per session, mirroring the paper's offline/online split: the
+benchmarks time the online algorithms and report the tables/figures.
+"""
+
+import pytest
+
+from repro.experiments import build_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    return build_context(scale="medium", seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    return build_context(scale="small", seed=7)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Faceted exploration + feedback adaptation (future-work extensions).
+
+Simulates an interactive session over a bibliographic corpus:
+
+1. the user issues a query;
+2. the system shows per-keyword *facets* — substitution axes with result
+   coverage (the paper's "ad hoc faceted retrieval" direction);
+3. the user accepts one suggestion; the feedback adaptor boosts the
+   involved term relations;
+4. the next identical query ranks the accepted suggestion higher.
+
+Run:  python examples/faceted_session.py
+"""
+
+from repro import (
+    InvertedIndex,
+    KeywordSearchEngine,
+    Reformulator,
+    ReformulatorConfig,
+    SynthConfig,
+    TupleGraph,
+    synthesize_dblp,
+)
+from repro.extensions import FacetedSuggester, FeedbackAdaptor
+
+
+def main() -> None:
+    corpus = synthesize_dblp(
+        SynthConfig(n_authors=150, n_papers=600, n_conferences=16, seed=23)
+    )
+    database = corpus.database
+    index = InvertedIndex(database).build()
+    search = KeywordSearchEngine(TupleGraph(database), index)
+
+    reformulator = Reformulator.from_database(
+        database, ReformulatorConfig(n_candidates=10)
+    )
+
+    query = ["probabilistic", "query"]
+    print(f"user query: {' '.join(query)!r}\n")
+
+    # --- facets ---------------------------------------------------------
+    suggester = FacetedSuggester(reformulator, search=search)
+    for facet in suggester.facets(query, k=4):
+        print(
+            f"facet for position {facet.position} "
+            f"({facet.original!r}, field {facet.field_label}):"
+        )
+        for entry in facet.entries:
+            print(
+                f"  -> {entry.substituted:<14} "
+                f"({entry.result_count} results)  {entry.query_text}"
+            )
+        print()
+
+    # --- feedback loop ---------------------------------------------------
+    adaptor = FeedbackAdaptor(
+        reformulator.graph,
+        similarity=reformulator.similarity,
+        closeness=reformulator.closeness,
+        learning_rate=1.5,
+    )
+    adaptive = Reformulator(
+        reformulator.graph,
+        ReformulatorConfig(n_candidates=10),
+        similarity=adaptor,
+        closeness=adaptor,
+    )
+
+    before = adaptive.reformulate(query, k=8)
+    print("suggestions before feedback:")
+    for i, s in enumerate(before, 1):
+        print(f"  [{i}] {s.text}")
+
+    clicked = before[min(4, len(before) - 1)]
+    print(f"\nuser accepts: {clicked.text!r}")
+    for _ in range(3):
+        adaptor.record(query, clicked, accepted=True)
+
+    after = adaptive.reformulate(query, k=8)
+    print("\nsuggestions after feedback:")
+    for i, s in enumerate(after, 1):
+        marker = "  <-- accepted earlier" if s.text == clicked.text else ""
+        print(f"  [{i}] {s.text}{marker}")
+
+    rank_before = [s.text for s in before].index(clicked.text) + 1
+    texts_after = [s.text for s in after]
+    rank_after = (
+        texts_after.index(clicked.text) + 1
+        if clicked.text in texts_after
+        else None
+    )
+    print(f"\naccepted suggestion rank: {rank_before} -> {rank_after}")
+
+
+if __name__ == "__main__":
+    main()

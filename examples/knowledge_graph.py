@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Reformulation over schemaless data: an RDF-style knowledge graph.
+
+The paper notes its approach "is also applicable to ... schemaless
+structured data, e.g., XML, RDF and graph data".  This example builds a
+small movie knowledge graph from raw triples, compiles it to the
+relational substrate, and reformulates queries over entity labels and
+literal vocabulary.
+
+Run:  python examples/knowledge_graph.py
+"""
+
+import random
+
+from repro import Reformulator, ReformulatorConfig
+from repro.storage.triples import Literal, TripleStore
+
+DIRECTORS = {
+    "nolan": ["inception", "interstellar", "memento", "tenet"],
+    "villeneuve": ["arrival", "dune", "sicario"],
+    "scott": ["alien", "gladiator", "the martian"],
+    "cameron": ["avatar", "titanic", "the abyss"],
+}
+
+GENRES = {
+    "inception": "scifi", "interstellar": "scifi", "memento": "thriller",
+    "tenet": "scifi", "arrival": "scifi", "dune": "scifi",
+    "sicario": "thriller", "alien": "scifi", "gladiator": "drama",
+    "the martian": "scifi", "avatar": "scifi", "titanic": "drama",
+    "the abyss": "scifi",
+}
+
+#: Tagline vocabularies per genre: quasi-synonym pairs like
+#: ("spaceship", "starship") never share a tagline but share genres.
+TAGLINE_WORDS = {
+    "scifi": [
+        ("space", "cosmos"), ("spaceship", "starship"), ("alien",),
+        ("future",), ("planet",), ("gravity",), ("wormhole",), ("robot",),
+    ],
+    "thriller": [
+        ("memory", "recall"), ("conspiracy",), ("cartel",), ("identity",),
+        ("tension",), ("betrayal",),
+    ],
+    "drama": [
+        ("love", "romance"), ("arena",), ("ocean",), ("sacrifice",),
+        ("legacy",), ("honor",),
+    ],
+}
+
+
+def build_store(seed: int = 4) -> TripleStore:
+    rng = random.Random(seed)
+    store = TripleStore()
+    for director, movies in DIRECTORS.items():
+        for movie in movies:
+            genre = GENRES[movie]
+            store.add(movie, "directed_by", director)
+            store.add(movie, "genre", genre)
+            clusters = rng.sample(
+                TAGLINE_WORDS[genre], min(4, len(TAGLINE_WORDS[genre]))
+            )
+            tagline = " ".join(rng.choice(c) for c in clusters)
+            store.add(movie, "tagline", Literal(tagline))
+            store.add(movie, "year", Literal(str(rng.randint(1986, 2023))))
+    return store
+
+
+def main() -> None:
+    store = build_store()
+    database = store.to_database()
+    print(database.describe())
+
+    reformulator = Reformulator.from_database(
+        database, ReformulatorConfig(n_candidates=8)
+    )
+    print(f"\nTAT graph: {reformulator.graph}\n")
+
+    for query in (["space", "wormhole"], ["nolan", "future"]):
+        print(f"query: {' '.join(query)!r}")
+        for suggestion in reformulator.reformulate(query, k=5):
+            print(f"  {suggestion.score:.3e}  {suggestion.text}")
+        print()
+
+    # pick a synonym-cluster word that actually got sampled into a tagline
+    present = {
+        t.text for t in reformulator.graph.index.terms()
+        if t.field == ("facts", "literal")
+    }
+    pair = next(
+        c for c in TAGLINE_WORDS["scifi"]
+        if len(c) > 1 and all(w in present for w in c)
+    )
+    target, synonym = pair[0], pair[1]
+    print(
+        f"similar terms of {target!r} (synonym {synonym!r} never shares "
+        "a tagline):"
+    )
+    for term, score in reformulator.similarity.similar_terms(target, 8):
+        marker = "  <-- synonym" if term == synonym else ""
+        print(f"  {score:.4f}  {term}{marker}")
+
+    print(
+        "\nsimilar entities of 'nolan' (all entity labels share one class "
+        "in the reified triple schema — his movies lead, then peers):"
+    )
+    for term, score in reformulator.similarity.similar_terms("nolan", 8):
+        print(f"  {score:.5f}  {term}")
+
+
+if __name__ == "__main__":
+    main()

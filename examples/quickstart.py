@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: reformulate a keyword query over a bibliographic corpus.
+
+Generates a small synthetic DBLP-style database, builds the offline stage
+(TAT graph + term relations) and asks for substitutive queries — the
+end-to-end pipeline of the paper in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Reformulator, SynthConfig, synthesize_dblp
+
+
+def main() -> None:
+    # 1. A structured corpus: conferences / authors / papers / writes.
+    corpus = synthesize_dblp(
+        SynthConfig(n_authors=150, n_papers=600, n_conferences=16, seed=42)
+    )
+    print(corpus.database.describe())
+
+    # 2. Offline stage: index -> TAT graph -> term relations.
+    reformulator = Reformulator.from_database(corpus.database)
+    print(f"\nTAT graph: {reformulator.graph}\n")
+
+    # 3. Online stage: top-k substitutive queries for an input query.
+    query = ["probabilistic", "query"]
+    print(f"input query: {' '.join(query)!r}")
+    print("reformulated suggestions:")
+    for suggestion in reformulator.reformulate(query, k=8):
+        print(f"  {suggestion.score:.3e}  {suggestion.text}")
+
+    # 4. Any single keyword also has an offline similar-term list.
+    print("\nsimilar terms of 'probabilistic' (contextual random walk):")
+    for term, score in reformulator.similarity.similar_terms(
+        "probabilistic", 8
+    ):
+        print(f"  {score:.4f}  {term}")
+
+
+if __name__ == "__main__":
+    main()

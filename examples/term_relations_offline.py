@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Exploring the offline stage: similarity, closeness and the TAT graph.
+
+Walks through the paper's Section IV machinery piece by piece:
+
+* the TAT graph statistics of the corpus;
+* contextual random-walk similarity vs frequent co-occurrence (Table II);
+* term closeness and close conferences (Table I);
+* similar authors found through shared venues/vocabulary instead of
+  co-authorship (the paper's "Jiawei Han" case).
+
+Run:  python examples/term_relations_offline.py
+"""
+
+from repro import (
+    ClosenessExtractor,
+    CooccurrenceSimilarity,
+    InvertedIndex,
+    SimilarityExtractor,
+    SynthConfig,
+    TATGraph,
+    synthesize_dblp,
+)
+
+
+def main() -> None:
+    corpus = synthesize_dblp(
+        SynthConfig(n_authors=200, n_papers=800, n_conferences=20, seed=9)
+    )
+    database = corpus.database
+
+    index = InvertedIndex(database).build()
+    graph = TATGraph(database, index)
+    print("TAT graph:", graph.stats())
+
+    walk = SimilarityExtractor(graph)
+    cooc = CooccurrenceSimilarity(graph)
+    closeness = ClosenessExtractor(graph)
+
+    target = "uncertain"
+    print(f"\n== similar terms of {target!r} ==")
+    print("contextual random walk:")
+    for term, score in walk.similar_terms(target, 10):
+        print(f"  {score:.4f}  {term}")
+    print("frequent co-occurrence:")
+    for term, score in cooc.similar_terms(target, 10):
+        print(f"  {score:.4f}  {term}")
+
+    print(f"\n== close terms of {target!r} (Eq 3) ==")
+    node_id = graph.resolve_text_one(target)
+    for other_id, score in closeness.close_terms(node_id, 10):
+        print(f"  {score:.4f}  {graph.node(other_id)}")
+
+    print(f"\n== close conferences of {target!r} ==")
+    for other_id, score in closeness.close_terms_in_class(
+        node_id, ("conferences", "name"), 5
+    ):
+        print(f"  {score:.6f}  {graph.node(other_id).text}")
+
+    # The author case: similar researchers beyond co-authorship.
+    writes = database.table("writes")
+    counts = {}
+    for row in writes.scan():
+        counts[row["aid"]] = counts.get(row["aid"], 0) + 1
+    top_aid = max(counts, key=lambda a: (counts[a], -a))
+    name = str(database.table("authors").get(top_aid)["name"])
+    print(f"\n== similar authors of the most prolific author {name!r} ==")
+    for author, score in walk.similar_terms(name, 8):
+        print(f"  {score:.5f}  {author}")
+
+
+if __name__ == "__main__":
+    main()

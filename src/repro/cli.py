@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+One entry point with subcommands covering the full lifecycle::
+
+    python -m repro.cli synth --out corpus/ --papers 800 --seed 7
+    python -m repro.cli describe --data corpus/
+    python -m repro.cli reformulate --data corpus/ probabilistic query -k 8
+    python -m repro.cli similar --data corpus/ probabilistic
+    python -m repro.cli close --data corpus/ probabilistic
+    python -m repro.cli search --data corpus/ probabilistic query
+    python -m repro.cli precompute --data corpus/ --out relations.json
+    python -m repro.cli reformulate --data corpus/ --relations relations.json probabilistic query
+
+``--data`` is a directory holding ``schema.json`` + per-table CSVs (any
+schema, not just the bibliographic one); ``synth`` writes such a
+directory from the generator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.data.dblp_synth import SynthConfig, synthesize_dblp
+from repro.errors import ReproError
+from repro.graph.tat import TATGraph
+from repro.index.inverted import InvertedIndex
+from repro.offline import OfflinePrecomputer, TermRelationStore
+from repro.search.keyword import KeywordSearchEngine
+from repro.search.ranking import ResultRanker
+from repro.storage.database import Database
+from repro.storage.schemaspec import load_database, save_database
+from repro.storage.tuplegraph import TupleGraph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Keyword query reformulation on structured data "
+                    "(ICDE 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="generate a synthetic corpus")
+    synth.add_argument("--out", required=True, help="output directory")
+    synth.add_argument("--authors", type=int, default=300)
+    synth.add_argument("--papers", type=int, default=1200)
+    synth.add_argument("--conferences", type=int, default=24)
+    synth.add_argument("--seed", type=int, default=7)
+
+    def add_data(p):
+        p.add_argument(
+            "--data", required=True,
+            help="corpus directory (schema.json + CSVs)",
+        )
+
+    describe = sub.add_parser("describe", help="summarize a corpus")
+    add_data(describe)
+
+    reformulate = sub.add_parser(
+        "reformulate", help="suggest substitutive queries"
+    )
+    add_data(reformulate)
+    reformulate.add_argument("keywords", nargs="+")
+    reformulate.add_argument("-k", type=int, default=10)
+    reformulate.add_argument(
+        "--method", choices=("tat", "cooccurrence", "rank"), default="tat"
+    )
+    reformulate.add_argument("--candidates", type=int, default=15)
+    reformulate.add_argument(
+        "--relations", default=None,
+        help="precomputed term-relation store (JSON) to serve from",
+    )
+
+    similar = sub.add_parser("similar", help="similar terms of one keyword")
+    add_data(similar)
+    similar.add_argument("term")
+    similar.add_argument("-n", type=int, default=10)
+    similar.add_argument(
+        "--method", choices=("walk", "cooccurrence"), default="walk"
+    )
+
+    close = sub.add_parser("close", help="close terms of one keyword")
+    add_data(close)
+    close.add_argument("term")
+    close.add_argument("-n", type=int, default=10)
+
+    search = sub.add_parser("search", help="keyword search")
+    add_data(search)
+    search.add_argument("keywords", nargs="+")
+    search.add_argument("-n", type=int, default=5)
+
+    precompute = sub.add_parser(
+        "precompute", help="materialize the offline stage to a JSON store"
+    )
+    add_data(precompute)
+    precompute.add_argument("--out", required=True)
+    precompute.add_argument("--similar", type=int, default=20)
+    precompute.add_argument("--closeness-top", type=int, default=200)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+
+def _load(args) -> Database:
+    return load_database(args.data)
+
+
+def cmd_synth(args, out) -> int:
+    """``synth``: generate a corpus and write schema.json + CSVs."""
+    corpus = synthesize_dblp(SynthConfig(
+        n_authors=args.authors,
+        n_papers=args.papers,
+        n_conferences=args.conferences,
+        seed=args.seed,
+    ))
+    save_database(corpus.database, args.out)
+    print(f"wrote corpus to {args.out}", file=out)
+    print(corpus.database.describe(), file=out)
+    return 0
+
+
+def cmd_describe(args, out) -> int:
+    """``describe``: print table counts and TAT graph statistics."""
+    database = _load(args)
+    print(database.describe(), file=out)
+    index = InvertedIndex(database).build()
+    graph = TATGraph(database, index)
+    print(f"TAT graph: {graph.stats()}", file=out)
+    return 0
+
+
+def cmd_reformulate(args, out) -> int:
+    """``reformulate``: print top-k substitutive queries."""
+    database = _load(args)
+    graph = TATGraph(database, InvertedIndex(database))
+    config = ReformulatorConfig(
+        method=args.method, n_candidates=args.candidates
+    )
+    if args.relations:
+        store = TermRelationStore.load(args.relations, graph)
+        reformulator = Reformulator(
+            graph, config, similarity=store, closeness=store
+        )
+    else:
+        reformulator = Reformulator(graph, config)
+    # Segment against the corpus vocabulary so multi-word names survive:
+    # `reformulate --data d christian s. jensen spatial` is one name +
+    # one word, not four keywords.
+    raw_query = " ".join(args.keywords).lower()
+    parsed = reformulator.parser.parse(raw_query)
+    print(f"input: {' | '.join(parsed.keywords)}", file=out)
+    for suggestion in reformulator.reformulate(
+        list(parsed.keywords), k=args.k
+    ):
+        print(f"  {suggestion.score:.3e}  {suggestion.text}", file=out)
+    return 0
+
+
+def cmd_similar(args, out) -> int:
+    """``similar``: print one keyword's similar-term list."""
+    database = _load(args)
+    graph = TATGraph(database, InvertedIndex(database))
+    if args.method == "walk":
+        from repro.graph.similarity import SimilarityExtractor
+
+        backend = SimilarityExtractor(graph)
+    else:
+        from repro.graph.cooccurrence import CooccurrenceSimilarity
+
+        backend = CooccurrenceSimilarity(graph)
+    for term, score in backend.similar_terms(args.term.lower(), args.n):
+        print(f"  {score:.5f}  {term}", file=out)
+    return 0
+
+
+def cmd_close(args, out) -> int:
+    """``close``: print one keyword's closest terms (Eq 3)."""
+    from repro.graph.closeness import ClosenessExtractor
+
+    database = _load(args)
+    graph = TATGraph(database, InvertedIndex(database))
+    extractor = ClosenessExtractor(graph)
+    node_id = graph.resolve_text_one(args.term.lower())
+    for other, score in extractor.close_terms(node_id, args.n):
+        print(f"  {score:.5f}  {graph.node(other)}", file=out)
+    return 0
+
+
+def cmd_search(args, out) -> int:
+    """``search``: run keyword search and render result trees."""
+    database = _load(args)
+    index = InvertedIndex(database).build()
+    engine = KeywordSearchEngine(TupleGraph(database), index)
+    ranker = ResultRanker(index)
+    keywords = [kw.lower() for kw in args.keywords]
+    results = ranker.rank(engine.search(keywords))
+    print(f"{results.size} results", file=out)
+    for i, result in enumerate(results.top(args.n), 1):
+        print(f"[{i}] tree of {result.size} tuple(s)", file=out)
+        print(result.render(database), file=out)
+    return 0
+
+
+def cmd_precompute(args, out) -> int:
+    """``precompute``: materialize the offline stage to JSON."""
+    database = _load(args)
+    graph = TATGraph(database, InvertedIndex(database))
+    precomputer = OfflinePrecomputer(
+        graph, n_similar=args.similar, closeness_top=args.closeness_top
+    )
+    store = precomputer.build_store()
+    store.save(args.out)
+    print(f"precomputed {len(store)} terms -> {args.out}", file=out)
+    return 0
+
+
+COMMANDS = {
+    "synth": cmd_synth,
+    "describe": cmd_describe,
+    "reformulate": cmd_reformulate,
+    "similar": cmd_similar,
+    "close": cmd_close,
+    "search": cmd_search,
+    "precompute": cmd_precompute,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Candidate hidden states per query position (Section V-B).
+
+For each input keyword ``q_i`` the HMM's hidden-state alphabet at step *i*
+is the similar-term extension list ``L(q_i)`` produced by the offline
+stage, optionally extended with
+
+* the **original** state — ``q_i`` itself, so a reformulation may keep
+  some input terms ("allow the original term existing in the new
+  reformulated query"), and
+* the **void** state — deletion of the term ("or deletion of initial
+  terms").
+
+Both extensions are explicitly called out in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.errors import EmptyCandidateError, ReformulationError, UnknownNodeError
+from repro.graph.similarity import SimilarNode
+from repro.graph.tat import TATGraph
+
+
+class StateKind(enum.Enum):
+    """The three hidden-state families of Section V-B."""
+    SIMILAR = "similar"
+    ORIGINAL = "original"
+    VOID = "void"
+
+
+@dataclass(frozen=True)
+class CandidateState:
+    """One hidden state: a term node (or void) with its emission affinity."""
+
+    kind: StateKind
+    node_id: Optional[int]  # None for void
+    text: Optional[str]     # None for void
+    sim: float              # raw (unnormalized) similarity to the query term
+
+    @property
+    def is_void(self) -> bool:
+        """True for the deletion state."""
+        return self.kind is StateKind.VOID
+
+
+class SimilarityBackend(Protocol):
+    """What candidate building needs from a similarity provider.
+
+    Both :class:`~repro.graph.similarity.SimilarityExtractor` and
+    :class:`~repro.graph.cooccurrence.CooccurrenceSimilarity` satisfy it.
+    """
+
+    def similar_nodes(self, node_id: int, top_n: int) -> List[SimilarNode]:
+        """Top-n same-class similar nodes of *node_id*."""
+        ...
+
+
+class CandidateListBuilder:
+    """Builds the per-position hidden-state lists for a query.
+
+    Parameters
+    ----------
+    graph:
+        The TAT graph (resolves keyword text to term nodes).
+    similarity:
+        Offline similarity backend (contextual walk or co-occurrence).
+    n_candidates:
+        Size of each similar-term extension list (the paper's *n*).
+    include_original:
+        Add the original-term state at every position.
+    include_void:
+        Add the deletion state at every position.
+    void_sim:
+        Raw emission affinity of the void state (small, so deletion only
+        wins when nothing else is cohesive).
+    """
+
+    def __init__(
+        self,
+        graph: TATGraph,
+        similarity: SimilarityBackend,
+        n_candidates: int = 10,
+        include_original: bool = True,
+        include_void: bool = False,
+        void_sim: float = 1e-4,
+    ) -> None:
+        if n_candidates < 1:
+            raise ReformulationError("n_candidates must be >= 1")
+        if void_sim <= 0:
+            raise ReformulationError("void_sim must be positive")
+        self.graph = graph
+        self.similarity = similarity
+        self.n_candidates = n_candidates
+        self.include_original = include_original
+        self.include_void = include_void
+        self.void_sim = void_sim
+
+    # ------------------------------------------------------------------ #
+    # building
+    # ------------------------------------------------------------------ #
+
+    def candidates_for(self, keyword: str) -> List[CandidateState]:
+        """The hidden-state list ``L(q_i)`` for one query keyword.
+
+        Unknown keywords (absent from the corpus) yield only the original
+        state (emission 1.0): the term cannot be substituted, but it should
+        not kill the whole query.
+        """
+        try:
+            node_id = self.graph.resolve_text_one(keyword)
+        except UnknownNodeError:
+            states = [
+                CandidateState(StateKind.ORIGINAL, None, keyword, 1.0)
+            ]
+            if self.include_void:
+                states.append(self._void_state())
+            return states
+
+        states: List[CandidateState] = []
+        similar = self.similarity.similar_nodes(node_id, self.n_candidates)
+        for sim_node in similar:
+            node = self.graph.node(sim_node.node_id)
+            states.append(
+                CandidateState(
+                    StateKind.SIMILAR,
+                    sim_node.node_id,
+                    node.text or str(node),
+                    sim_node.score,
+                )
+            )
+        if self.include_original:
+            # The original term is a perfect match for itself; give it the
+            # strongest raw affinity in the list so normalization keeps it
+            # competitive but not overwhelming.
+            best = max((s.sim for s in states), default=1.0)
+            states.insert(
+                0,
+                CandidateState(StateKind.ORIGINAL, node_id, keyword, best),
+            )
+        if self.include_void:
+            states.append(self._void_state())
+        if not states:
+            raise EmptyCandidateError(
+                f"keyword {keyword!r}: no candidate states"
+            )
+        return states
+
+    def build(self, keywords: Sequence[str]) -> List[List[CandidateState]]:
+        """Candidate lists for every position of a query."""
+        if not keywords:
+            raise ReformulationError("empty query")
+        return [self.candidates_for(kw) for kw in keywords]
+
+    def _void_state(self) -> CandidateState:
+        return CandidateState(StateKind.VOID, None, None, self.void_sim)

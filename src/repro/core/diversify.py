@@ -1,0 +1,85 @@
+"""Suggestion diversification.
+
+The paper values suggestions that are "novel and diverse, beyond the
+returned papers and initial input query" (Section VI-B).  The HMM's top-k
+often contains near-duplicates (two suggestions differing in one minor
+term); this module re-ranks a candidate pool with maximal marginal
+relevance (MMR):
+
+    mmr(q) = λ · rel(q) − (1 − λ) · max_{s ∈ selected} overlap(q, s)
+
+where relevance is the (normalized) generation score and overlap is the
+Jaccard similarity of the keyword sets.  λ=1 reproduces the plain score
+order; lower λ spreads the list over distinct substitution patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReformulationError
+
+
+def keyword_overlap(a: ScoredQuery, b: ScoredQuery) -> float:
+    """Jaccard similarity of two suggestions' keyword sets."""
+    set_a: Set[str] = set(a.keywords)
+    set_b: Set[str] = set(b.keywords)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def mmr_diversify(
+    queries: Sequence[ScoredQuery],
+    k: int,
+    trade_off: float = 0.7,
+) -> List[ScoredQuery]:
+    """Select *k* suggestions balancing score against mutual overlap.
+
+    Parameters
+    ----------
+    queries:
+        Candidate pool, any order (typically the HMM top-2k..3k).
+    k:
+        Number of suggestions to return.
+    trade_off:
+        λ ∈ (0, 1]; 1.0 keeps the pure score ranking.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+    if not 0.0 < trade_off <= 1.0:
+        raise ReformulationError("trade_off must be in (0,1]")
+    pool = list(queries)
+    if not pool:
+        return []
+
+    max_score = max(q.score for q in pool)
+    norm = max_score if max_score > 0 else 1.0
+
+    selected: List[ScoredQuery] = []
+    remaining = pool.copy()
+    while remaining and len(selected) < k:
+        best = None
+        best_value = -float("inf")
+        for candidate in remaining:
+            relevance = candidate.score / norm
+            redundancy = max(
+                (keyword_overlap(candidate, s) for s in selected),
+                default=0.0,
+            )
+            value = trade_off * relevance - (1 - trade_off) * redundancy
+            if value > best_value:
+                best_value = value
+                best = candidate
+        selected.append(best)
+        remaining.remove(best)
+    return selected
+
+
+def distinct_term_coverage(queries: Sequence[ScoredQuery]) -> int:
+    """Diversity diagnostic: number of distinct terms across suggestions."""
+    return len({t for q in queries for t in q.keywords})

@@ -1,0 +1,98 @@
+"""Exhaustive and rank-based query generation.
+
+Two purposes:
+
+* :func:`brute_force_topk` enumerates the full ``n^m`` space and scores
+  every path with Eq 10 — the correctness oracle for Algorithm 2 and
+  Algorithm 3 in the tests (only usable for small n, m);
+* :class:`RankBasedReformulator` is the paper's first baseline: combine
+  the per-position similar-term lists by **similarity alone**, ignoring
+  closeness.  Implemented as a lazy k-best product combination so it stays
+  efficient even for large candidate lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.core.candidates import CandidateState
+from repro.core.hmm import ReformulationHMM
+from repro.core.scoring import ScoredQuery, aggregate_similarity
+from repro.errors import ReformulationError
+
+
+def brute_force_topk(hmm: ReformulationHMM, k: int, max_space: int = 2_000_000) -> List[ScoredQuery]:
+    """Score every path in the HMM and return the exact top-k.
+
+    Guards against accidental use on large instances via *max_space*.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+    if hmm.search_space > max_space:
+        raise ReformulationError(
+            f"search space {hmm.search_space} exceeds max_space={max_space}"
+        )
+    ranges = [range(hmm.n_states(i)) for i in range(hmm.length)]
+    scored = (
+        (hmm.path_score(path), path) for path in itertools.product(*ranges)
+    )
+    top = heapq.nlargest(k, scored, key=lambda sp: (sp[0], tuple(-x for x in sp[1])))
+    top.sort(key=lambda sp: (-sp[0], sp[1]))
+    return [hmm.scored_query(path) for _score, path in top]
+
+
+class RankBasedReformulator:
+    """Similarity-only top-k combination (the Rank-based baseline).
+
+    Given per-position candidate lists with raw similarity scores, the
+    score of a combined query is the product of its per-position
+    similarities (no closeness, no cohesion check).  Top-k combinations
+    are produced with the classic sorted-lists k-best expansion: start
+    from the all-best tuple and expand one position at a time through a
+    max-heap, which visits at most ``k·m`` tuples.
+    """
+
+    def __init__(self, states: List[List[CandidateState]]) -> None:
+        if not states or any(not lst for lst in states):
+            raise ReformulationError("every position needs at least one state")
+        # Sort each position's list by similarity descending (stable).
+        self.sorted_states: List[List[CandidateState]] = [
+            sorted(lst, key=lambda s: -s.sim) for lst in states
+        ]
+
+    def topk(self, k: int) -> List[ScoredQuery]:
+        """The k highest similarity-product combinations, best first."""
+        if k < 1:
+            raise ReformulationError("k must be >= 1")
+        m = len(self.sorted_states)
+        first = tuple(0 for _ in range(m))
+        heap: List[Tuple[float, Tuple[int, ...]]] = [
+            (-self._score(first), first)
+        ]
+        seen = {first}
+        out: List[ScoredQuery] = []
+        while heap and len(out) < k:
+            neg_score, idxs = heapq.heappop(heap)
+            out.append(self._materialize(idxs, -neg_score))
+            for pos in range(m):
+                if idxs[pos] + 1 >= len(self.sorted_states[pos]):
+                    continue
+                nxt = idxs[:pos] + (idxs[pos] + 1,) + idxs[pos + 1:]
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                heapq.heappush(heap, (-self._score(nxt), nxt))
+        return out
+
+    def _score(self, idxs: Sequence[int]) -> float:
+        return aggregate_similarity(
+            self.sorted_states[pos][i].sim for pos, i in enumerate(idxs)
+        )
+
+    def _materialize(self, idxs: Sequence[int], score: float) -> ScoredQuery:
+        terms = tuple(
+            self.sorted_states[pos][i].text for pos, i in enumerate(idxs)
+        )
+        return ScoredQuery(terms=terms, score=score, state_path=tuple(idxs))

@@ -1,0 +1,231 @@
+"""The probabilistic query-generation HMM (Section V-B).
+
+Observed symbols are the input keywords ``q_1..q_m``; hidden states at step
+*i* are the candidate list ``L(q_i)``.  The three HMM components follow the
+paper exactly:
+
+* initial distribution ``π(t_1j) ∝ freq(t_1j)`` — Eq 7;
+* transitions ``A(q'_{i-1}, q'_i) = clos(q'_{i-1}, q'_i)`` — Eq 8;
+* emissions ``B(t_ij, q_i) ∝ sim(t_ij, q_i)`` — Eq 9;
+
+and a path's quality is Eq 10:
+``p(Q'|Q) = π(q'_1) · Π_i B(q'_i, q_i) · Π_i A(q'_{i-1}, q'_i)``.
+
+Similarity and closeness factors are smoothed per Eq 5-6 before being
+normalized into the matrices (see :mod:`repro.core.scoring`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.candidates import CandidateState
+from repro.core.scoring import (
+    ScoredQuery,
+    normalize_distribution,
+    smooth_factors,
+    smooth_rows,
+)
+from repro.errors import ReformulationError
+
+
+class ClosenessBackend(Protocol):
+    """What the HMM needs from a closeness provider."""
+
+    def closeness(self, node_a: int, node_b: int) -> float:
+        """clos(a, b) per Eq 3."""
+        ...
+
+
+class FrequencyBackend(Protocol):
+    """Provides term frequencies for Eq 7 (π)."""
+
+    def frequency(self, node_id: int) -> float:
+        """Collection frequency of one node (Eq 7 numerator)."""
+        ...
+
+
+class IndexFrequency:
+    """Collection term frequency from the TAT graph's inverted index."""
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+
+    def frequency(self, node_id: int) -> float:
+        """Collection tf of a term node; 1.0 for non-terms."""
+        node = self.graph.node(node_id)
+        if node.text is None:
+            return 1.0
+        return float(self.graph.index.total_tf(node.payload))
+
+
+@dataclass
+class ReformulationHMM:
+    """A fully parameterized HMM for one input query."""
+
+    query: Tuple[str, ...]
+    states: List[List[CandidateState]]
+    pi: np.ndarray                    # shape (n_0,)
+    emissions: List[np.ndarray]       # emissions[i] shape (n_i,)
+    transitions: List[np.ndarray]     # transitions[i] shape (n_{i-1}, n_i), i>=1
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        query: Sequence[str],
+        states: List[List[CandidateState]],
+        closeness: ClosenessBackend,
+        frequency: FrequencyBackend,
+        smoothing_lambda: float = 0.8,
+        void_closeness: float = 1e-4,
+    ) -> "ReformulationHMM":
+        """Parameterize the HMM from offline similarity/closeness relations.
+
+        Parameters
+        ----------
+        query:
+            The input keywords (observed symbols).
+        states:
+            Per-position candidate lists from
+            :class:`~repro.core.candidates.CandidateListBuilder`.
+        closeness:
+            Offline closeness relation (Eq 8 transitions).
+        frequency:
+            Term frequency provider (Eq 7 initial distribution).
+        smoothing_lambda:
+            λ of Eq 5-6.  1.0 disables smoothing.
+        void_closeness:
+            Raw closeness assigned to transitions entering a void state.
+        """
+        query = tuple(query)
+        if len(query) != len(states):
+            raise ReformulationError(
+                f"query has {len(query)} terms but {len(states)} state lists"
+            )
+        if not states or any(not lst for lst in states):
+            raise ReformulationError("every position needs at least one state")
+
+        # π — Eq 7 (frequency-proportional over the first candidate list)
+        freqs = np.array(
+            [
+                frequency.frequency(s.node_id) if s.node_id is not None else 1.0
+                for s in states[0]
+            ],
+            dtype=np.float64,
+        )
+        pi = normalize_distribution(freqs)
+
+        # B — Eq 9 with the Eq 5 smoothing applied to the raw sims first.
+        raw_sims = [
+            np.array([s.sim for s in lst], dtype=np.float64) for lst in states
+        ]
+        global_sim = np.concatenate(raw_sims)
+        global_mean = float(global_sim.mean()) if global_sim.size else 0.0
+        emissions: List[np.ndarray] = []
+        for raw in raw_sims:
+            if smoothing_lambda < 1.0:
+                blended = smoothing_lambda * raw + (1 - smoothing_lambda) * global_mean
+            else:
+                blended = raw
+            emissions.append(normalize_distribution(blended))
+
+        # A — Eq 8 with Eq 6 smoothing (row-mean global indication).
+        transitions: List[np.ndarray] = []
+        for i in range(1, len(states)):
+            prev, curr = states[i - 1], states[i]
+            raw = np.zeros((len(prev), len(curr)), dtype=np.float64)
+            for a_idx, a in enumerate(prev):
+                for b_idx, b in enumerate(curr):
+                    raw[a_idx, b_idx] = _state_closeness(
+                        a, b, closeness, void_closeness
+                    )
+            smoothed = smooth_rows(raw, smoothing_lambda)
+            transitions.append(smoothed)
+
+        return cls(
+            query=query,
+            states=states,
+            pi=pi,
+            emissions=emissions,
+            transitions=transitions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def length(self) -> int:
+        """m — number of steps (query length)."""
+        return len(self.states)
+
+    def n_states(self, position: int) -> int:
+        """Number of hidden states at one position."""
+        return len(self.states[position])
+
+    @property
+    def search_space(self) -> int:
+        """Total number of candidate queries: Π_i n_i (the O(n^m) space)."""
+        total = 1
+        for lst in self.states:
+            total *= len(lst)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+
+    def path_score(self, path: Sequence[int]) -> float:
+        """Eq 10 for one state path (indices into each position's list)."""
+        if len(path) != self.length:
+            raise ReformulationError(
+                f"path length {len(path)} != query length {self.length}"
+            )
+        score = float(self.pi[path[0]]) * float(self.emissions[0][path[0]])
+        for i in range(1, self.length):
+            score *= float(self.transitions[i - 1][path[i - 1], path[i]])
+            score *= float(self.emissions[i][path[i]])
+        return score
+
+    def scored_query(self, path: Sequence[int]) -> ScoredQuery:
+        """Materialize a path into a :class:`ScoredQuery`."""
+        terms = tuple(
+            self.states[i][s].text for i, s in enumerate(path)
+        )
+        return ScoredQuery(
+            terms=terms,
+            score=self.path_score(path),
+            state_path=tuple(path),
+        )
+
+    def is_identity_path(self, path: Sequence[int]) -> bool:
+        """True if the path reproduces the original query verbatim."""
+        return all(
+            self.states[i][s].text == self.query[i]
+            for i, s in enumerate(path)
+        )
+
+
+def _state_closeness(
+    a: CandidateState,
+    b: CandidateState,
+    closeness: ClosenessBackend,
+    void_closeness: float,
+) -> float:
+    """Closeness between two candidate states, handling void/unknown."""
+    if a.is_void or b.is_void:
+        return void_closeness
+    if a.node_id is None or b.node_id is None:
+        return 0.0  # unknown original term: smoothing provides the floor
+    if a.node_id == b.node_id:
+        # A term repeated in adjacent positions never helps a keyword
+        # query; clos(v,v) is 0 by Eq 3's path definition.
+        return 0.0
+    return max(0.0, closeness.closeness(a.node_id, b.node_id))

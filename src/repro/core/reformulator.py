@@ -1,0 +1,270 @@
+"""Public facade: end-to-end keyword query reformulation.
+
+Wires the offline stage (TAT graph, contextual random walk similarity,
+closeness extraction) to the online stage (HMM + top-k decoding) behind
+one object::
+
+    from repro import Reformulator, synthesize_dblp
+
+    corpus = synthesize_dblp()
+    reformulator = Reformulator.from_database(corpus.database)
+    for query in reformulator.reformulate(["probabilistic", "query"], k=5):
+        print(query.text, query.score)
+
+Three interchangeable method configurations mirror the paper's
+experimental arms:
+
+* ``method="tat"`` — contextual random-walk similarity + HMM (the paper's
+  approach, "TAT-based Reformulation");
+* ``method="cooccurrence"`` — same HMM but co-occurrence similarity
+  (the "Co-occurrence reformulation" baseline);
+* ``method="rank"`` — similarity-only combination without the HMM
+  (the "Rank-based reformulation" baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.astar import AStarOutcome, astar_topk
+from repro.core.candidates import CandidateListBuilder, CandidateState
+from repro.core.enumeration import RankBasedReformulator, brute_force_topk
+from repro.core.hmm import IndexFrequency, ReformulationHMM
+from repro.core.scoring import ScoredQuery
+from repro.core.viterbi import viterbi_top1, viterbi_topk
+from repro.errors import ReformulationError
+from repro.graph.closeness import ClosenessExtractor
+from repro.graph.cooccurrence import CooccurrenceSimilarity
+from repro.graph.similarity import SimilarityExtractor
+from repro.graph.tat import TATGraph
+from repro.index.analyzer import Analyzer
+from repro.index.inverted import InvertedIndex
+from repro.storage.database import Database
+
+METHODS = ("tat", "cooccurrence", "rank")
+ALGORITHMS = ("astar", "viterbi_topk", "brute_force")
+
+
+@dataclass(frozen=True)
+class ReformulatorConfig:
+    """All tunables of the pipeline in one place."""
+
+    method: str = "tat"
+    n_candidates: int = 10
+    include_original: bool = True
+    include_void: bool = False
+    smoothing_lambda: float = 0.8
+    damping: float = 0.85
+    closeness_depth: int = 4
+    closeness_beam: Optional[int] = 2000
+    drop_identity: bool = True
+    dedup_text: bool = True
+    #: Definition 2: a keyword query consists of *distinct* keywords, so a
+    #: reformulation that repeats a term is not a valid query.
+    drop_repeated_terms: bool = True
+    #: When set (0 < λ ≤ 1), re-rank suggestions with MMR diversification
+    #: at this relevance/diversity trade-off; None keeps pure score order.
+    diversify_trade_off: Optional[float] = None
+
+    def validate(self) -> None:
+        """Raise on out-of-range configuration values."""
+        if self.method not in METHODS:
+            raise ReformulationError(
+                f"unknown method {self.method!r}, expected one of {METHODS}"
+            )
+        if self.n_candidates < 1:
+            raise ReformulationError("n_candidates must be >= 1")
+
+
+class Reformulator:
+    """End-to-end keyword query reformulation over one database."""
+
+    def __init__(
+        self,
+        graph: TATGraph,
+        config: Optional[ReformulatorConfig] = None,
+        similarity=None,
+        closeness=None,
+    ) -> None:
+        """Wire the online stage.
+
+        ``similarity`` and ``closeness`` default to live extractors over
+        *graph*; pass a precomputed
+        :class:`~repro.offline.TermRelationStore` for both to serve
+        queries purely from materialized relations.
+        """
+        self.config = config or ReformulatorConfig()
+        self.config.validate()
+        self.graph = graph
+        if similarity is not None:
+            self.similarity = similarity
+        elif self.config.method == "cooccurrence":
+            self.similarity = CooccurrenceSimilarity(graph)
+        else:
+            from repro.graph.randomwalk import RandomWalkEngine
+
+            self.similarity = SimilarityExtractor(
+                graph,
+                engine=RandomWalkEngine(
+                    graph.adjacency, damping=self.config.damping
+                ),
+            )
+        self.closeness = closeness or ClosenessExtractor(
+            graph,
+            max_depth=self.config.closeness_depth,
+            beam_width=self.config.closeness_beam,
+        )
+        self.candidates = CandidateListBuilder(
+            graph,
+            self.similarity,
+            n_candidates=self.config.n_candidates,
+            include_original=self.config.include_original,
+            include_void=self.config.include_void,
+        )
+        self.frequency = IndexFrequency(graph)
+        self._parser = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        config: Optional[ReformulatorConfig] = None,
+        analyzer: Optional[Analyzer] = None,
+    ) -> "Reformulator":
+        """Build index + TAT graph from a raw database and wrap them."""
+        index = InvertedIndex(database, analyzer=analyzer).build()
+        graph = TATGraph(database, index)
+        return cls(graph, config)
+
+    # ------------------------------------------------------------------ #
+    # online stage
+    # ------------------------------------------------------------------ #
+
+    def build_hmm(self, keywords: Sequence[str]) -> ReformulationHMM:
+        """Candidate extraction + HMM parameterization for one query."""
+        states = self.candidates.build(list(keywords))
+        return ReformulationHMM.build(
+            query=keywords,
+            states=states,
+            closeness=self.closeness,
+            frequency=self.frequency,
+            smoothing_lambda=self.config.smoothing_lambda,
+        )
+
+    def reformulate(
+        self,
+        keywords: Sequence[str],
+        k: int = 10,
+        algorithm: str = "astar",
+    ) -> List[ScoredQuery]:
+        """Top-k reformulated queries for *keywords*, best first."""
+        if algorithm not in ALGORITHMS:
+            raise ReformulationError(
+                f"unknown algorithm {algorithm!r}, expected one of {ALGORITHMS}"
+            )
+        if self.config.method == "rank":
+            states = self.candidates.build(list(keywords))
+            raw = RankBasedReformulator(states).topk(k + self._slack(keywords))
+            return self._postprocess(keywords, raw, k)
+
+        hmm = self.build_hmm(keywords)
+        want = k + self._slack(keywords)
+        if algorithm == "astar":
+            raw = astar_topk(hmm, want).queries
+        elif algorithm == "viterbi_topk":
+            raw = viterbi_topk(hmm, want)
+        else:
+            raw = brute_force_topk(hmm, want)
+        return self._postprocess(keywords, raw, k)
+
+    def reformulate_text(
+        self, raw_query: str, k: int = 10, algorithm: str = "astar"
+    ) -> List[ScoredQuery]:
+        """Reformulate a raw query string.
+
+        The string is segmented against the corpus vocabulary first, so
+        multi-word atomic terms (author names, venues) survive as single
+        keywords — "spatio temporal christian s. jensen" parses into
+        ["spatio", "temporal", "christian s. jensen"].
+        """
+        parsed = self.parser.parse(raw_query)
+        if not parsed.keywords:
+            raise ReformulationError(f"query {raw_query!r} has no keywords")
+        return self.reformulate(list(parsed.keywords), k=k, algorithm=algorithm)
+
+    @property
+    def parser(self):
+        """Lazily built raw-string query parser."""
+        if self._parser is None:
+            from repro.core.queryparse import QueryParser
+
+            self._parser = QueryParser(self.graph)
+        return self._parser
+
+    def reformulate_with_timing(
+        self, keywords: Sequence[str], k: int = 10
+    ) -> AStarOutcome:
+        """Algorithm 3 with per-stage timings (Figure 8/9 instrumentation)."""
+        hmm = self.build_hmm(keywords)
+        return astar_topk(hmm, k)
+
+    def best(self, keywords: Sequence[str]) -> ScoredQuery:
+        """The single best reformulation (plain Viterbi)."""
+        return viterbi_top1(self.build_hmm(keywords))
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _slack(self, keywords: Sequence[str]) -> int:
+        """Extra paths to request so identity/duplicate removal still
+        leaves k results (and MMR has a pool to diversify over)."""
+        slack = 0
+        if self.config.drop_identity:
+            slack += 1
+        if self.config.dedup_text:
+            slack += len(keywords)
+        if self.config.drop_repeated_terms:
+            slack += 2 * len(keywords)
+        if self.config.diversify_trade_off is not None:
+            slack += 20
+        return slack
+
+    def _postprocess(
+        self,
+        keywords: Sequence[str],
+        raw: List[ScoredQuery],
+        k: int,
+    ) -> List[ScoredQuery]:
+        original = " ".join(keywords)
+        seen_texts = set()
+        out: List[ScoredQuery] = []
+        diversify = self.config.diversify_trade_off
+        # With diversification, keep the whole filtered pool and let MMR
+        # pick the final k; otherwise cut as soon as k survive.
+        limit = len(raw) if diversify is not None else k
+        for query in raw:
+            text = query.text
+            if self.config.drop_identity and text == original:
+                continue
+            if self.config.drop_repeated_terms:
+                kws = query.keywords
+                if len(set(kws)) != len(kws):
+                    continue
+            if self.config.dedup_text:
+                if text in seen_texts:
+                    continue
+                seen_texts.add(text)
+            out.append(query)
+            if len(out) >= limit:
+                break
+        if diversify is not None:
+            from repro.core.diversify import mmr_diversify
+
+            return mmr_diversify(out, k, trade_off=diversify)
+        return out

@@ -1,0 +1,104 @@
+"""Reformulated-query scoring: Eq 4 and the smoothing of Eq 5-6.
+
+The raw score of a candidate query multiplies per-position similarities
+with between-position closenesses (Eq 4 == Eq 10 once the HMM is in
+place).  Products are "sensitive to zero": one missing closeness zeroes an
+otherwise good query.  Eq 5-6 therefore blend every local factor with a
+*global indication* — the aggregate of the corresponding factors across the
+whole query — controlled by the smoothing weight λ:
+
+    sim_smo(q'_i, q_i)   = λ·sim(q'_i, q_i)   + (1-λ)·mean_k sim(q'_k, q_k)
+    clos_smo(q'_{i-1}, q'_i) = λ·clos(...)    + (1-λ)·mean_k clos(q'_{k-1}, q'_k)
+
+We use the mean (not the sum) of the other factors so the blended factor
+stays on the same scale; the paper notes the smoothing "keeps the
+aggregated scores unchanged in order to maintain the probabilistic meaning
+of the parameters", which the mean preserves up to normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReformulationError
+
+
+def smooth_factors(raw: np.ndarray, lam: float) -> np.ndarray:
+    """Blend each factor with the global mean of all factors (Eq 5-6).
+
+    *raw* may be any-dimensional; the global indication is the mean over
+    every entry.  ``lam=1`` disables smoothing.
+    """
+    if not 0.0 < lam <= 1.0:
+        raise ReformulationError(f"smoothing λ must be in (0,1], got {lam}")
+    if lam == 1.0 or raw.size == 0:
+        return raw.copy()
+    global_mean = float(raw.mean())
+    return lam * raw + (1.0 - lam) * global_mean
+
+
+def smooth_rows(raw: np.ndarray, lam: float) -> np.ndarray:
+    """Row-wise variant: each row blends with its own mean.
+
+    Used for transition matrices where the "other word pairs" of Eq 6 are
+    the alternative next-states of the same step.
+    """
+    if not 0.0 < lam <= 1.0:
+        raise ReformulationError(f"smoothing λ must be in (0,1], got {lam}")
+    if lam == 1.0 or raw.size == 0:
+        return raw.copy()
+    row_means = raw.mean(axis=-1, keepdims=True)
+    return lam * raw + (1.0 - lam) * row_means
+
+
+@dataclass(frozen=True)
+class ScoredQuery:
+    """A reformulated query with its generation probability (Eq 10)."""
+
+    terms: Tuple[Optional[str], ...]  # None marks a void (deleted) position
+    score: float
+    state_path: Tuple[int, ...]  # per-position state indices in the HMM
+
+    @property
+    def text(self) -> str:
+        """The rendered query, void positions dropped."""
+        return " ".join(t for t in self.terms if t is not None)
+
+    @property
+    def keywords(self) -> Tuple[str, ...]:
+        """Non-void terms of the suggestion, in order."""
+        return tuple(t for t in self.terms if t is not None)
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+
+def normalize_distribution(weights: np.ndarray) -> np.ndarray:
+    """Normalize non-negative weights to a probability distribution.
+
+    All-zero input becomes uniform — a candidate list must stay usable
+    even when every raw weight vanished.
+    """
+    if weights.ndim != 1:
+        raise ReformulationError("expected a 1-d weight vector")
+    if np.any(weights < 0):
+        raise ReformulationError("negative weights are not probabilities")
+    total = weights.sum()
+    if total <= 0:
+        return np.full(weights.shape, 1.0 / max(1, weights.size))
+    return weights / total
+
+
+def aggregate_similarity(sims: Sequence[float]) -> float:
+    """Rank-based baseline score: product of per-position similarities.
+
+    The "Rank-based reformulation" baseline of Section VI combines the
+    similar-term lists by similarity alone, ignoring closeness.
+    """
+    score = 1.0
+    for s in sims:
+        score *= max(0.0, s)
+    return score

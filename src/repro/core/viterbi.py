@@ -1,0 +1,108 @@
+"""Viterbi decoding: top-1 and the extended top-k variant (Algorithm 2).
+
+The standard Viterbi recursion finds the single best hidden-state
+sequence in ``O(m n²)``.  Algorithm 2 of the paper extends the per-state
+memo from one best prefix to the *k* best prefixes ending in each state,
+which is ``k log k`` slower: ``O(m n² k log k)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hmm import ReformulationHMM
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReformulationError
+
+
+@dataclass(frozen=True)
+class ViterbiTable:
+    """Forward max-product table: scores[c][i] = best prefix score ending
+    at state *i* of step *c*; used by the A* stage of Algorithm 3."""
+
+    scores: List[np.ndarray]
+    backpointers: List[np.ndarray]
+
+
+def viterbi_table(hmm: ReformulationHMM) -> ViterbiTable:
+    """Run the forward max-product recursion over the whole HMM."""
+    scores: List[np.ndarray] = []
+    backpointers: List[np.ndarray] = []
+
+    first = hmm.pi * hmm.emissions[0]
+    scores.append(first)
+    backpointers.append(np.full(first.shape, -1, dtype=np.int64))
+
+    for step in range(1, hmm.length):
+        trans = hmm.transitions[step - 1]
+        prev = scores[-1]
+        # combined[i, j] = prev[i] * trans[i, j]
+        combined = prev[:, None] * trans
+        best_prev = combined.argmax(axis=0)
+        best_score = combined[best_prev, np.arange(trans.shape[1])]
+        scores.append(best_score * hmm.emissions[step])
+        backpointers.append(best_prev)
+    return ViterbiTable(scores, backpointers)
+
+
+def viterbi_top1(hmm: ReformulationHMM) -> ScoredQuery:
+    """The single most probable reformulation (classic Viterbi)."""
+    table = viterbi_table(hmm)
+    last = int(table.scores[-1].argmax())
+    path = [last]
+    for step in range(hmm.length - 1, 0, -1):
+        path.append(int(table.backpointers[step][path[-1]]))
+    path.reverse()
+    return hmm.scored_query(path)
+
+
+def viterbi_topk(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
+    """Algorithm 2: extended Viterbi storing top-k prefixes per state.
+
+    ``L[c][i]`` holds at most *k* (score, path) prefixes ending in state
+    *i* at step *c*; step ``c+1`` merges the extensions of every previous
+    state's list and keeps the best *k* per state.  Returns the global
+    top-k complete paths, best first.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+
+    # lists[i] = [(score, path_tuple), ...] sorted descending
+    lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
+    for i in range(hmm.n_states(0)):
+        score = float(hmm.pi[i] * hmm.emissions[0][i])
+        lists.append([(score, (i,))])
+
+    for step in range(1, hmm.length):
+        trans = hmm.transitions[step - 1]
+        emis = hmm.emissions[step]
+        new_lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
+        for j in range(hmm.n_states(step)):
+            extensions = (
+                (score * float(trans[i, j]) * float(emis[j]), path + (j,))
+                for i, prefix_list in enumerate(lists)
+                for score, path in prefix_list
+            )
+            best = heapq.nlargest(k, extensions, key=lambda sp: sp[0])
+            new_lists.append(best)
+        lists = new_lists
+
+    complete = [sp for state_list in lists for sp in state_list]
+    top = heapq.nlargest(k, complete, key=lambda sp: sp[0])
+    # Deterministic tie-break: score desc, then path lexicographic.
+    top.sort(key=lambda sp: (-sp[0], sp[1]))
+    return [hmm.scored_query(path) for _score, path in top]
+
+
+def path_scores_consistent(
+    hmm: ReformulationHMM, queries: Sequence[ScoredQuery], tol: float = 1e-12
+) -> bool:
+    """Sanity helper used in tests: recompute every score from Eq 10."""
+    return all(
+        abs(q.score - hmm.path_score(q.state_path)) <= tol * max(1.0, q.score)
+        for q in queries
+    )

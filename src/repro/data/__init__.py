@@ -1,0 +1,29 @@
+"""Synthetic DBLP-style corpus generation and query workloads."""
+
+from repro.data.dblp_synth import (
+    GroundTruth,
+    SynthConfig,
+    SynthesizedCorpus,
+    dblp_schema,
+    synthesize_dblp,
+)
+from repro.data.names import author_names, conference_names, venue_full_name
+from repro.data.topics import DEFAULT_TOPICS, Topic, TopicModel
+from repro.data.workloads import Query, WorkloadGenerator, WorkloadQuery
+
+__all__ = [
+    "GroundTruth",
+    "SynthConfig",
+    "SynthesizedCorpus",
+    "dblp_schema",
+    "synthesize_dblp",
+    "author_names",
+    "conference_names",
+    "venue_full_name",
+    "DEFAULT_TOPICS",
+    "Topic",
+    "TopicModel",
+    "Query",
+    "WorkloadGenerator",
+    "WorkloadQuery",
+]

@@ -1,0 +1,99 @@
+"""Name pools for the synthetic bibliographic corpus.
+
+Author and conference names are generated deterministically from seeded
+pools.  Names are atomic terms in the TAT graph (Section IV-A: author and
+institute names are not segmented), so they only need to be unique and
+pronounceable, not real.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_FIRST_NAMES = [
+    "wei", "jun", "li", "ming", "yan", "hao", "anna", "boris", "carla",
+    "david", "elena", "frank", "grace", "henrik", "ivana", "jorge", "kumar",
+    "laura", "marco", "nadia", "oscar", "priya", "quentin", "rosa", "stefan",
+    "tomas", "ulrike", "victor", "wendy", "xiang", "yuki", "zoltan", "amir",
+    "bianca", "chen", "dmitri", "esther", "felipe", "gita", "hiro",
+]
+
+_LAST_NAMES = [
+    "zhang", "wang", "chen", "liu", "yang", "mueller", "schmidt", "rossi",
+    "garcia", "martin", "kowalski", "novak", "tanaka", "suzuki", "kim",
+    "park", "nguyen", "tran", "patel", "sharma", "silva", "santos",
+    "ivanov", "petrov", "johansson", "nielsen", "virtanen", "papadopoulos",
+    "oconnor", "macleod", "dubois", "moreau", "fischer", "weber", "ricci",
+    "romano", "almeida", "costa", "haddad", "farouk",
+]
+
+_VENUE_WORDS = [
+    "data", "knowledge", "information", "systems", "management", "mining",
+    "retrieval", "databases", "web", "intelligence", "analytics",
+    "engineering", "discovery", "semantics", "integration", "search",
+]
+
+_VENUE_KINDS = ["conference", "symposium", "workshop", "forum", "meeting"]
+
+
+def author_names(count: int, seed: int) -> List[str]:
+    """*count* distinct author names, deterministic in *seed*."""
+    rng = random.Random(seed)
+    names: List[str] = []
+    seen = set()
+    suffix = 0
+    while len(names) < count:
+        name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+        if name in seen:
+            suffix += 1
+            name = f"{name} {_roman(suffix)}"
+            if name in seen:
+                continue
+        seen.add(name)
+        names.append(name)
+    return names
+
+
+def conference_names(count: int, seed: int) -> List[str]:
+    """*count* distinct venue names, deterministic in *seed*.
+
+    Names look like acronym-style venue titles ("icde", "vkdd", ...) so
+    each is a single atomic term node.
+    """
+    rng = random.Random(seed)
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        # acronym: 3-5 letters sampled from venue words' initials
+        length = rng.randint(3, 5)
+        letters = "".join(rng.choice(_VENUE_WORDS)[0] for _ in range(length))
+        name = letters
+        if name in seen:
+            name = f"{letters}{rng.randint(2, 99)}"
+            if name in seen:
+                continue
+        seen.add(name)
+        names.append(name)
+    return names
+
+
+def venue_full_name(acronym: str, seed: int) -> str:
+    """Expand an acronym into a plausible full venue title."""
+    rng = random.Random(hash((acronym, seed)) & 0xFFFFFFFF)
+    words = rng.sample(_VENUE_WORDS, 2)
+    kind = rng.choice(_VENUE_KINDS)
+    return f"{kind} on {words[0]} {words[1]}"
+
+
+def _roman(n: int) -> str:
+    """Small-number roman numerals for disambiguating duplicate names."""
+    numerals = [
+        (10, "x"), (9, "ix"), (5, "v"), (4, "iv"), (1, "i"),
+    ]
+    out = []
+    for value, symbol in numerals:
+        while n >= value:
+            out.append(symbol)
+            n -= value
+    return "".join(out) or "i"

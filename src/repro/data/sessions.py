@@ -1,0 +1,122 @@
+"""Simulated interaction sessions over the reformulation system.
+
+The paper's future work asks for "the collection of considerable query
+logs [and] user interaction and feedback analysis".  We have no users,
+so this module synthesizes the log: a simulated searcher issues workload
+queries, inspects the top suggestions, and accepts/rejects them with
+probabilities conditioned on their (ground-truth) relevance — a standard
+click-model-style simulation.
+
+The produced :class:`SessionLog` feeds the
+:class:`~repro.extensions.feedback.FeedbackAdaptor`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.reformulator import Reformulator
+from repro.core.scoring import ScoredQuery
+from repro.data.workloads import WorkloadQuery
+from repro.errors import ReproError
+from repro.eval.judge import JudgePanel
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One inspected suggestion within a session."""
+
+    original: Tuple[str, ...]
+    suggestion: ScoredQuery
+    relevant: bool   # ground-truth panel verdict
+    accepted: bool   # the simulated user's action
+
+
+@dataclass
+class SessionLog:
+    """All interactions of one simulation run."""
+
+    interactions: List[Interaction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    @property
+    def accepted(self) -> List[Interaction]:
+        """Interactions the simulated user accepted."""
+        return [i for i in self.interactions if i.accepted]
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Accepted fraction over all interactions."""
+        if not self.interactions:
+            return 0.0
+        return len(self.accepted) / len(self.interactions)
+
+
+class SessionSimulator:
+    """Click-model searcher over a reformulation pipeline.
+
+    Parameters
+    ----------
+    reformulator:
+        The pipeline producing suggestions.
+    judges:
+        Ground-truth relevance panel.
+    accept_if_relevant:
+        Probability of accepting a relevant suggestion the user inspects.
+    accept_if_irrelevant:
+        Probability of (mistakenly) accepting an irrelevant one.
+    inspect_top:
+        How many suggestions per query the user looks at.
+    seed:
+        Simulation seed (deterministic log for a fixed seed).
+    """
+
+    def __init__(
+        self,
+        reformulator: Reformulator,
+        judges: JudgePanel,
+        accept_if_relevant: float = 0.6,
+        accept_if_irrelevant: float = 0.05,
+        inspect_top: int = 5,
+        seed: int = 99,
+    ) -> None:
+        for p in (accept_if_relevant, accept_if_irrelevant):
+            if not 0.0 <= p <= 1.0:
+                raise ReproError("acceptance probabilities must be in [0,1]")
+        if inspect_top < 1:
+            raise ReproError("inspect_top must be >= 1")
+        self.reformulator = reformulator
+        self.judges = judges
+        self.accept_if_relevant = accept_if_relevant
+        self.accept_if_irrelevant = accept_if_irrelevant
+        self.inspect_top = inspect_top
+        self.seed = seed
+
+    def run(self, queries: Sequence[WorkloadQuery]) -> SessionLog:
+        """Simulate one session per workload query."""
+        rng = random.Random(self.seed)
+        log = SessionLog()
+        for wq in queries:
+            keywords = list(wq.keywords)
+            suggestions = self.reformulator.reformulate(
+                keywords, k=self.inspect_top
+            )
+            for suggestion in suggestions:
+                relevant = self.judges.is_relevant(keywords, suggestion)
+                threshold = (
+                    self.accept_if_relevant
+                    if relevant
+                    else self.accept_if_irrelevant
+                )
+                accepted = rng.random() < threshold
+                log.interactions.append(Interaction(
+                    original=tuple(keywords),
+                    suggestion=suggestion,
+                    relevant=relevant,
+                    accepted=accepted,
+                ))
+        return log

@@ -1,0 +1,211 @@
+"""Latent topic model for the synthetic DBLP corpus.
+
+The paper's motivating phenomena are structural: quasi-synonyms like
+"probabilistic"/"uncertain" almost never co-occur in one paper title, yet
+share conferences and authors; researchers who never co-author still share
+venues and vocabulary.  This module encodes exactly that structure as
+ground truth:
+
+* each :class:`Topic` owns a title vocabulary;
+* the vocabulary is partitioned into **synonym clusters** — words that are
+  interchangeable descriptions of one concept.  The generator draws at most
+  one word per cluster into any single title, so cluster-mates co-occur
+  with authors/conferences but (almost) never with each other;
+* topics declare **related topics**, which share conferences.
+
+The latent assignments double as the relevance ground truth for the
+simulated judges of Figure 5 (see :mod:`repro.eval.judge`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One research topic: id, display name, vocabulary, relations."""
+
+    topic_id: int
+    name: str
+    #: Synonym clusters: the union of all clusters is the vocabulary.
+    #: Singleton clusters are ordinary topical words.
+    clusters: Tuple[Tuple[str, ...], ...]
+    related: Tuple[str, ...] = ()
+
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        """All words of the topic (clusters flattened)."""
+        return tuple(w for cluster in self.clusters for w in cluster)
+
+
+def _t(topic_id: int, name: str, clusters: Sequence[Sequence[str]],
+       related: Sequence[str] = ()) -> Topic:
+    return Topic(
+        topic_id=topic_id,
+        name=name,
+        clusters=tuple(tuple(c) for c in clusters),
+        related=tuple(related),
+    )
+
+
+#: The default topic universe: 12 database/data-mining/IR topics mirroring
+#: the DBLP areas the paper draws its examples from ("xml", "probabilistic",
+#: "association rule", "spatio-temporal", ...).
+DEFAULT_TOPICS: Tuple[Topic, ...] = (
+    _t(0, "xml data management", [
+        ("xml", "semistructured", "tree"),
+        ("twig",), ("xpath", "xquery"), ("document",), ("schema",),
+        ("validation",), ("native",), ("publishing",), ("path",),
+        ("labeling",), ("html",),
+    ], related=["keyword search", "query processing"]),
+    _t(1, "probabilistic data", [
+        ("probabilistic", "uncertain", "uncertainty"),
+        ("lineage",), ("possible", "worlds"), ("confidence",),
+        ("distribution",), ("sampling",), ("monte", "carlo"),
+        ("tuple",), ("imprecise",), ("generation",),
+    ], related=["query processing", "data mining"]),
+    _t(2, "data mining", [
+        ("mining", "discovery"),
+        ("association", "correlation"), ("rule",),
+        ("frequent", "itemset"), ("sequential", "episode"),
+        ("pattern",), ("transaction",), ("support",), ("apriori",),
+        ("lattice",),
+    ], related=["clustering", "classification"]),
+    _t(3, "clustering", [
+        ("clustering", "grouping", "partitioning"),
+        ("density",), ("hierarchical",), ("centroid", "medoid"),
+        ("outlier", "anomaly"), ("subspace",), ("similarity",),
+        ("distance",), ("dimension",),
+    ], related=["data mining", "classification"]),
+    _t(4, "classification", [
+        ("classification", "categorization"),
+        ("bayesian",), ("decision",), ("ensemble", "boosting", "bagging"),
+        ("feature", "attribute"), ("label",), ("training",),
+        ("margin", "kernel"), ("accuracy",),
+    ], related=["data mining", "information retrieval"]),
+    _t(5, "keyword search", [
+        ("keyword", "term"),
+        ("search", "retrieval"), ("ranking", "scoring"),
+        ("relational",), ("steiner",), ("proximity",), ("answer",),
+        ("effectiveness",), ("suggestion", "reformulation"),
+    ], related=["xml data management", "information retrieval"]),
+    _t(6, "query processing", [
+        ("query", "queries"),
+        ("optimization", "planning"), ("join",), ("index", "indexing"),
+        ("selectivity", "cardinality"), ("cost",), ("execution",),
+        ("aggregation",), ("view", "materialized"),
+    ], related=["probabilistic data", "stream processing"]),
+    _t(7, "spatio-temporal data", [
+        ("spatial", "spatio"),
+        ("temporal", "time"), ("moving", "mobile"), ("object",),
+        ("trajectory", "movement"), ("nearest", "neighbor"),
+        ("location",), ("road", "network"), ("knn",),
+    ], related=["query processing", "stream processing"]),
+    _t(8, "stream processing", [
+        ("stream", "streaming", "continuous"),
+        ("window", "sliding"), ("sensor",), ("realtime",),
+        ("sketch", "synopsis"), ("load", "shedding"), ("event",),
+        ("monitoring",), ("approximate",),
+    ], related=["query processing", "spatio-temporal data"]),
+    _t(9, "information retrieval", [
+        ("information", "text"),
+        ("web",), ("relevance",), ("feedback",), ("language", "topic"),
+        ("model", "modeling"), ("corpus", "collection"),
+        ("precision", "recall"), ("expansion",),
+    ], related=["keyword search", "classification"]),
+    _t(10, "graph data management", [
+        ("graph", "network"),
+        ("reachability",), ("subgraph", "isomorphism"),
+        ("shortest",), ("random", "walk"), ("pagerank", "authority"),
+        ("social",), ("community",), ("link",),
+    ], related=["keyword search", "data mining"]),
+    _t(11, "transaction processing", [
+        ("transaction", "transactional"),
+        ("concurrency",), ("locking", "latching"), ("recovery",),
+        ("logging", "journaling"), ("isolation",), ("serializability",),
+        ("commit",), ("durability",),
+    ], related=["query processing", "stream processing"]),
+)
+
+
+#: Topic-free filler words that real paper titles are full of.  They
+#: co-occur with every topic's vocabulary, so a frequent-co-occurrence
+#: similarity happily suggests them — while they carry no latent topic and
+#: are therefore judged irrelevant.  The contextual walk suppresses them
+#: through the idf edge weighting.  This is the realistic "noise" that
+#: separates the two similarity measures in Figure 5.
+GENERIC_WORDS: Tuple[str, ...] = (
+    "efficient", "effective", "novel", "scalable", "adaptive", "improved",
+    "framework", "approach", "analysis", "evaluation", "system", "method",
+    "algorithm", "technique", "study", "management", "processing", "large",
+)
+
+
+class TopicModel:
+    """Lookup structure over a topic universe.
+
+    Provides the ground-truth queries the simulated judge needs: which
+    topics a word belongs to, whether two words are synonyms (same
+    cluster), and whether two topics are related.
+    """
+
+    def __init__(self, topics: Sequence[Topic] = DEFAULT_TOPICS) -> None:
+        self.topics: Tuple[Topic, ...] = tuple(topics)
+        self._by_name: Dict[str, Topic] = {t.name: t for t in self.topics}
+        self._word_topics: Dict[str, Set[int]] = {}
+        self._word_cluster: Dict[str, Set[Tuple[int, int]]] = {}
+        for topic in self.topics:
+            for c_idx, cluster in enumerate(topic.clusters):
+                for word in cluster:
+                    self._word_topics.setdefault(word, set()).add(topic.topic_id)
+                    self._word_cluster.setdefault(word, set()).add(
+                        (topic.topic_id, c_idx)
+                    )
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    def topic(self, topic_id: int) -> Topic:
+        """Topic by id."""
+        return self.topics[topic_id]
+
+    def by_name(self, name: str) -> Topic:
+        """Topic by display name."""
+        return self._by_name[name]
+
+    @property
+    def vocabulary(self) -> List[str]:
+        """Sorted distinct words across all topics."""
+        return sorted(self._word_topics)
+
+    def topics_of_word(self, word: str) -> Set[int]:
+        """Latent topic ids a word belongs to (empty if out of vocabulary)."""
+        return self._word_topics.get(word, set())
+
+    def are_synonyms(self, a: str, b: str) -> bool:
+        """True iff *a* and *b* share a synonym cluster in some topic."""
+        if a == b:
+            return True
+        return bool(
+            self._word_cluster.get(a, set()) & self._word_cluster.get(b, set())
+        )
+
+    def share_topic(self, a: str, b: str) -> bool:
+        """True iff the two words belong to at least one common topic."""
+        return bool(self.topics_of_word(a) & self.topics_of_word(b))
+
+    def related_topic_ids(self, topic_id: int) -> Set[int]:
+        """Ids of topics declared related to *topic_id* (plus itself)."""
+        topic = self.topics[topic_id]
+        related = {topic_id}
+        for name in topic.related:
+            other = self._by_name.get(name)
+            if other is not None:
+                related.add(other.topic_id)
+        return related
+
+    def topics_related(self, a: int, b: int) -> bool:
+        """True iff topics a and b are identical or declared related."""
+        return b in self.related_topic_ids(a) or a in self.related_topic_ids(b)

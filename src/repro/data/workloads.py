@@ -1,0 +1,248 @@
+"""Query workload generators mirroring the paper's evaluation sets.
+
+Three workloads appear in Section VI:
+
+* **mixed queries** — "10 different queries ... with various formats
+  consisting of topical words, author or conference name" (Figure 5);
+* **length-varied queries** — "randomly sample 400 queries, varying query
+  length from 1 to 8 ... chosen from the following fields: author name,
+  paper title and conference name" (Figures 7-10);
+* **best-paper queries** — "keywords extracted from the title of 19 SIGMOD
+  Best Papers" (Table III); we extract keywords from 19 sampled paper
+  titles of the synthetic corpus.
+
+Queries are **anchored**: like the paper's examples ("knn uncertain",
+"Christian S. Jensen spatio-temporal"), a query's keywords belong
+together.  Each query picks an anchor — an author, a conference, or a
+paper — and draws its remaining keywords from that anchor's *observable*
+neighborhood (the titles the author wrote / the venue published).  No
+latent ground truth is consulted; an informed user could issue exactly
+these queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.dblp_synth import SynthesizedCorpus
+from repro.errors import ReproError
+from repro.index.analyzer import Analyzer
+
+Query = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload query plus the fields its keywords came from."""
+
+    keywords: Query
+    fields: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+
+class WorkloadGenerator:
+    """Samples anchored queries from a corpus, deterministic per seed."""
+
+    def __init__(
+        self,
+        corpus: SynthesizedCorpus,
+        seed: int = 42,
+        analyzer: Optional[Analyzer] = None,
+    ) -> None:
+        self.corpus = corpus
+        self.seed = seed
+        self.analyzer = analyzer or Analyzer()
+        db = corpus.database
+
+        self._titles: List[str] = [
+            str(row["title"]) for row in db.table("papers").scan() if row["title"]
+        ]
+        self._title_words = sorted(
+            {
+                word
+                for title in self._titles
+                for word in self.analyzer.tokenize(title)
+            }
+        )
+        if not self._title_words:
+            raise ReproError("corpus has no title vocabulary")
+
+        # Observable neighborhoods: author -> words of their papers,
+        # conference -> words of its papers.
+        paper_words: Dict[object, List[str]] = {}
+        conf_words: Dict[object, List[str]] = {}
+        for row in db.table("papers").scan():
+            words = self.analyzer.tokenize(str(row["title"] or ""))
+            paper_words[row["pid"]] = words
+            if row["cid"] is not None:
+                conf_words.setdefault(row["cid"], []).extend(words)
+
+        author_words: Dict[object, List[str]] = {}
+        for row in db.table("writes").scan():
+            words = paper_words.get(row["pid"], [])
+            author_words.setdefault(row["aid"], []).extend(words)
+
+        self._author_pool: List[Tuple[str, List[str]]] = []
+        for row in db.table("authors").scan():
+            words = sorted(set(author_words.get(row["aid"], [])))
+            if words:
+                self._author_pool.append((str(row["name"]), words))
+
+        self._conf_pool: List[Tuple[str, List[str]]] = []
+        for row in db.table("conferences").scan():
+            words = sorted(set(conf_words.get(row["cid"], [])))
+            if words:
+                self._conf_pool.append((str(row["name"]), words))
+
+        self._paper_pool: List[Tuple[List[str], List[str]]] = []
+        for row in db.table("papers").scan():
+            own = sorted(set(paper_words.get(row["pid"], [])))
+            venue = sorted(
+                set(conf_words.get(row["cid"], []))
+            ) if row["cid"] is not None else own
+            if own:
+                self._paper_pool.append((own, venue or own))
+
+        if not self._author_pool or not self._paper_pool:
+            raise ReproError("corpus too small to build workloads")
+
+    # ------------------------------------------------------------------ #
+    # Figure 5 workload
+    # ------------------------------------------------------------------ #
+
+    def mixed_queries(self, count: int = 10) -> List[WorkloadQuery]:
+        """Mixed-format anchored queries: topical words plus author or
+        conference names, rotating through the formats the paper lists."""
+        rng = random.Random(self.seed * 7 + 1)
+        formats = (
+            ("title", 2),        # "knn uncertain"
+            ("author", 1),       # "christian s. jensen spatio-temporal"
+            ("title", 3),
+            ("conference", 1),
+            ("author", 2),
+        )
+        queries: List[WorkloadQuery] = []
+        for i in range(count):
+            anchor_kind, n_words = formats[i % len(formats)]
+            queries.append(self._anchored_query(anchor_kind, n_words, rng))
+        return queries
+
+    # ------------------------------------------------------------------ #
+    # Figures 7-10 workload
+    # ------------------------------------------------------------------ #
+
+    def length_varied_queries(
+        self,
+        count: int = 400,
+        min_len: int = 1,
+        max_len: int = 8,
+    ) -> List[WorkloadQuery]:
+        """*count* queries spread evenly over lengths min_len..max_len."""
+        if not 1 <= min_len <= max_len:
+            raise ReproError("invalid length bounds")
+        rng = random.Random(self.seed * 7 + 2)
+        lengths = list(range(min_len, max_len + 1))
+        queries: List[WorkloadQuery] = []
+        for i in range(count):
+            length = lengths[i % len(lengths)]
+            queries.append(self._random_query(length, rng))
+        return queries
+
+    def queries_of_length(
+        self, length: int, count: int
+    ) -> List[WorkloadQuery]:
+        """*count* queries all of the given length."""
+        rng = random.Random(self.seed * 7 + 3 + length)
+        return [self._random_query(length, rng) for _ in range(count)]
+
+    # ------------------------------------------------------------------ #
+    # Table III workload
+    # ------------------------------------------------------------------ #
+
+    def best_paper_queries(
+        self, count: int = 19, keywords_per_query: int = 3
+    ) -> List[WorkloadQuery]:
+        """Queries built from the distinctive keywords of sampled titles."""
+        rng = random.Random(self.seed * 7 + 4)
+        if count > len(self._titles):
+            raise ReproError(
+                f"corpus has only {len(self._titles)} papers, need {count}"
+            )
+        chosen = rng.sample(self._titles, count)
+        queries: List[WorkloadQuery] = []
+        for title in chosen:
+            words = self.analyzer.tokenize(title)
+            uniq: List[str] = []
+            for word in words:
+                if word not in uniq:
+                    uniq.append(word)
+            take = min(keywords_per_query, len(uniq))
+            keywords = tuple(rng.sample(uniq, take)) if take else ("data",)
+            queries.append(WorkloadQuery(keywords, ("title",) * len(keywords)))
+        return queries
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _anchored_query(
+        self, anchor_kind: str, n_words: int, rng: random.Random
+    ) -> WorkloadQuery:
+        """One query around an author/conference/title anchor."""
+        fields: List[str] = []
+        keywords: List[str] = []
+        if anchor_kind == "author":
+            name, pool = rng.choice(self._author_pool)
+            fields.append("author")
+            keywords.append(name)
+        elif anchor_kind == "conference":
+            name, pool = rng.choice(self._conf_pool)
+            fields.append("conference")
+            keywords.append(name)
+        elif anchor_kind == "title":
+            own, venue = rng.choice(self._paper_pool)
+            word = rng.choice(own)
+            fields.append("title")
+            keywords.append(word)
+            pool = [w for w in own if w != word] or venue
+        else:
+            raise ReproError(f"unknown anchor kind {anchor_kind!r}")
+
+        candidates = [w for w in pool if w not in keywords]
+        rng.shuffle(candidates)
+        for word in candidates[:n_words]:
+            fields.append("title")
+            keywords.append(word)
+        # Pad from the global vocabulary only if the anchor was too sparse.
+        while len(keywords) < 1 + n_words and len(keywords) < 1 + len(pool):
+            word = rng.choice(self._title_words)
+            if word not in keywords:
+                fields.append("title")
+                keywords.append(word)
+        return WorkloadQuery(tuple(keywords), tuple(fields))
+
+    def _random_query(self, length: int, rng: random.Random) -> WorkloadQuery:
+        """A length-*length* anchored query for the efficiency workloads."""
+        anchor_kind = rng.choices(
+            ("title", "author", "conference"), weights=(6, 2, 1)
+        )[0]
+        query = self._anchored_query(anchor_kind, length - 1, rng)
+        if len(query.keywords) >= length:
+            return WorkloadQuery(
+                query.keywords[:length], query.fields[:length]
+            )
+        # Sparse anchor: pad with global title words (still deduped).
+        keywords = list(query.keywords)
+        fields = list(query.fields)
+        attempts = 0
+        while len(keywords) < length and attempts < length * 20:
+            attempts += 1
+            word = rng.choice(self._title_words)
+            if word not in keywords:
+                keywords.append(word)
+                fields.append("title")
+        return WorkloadQuery(tuple(keywords), tuple(fields))

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the storage, indexing, graph and
+reformulation layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition (duplicate columns, bad references, ...)."""
+
+
+class IntegrityError(ReproError):
+    """A tuple violates a schema constraint (missing PK, dangling FK, ...)."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the database."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in a table."""
+
+
+class DuplicateKeyError(IntegrityError):
+    """Primary key already present in the table."""
+
+
+class IndexError_(ReproError):
+    """Inverted-index failure (unknown field, empty analyzer output, ...)."""
+
+
+class GraphError(ReproError):
+    """TAT-graph construction or traversal failure."""
+
+
+class UnknownNodeError(GraphError):
+    """A node id is not present in the graph."""
+
+
+class ConvergenceError(GraphError):
+    """Random walk failed to converge within the iteration budget."""
+
+
+class ReformulationError(ReproError):
+    """Online query-generation failure."""
+
+
+class EmptyCandidateError(ReformulationError):
+    """A query term has no candidate states at all (not even itself)."""

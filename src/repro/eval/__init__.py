@@ -1,0 +1,51 @@
+"""Evaluation: metrics, simulated judges and timing harness."""
+
+from repro.eval.agreement import (
+    AgreementReport,
+    fleiss_kappa,
+    panel_agreement,
+    raw_agreement,
+)
+from repro.eval.judge import JudgeConfig, JudgePanel, RelevanceJudge
+from repro.eval.significance import (
+    BootstrapResult,
+    paired_bootstrap,
+    per_query_precision,
+)
+from repro.eval.metrics import (
+    QualityReport,
+    ResultQualityEvaluator,
+    mean_precision_at,
+    merge_reports,
+    precision_at,
+    precision_curve,
+)
+from repro.eval.timing import (
+    TimingStats,
+    grouped_timings,
+    measure,
+    measure_many,
+)
+
+__all__ = [
+    "AgreementReport",
+    "fleiss_kappa",
+    "panel_agreement",
+    "raw_agreement",
+    "BootstrapResult",
+    "paired_bootstrap",
+    "per_query_precision",
+    "JudgeConfig",
+    "JudgePanel",
+    "RelevanceJudge",
+    "QualityReport",
+    "ResultQualityEvaluator",
+    "mean_precision_at",
+    "merge_reports",
+    "precision_at",
+    "precision_curve",
+    "TimingStats",
+    "grouped_timings",
+    "measure",
+    "measure_many",
+]

@@ -1,0 +1,150 @@
+"""Simulated relevance judges for Figure 5.
+
+The paper asked three human evaluators to judge whether each reformulated
+query is relevant to the original ("the similarity and semantic closeness
+of reformulated ones with respect to the input query").  We replace the
+humans with judges that consult the *latent topic assignments* of the
+synthetic corpus — information the reformulation pipeline never sees:
+
+* a substituted term is acceptable when it shares a latent topic (or a
+  declared related topic) with the term it replaced;
+* the whole query must be *cohesive*: it still has at least one joined
+  keyword-search result in the database.
+
+To mirror the paper's three-evaluator setup, a panel of three judges with
+slightly different strictness votes, and the majority decides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.scoring import ScoredQuery
+from repro.data.dblp_synth import GroundTruth
+from repro.errors import ReproError
+from repro.search.keyword import KeywordSearchEngine
+
+
+@dataclass(frozen=True)
+class JudgeConfig:
+    """Strictness knobs of one judge."""
+
+    #: require every substituted term to be topic-compatible
+    require_all_terms: bool = True
+    #: require the reformulated query to have non-empty search results
+    require_cohesion: bool = True
+    #: minimum fraction of topic-compatible substitutions (used when
+    #: require_all_terms is False)
+    min_term_fraction: float = 0.5
+
+
+class RelevanceJudge:
+    """One simulated evaluator."""
+
+    def __init__(
+        self,
+        ground_truth: GroundTruth,
+        search: Optional[KeywordSearchEngine] = None,
+        config: Optional[JudgeConfig] = None,
+    ) -> None:
+        self.ground_truth = ground_truth
+        self.search = search
+        self.config = config or JudgeConfig()
+
+    def is_relevant(
+        self, original: Sequence[str], reformulated: ScoredQuery
+    ) -> bool:
+        """Judge one reformulated query against the original."""
+        new_terms = list(reformulated.terms)
+        if len(new_terms) != len(original):
+            raise ReproError(
+                "reformulated query has different positional length than input"
+            )
+        query_topics = set()
+        for term in original:
+            query_topics |= self.ground_truth.topics_of_term(term)
+        verdicts: List[bool] = []
+        for old, new in zip(original, new_terms):
+            if new is None:
+                continue  # deleted term: judged by cohesion only
+            verdicts.append(self._term_verdict(old, new, query_topics))
+        if not verdicts:
+            return False
+        if self.config.require_all_terms:
+            terms_ok = all(verdicts)
+        else:
+            terms_ok = (
+                sum(verdicts) / len(verdicts) >= self.config.min_term_fraction
+            )
+        if not terms_ok:
+            return False
+        if self.config.require_cohesion and self.search is not None:
+            return self.search.is_cohesive(list(reformulated.keywords))
+        return True
+
+    def _term_verdict(self, old: str, new: str, query_topics) -> bool:
+        """Judge one substitution.
+
+        A topical original term must be replaced by a topic-compatible
+        term.  A *topic-free* original (filler like "scalable", or an
+        out-of-vocabulary word) carries no intent of its own, so its
+        replacement is judged against the query's overall topics instead:
+        acceptable when the new term is filler too or fits the query.
+        """
+        if old == new:
+            return True
+        old_topics = self.ground_truth.topics_of_term(old)
+        new_topics = self.ground_truth.topics_of_term(new)
+        if old_topics:
+            return self.ground_truth.terms_relevant(old, new)
+        if not new_topics:
+            return True  # filler swapped for filler
+        if not query_topics:
+            return True  # fully generic query: anything goes
+        model = self.ground_truth.topic_model
+        return any(
+            model.topics_related(qt, nt)
+            for qt in query_topics
+            for nt in new_topics
+        )
+
+
+class JudgePanel:
+    """Three judges, majority vote — the paper's evaluator setup."""
+
+    def __init__(
+        self,
+        ground_truth: GroundTruth,
+        search: Optional[KeywordSearchEngine] = None,
+    ) -> None:
+        self.judges = [
+            RelevanceJudge(ground_truth, search, JudgeConfig()),
+            RelevanceJudge(
+                ground_truth,
+                search,
+                JudgeConfig(require_all_terms=False, min_term_fraction=0.67),
+            ),
+            RelevanceJudge(
+                ground_truth,
+                search,
+                JudgeConfig(require_cohesion=False),
+            ),
+        ]
+
+    def is_relevant(
+        self, original: Sequence[str], reformulated: ScoredQuery
+    ) -> bool:
+        """Majority vote of the three judges."""
+        votes = sum(
+            1
+            for judge in self.judges
+            if judge.is_relevant(original, reformulated)
+        )
+        return votes * 2 > len(self.judges)
+
+    def judge_ranking(
+        self, original: Sequence[str], ranking: Sequence[ScoredQuery]
+    ) -> List[bool]:
+        """Relevance verdict for each ranked reformulation, in order."""
+        return [self.is_relevant(original, q) for q in ranking]

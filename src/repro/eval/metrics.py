@@ -1,0 +1,154 @@
+"""Evaluation metrics of Section VI.
+
+* **Precision@N** (Figure 5): fraction of the top-N reformulations judged
+  relevant, averaged over the query set;
+* **Result size** (Table III): average number of keyword-search results of
+  the top-10 reformulations;
+* **Query distance** (Table III): average shortest-path TAT-graph distance
+  between corresponding term pairs of the original and reformulated query
+  — the diversity indicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReproError, UnknownNodeError
+from repro.graph.closeness import ClosenessExtractor
+from repro.graph.tat import TATGraph
+from repro.search.keyword import KeywordSearchEngine
+
+
+def precision_at(verdicts: Sequence[bool], n: int) -> float:
+    """Precision@n for one ranked verdict list.
+
+    When fewer than *n* results were returned, the missing tail counts as
+    irrelevant (the system failed to produce enough suggestions).
+    """
+    if n < 1:
+        raise ReproError("n must be >= 1")
+    top = list(verdicts[:n])
+    return sum(top) / n
+
+
+def mean_precision_at(
+    all_verdicts: Sequence[Sequence[bool]], n: int
+) -> float:
+    """Average Precision@n over a query set."""
+    if not all_verdicts:
+        raise ReproError("empty verdict set")
+    return sum(precision_at(v, n) for v in all_verdicts) / len(all_verdicts)
+
+
+def precision_curve(
+    all_verdicts: Sequence[Sequence[bool]],
+    positions: Sequence[int] = (1, 3, 5, 7, 10),
+) -> Dict[int, float]:
+    """The Figure 5 curve: Precision@N at the paper's rank positions."""
+    return {n: mean_precision_at(all_verdicts, n) for n in positions}
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Table III row for one method."""
+
+    method: str
+    result_size: float
+    query_distance: float
+
+
+class ResultQualityEvaluator:
+    """Computes the Table III metrics for ranked reformulations."""
+
+    def __init__(
+        self,
+        graph: TATGraph,
+        search: KeywordSearchEngine,
+        distance_extractor: Optional[ClosenessExtractor] = None,
+    ) -> None:
+        self.graph = graph
+        self.search = search
+        # Wide, deep extractor: distances need reach more than speed.
+        self.distance = distance_extractor or ClosenessExtractor(
+            graph, max_depth=6, beam_width=None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Table III metrics
+    # ------------------------------------------------------------------ #
+
+    def result_size(self, queries: Sequence[ScoredQuery]) -> float:
+        """Average search-result count over reformulated queries."""
+        if not queries:
+            return 0.0
+        total = sum(
+            self.search.result_size(list(q.keywords)) for q in queries
+        )
+        return total / len(queries)
+
+    def query_distance(
+        self, original: Sequence[str], queries: Sequence[ScoredQuery]
+    ) -> float:
+        """Average TAT shortest-path distance of corresponding term pairs.
+
+        Identical terms have distance 0; unreachable or unresolvable pairs
+        fall back to the extractor's max depth + 1 (they are "far").
+        """
+        if not queries:
+            return 0.0
+        far = self.distance.max_depth + 1
+        pair_distances: List[float] = []
+        for query in queries:
+            for old, new in zip(original, query.terms):
+                if new is None:
+                    continue
+                if old == new:
+                    pair_distances.append(0.0)
+                    continue
+                d = self._term_distance(old, new)
+                pair_distances.append(float(d) if d is not None else float(far))
+        if not pair_distances:
+            return 0.0
+        return sum(pair_distances) / len(pair_distances)
+
+    def report(
+        self,
+        method: str,
+        original: Sequence[str],
+        queries: Sequence[ScoredQuery],
+    ) -> QualityReport:
+        """Both Table III metrics as one QualityReport row."""
+        return QualityReport(
+            method=method,
+            result_size=self.result_size(queries),
+            query_distance=self.query_distance(original, queries),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _term_distance(self, a: str, b: str) -> Optional[int]:
+        try:
+            node_a = self.graph.resolve_text_one(a)
+            node_b = self.graph.resolve_text_one(b)
+        except UnknownNodeError:
+            return None
+        return self.distance.distance(node_a, node_b)
+
+
+def merge_reports(reports: Sequence[QualityReport]) -> QualityReport:
+    """Average several per-query reports of the same method into one row."""
+    if not reports:
+        raise ReproError("no reports to merge")
+    methods = {r.method for r in reports}
+    if len(methods) != 1:
+        raise ReproError(f"cannot merge different methods: {sorted(methods)}")
+    n = len(reports)
+    return QualityReport(
+        method=reports[0].method,
+        result_size=sum(r.result_size for r in reports) / n,
+        query_distance=sum(r.query_distance for r in reports) / n,
+    )

@@ -1,0 +1,78 @@
+"""Statistical significance for method comparisons.
+
+The paper reports mean Precision@N without significance tests; a careful
+redo should say whether "TAT > baseline" survives query-sampling noise.
+This module implements the standard **paired bootstrap** over per-query
+precision scores: resample the query set with replacement many times and
+count how often the mean difference favors the treatment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of one paired bootstrap comparison."""
+
+    mean_difference: float    # treatment − baseline, observed
+    p_value: float            # P(difference <= 0) under resampling
+    n_queries: int
+    n_resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05, one-sided."""
+        return self.p_value < 0.05
+
+
+def paired_bootstrap(
+    treatment: Sequence[float],
+    baseline: Sequence[float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapResult:
+    """One-sided paired bootstrap: is the treatment's mean truly higher?
+
+    *treatment* and *baseline* hold one score per query, aligned — e.g.
+    per-query Precision@10 of two methods on the same workload.
+    """
+    if len(treatment) != len(baseline):
+        raise ReproError("paired samples must align")
+    if not treatment:
+        raise ReproError("no samples")
+    if n_resamples < 1:
+        raise ReproError("n_resamples must be >= 1")
+
+    differences = [t - b for t, b in zip(treatment, baseline)]
+    n = len(differences)
+    observed = sum(differences) / n
+
+    rng = random.Random(seed)
+    not_better = 0
+    for _ in range(n_resamples):
+        resampled = sum(
+            differences[rng.randrange(n)] for _ in range(n)
+        ) / n
+        if resampled <= 0:
+            not_better += 1
+    return BootstrapResult(
+        mean_difference=observed,
+        p_value=not_better / n_resamples,
+        n_queries=n,
+        n_resamples=n_resamples,
+    )
+
+
+def per_query_precision(
+    verdict_lists: Sequence[Sequence[bool]], n: int
+) -> List[float]:
+    """Per-query Precision@n vector (the bootstrap's sample unit)."""
+    from repro.eval.metrics import precision_at
+
+    return [precision_at(v, n) for v in verdict_lists]

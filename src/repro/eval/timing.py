@@ -1,0 +1,79 @@
+"""Timing harness utilities for the efficiency experiments (Fig 7-10).
+
+Wraps repeated measurements with warmup, returns simple statistics, and
+groups measurements by a workload attribute (e.g. query length) the way
+the paper's figures bucket their x-axes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary statistics of one measured group (seconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    total: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "TimingStats":
+        """Summarize a non-empty list of second-samples."""
+        if not samples:
+            raise ReproError("no timing samples")
+        return TimingStats(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+            total=sum(samples),
+        )
+
+
+def measure(fn: Callable[[], T]) -> Tuple[float, T]:
+    """One wall-clock measurement of *fn*; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def measure_many(
+    fn: Callable[[], T], repeats: int = 3, warmup: int = 1
+) -> TimingStats:
+    """Repeat *fn* with warmup rounds excluded from the statistics."""
+    if repeats < 1:
+        raise ReproError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = [measure(fn)[0] for _ in range(repeats)]
+    return TimingStats.from_samples(samples)
+
+
+def grouped_timings(
+    items: Iterable[T],
+    key: Callable[[T], int],
+    run: Callable[[T], None],
+) -> Dict[int, TimingStats]:
+    """Measure ``run(item)`` for every item, bucketing samples by *key*.
+
+    This is the Figure 7/8 shape: items are workload queries, the key is
+    the query length, the result maps length -> timing stats.
+    """
+    samples: Dict[int, List[float]] = {}
+    for item in items:
+        seconds, _ = measure(lambda it=item: run(it))
+        samples.setdefault(key(item), []).append(seconds)
+    return {
+        group: TimingStats.from_samples(vals)
+        for group, vals in sorted(samples.items())
+    }

@@ -1,0 +1,22 @@
+"""Experiment drivers: one module per paper table/figure, plus ablations.
+
+Each module exposes ``run(context=None, **params)`` returning a typed
+report and ``main()`` printing a formatted table; the ``benchmarks/``
+directory wraps the same ``run`` functions in pytest-benchmark fixtures.
+"""
+
+from repro.experiments.common import (
+    ExperimentContext,
+    SCALES,
+    build_context,
+    clear_cache,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "SCALES",
+    "build_context",
+    "clear_cache",
+    "format_table",
+]

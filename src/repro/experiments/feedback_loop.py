@@ -1,0 +1,148 @@
+"""Feedback-loop experiment (future-work extension, quantitative).
+
+Trains the :class:`~repro.extensions.feedback.FeedbackAdaptor` on a
+simulated interaction log and measures what the paper's future work asks
+about: does interaction data improve the suggestions?
+
+Protocol:
+
+1. a baseline pipeline answers a training workload; a simulated searcher
+   accepts/rejects suggestions conditioned on ground-truth relevance;
+2. the adaptor ingests the log;
+3. a held-out evaluation workload is answered by the adapted pipeline and
+   the baseline; both are scored with Precision@k by the judge panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.data.sessions import SessionSimulator
+from repro.eval.metrics import precision_curve
+from repro.extensions.feedback import FeedbackAdaptor
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    format_table,
+)
+
+
+@dataclass(frozen=True)
+class FeedbackLoopReport:
+    """Precision with/without feedback, on recurring and held-out queries.
+
+    Feedback helps where query logs help in practice: on *recurring*
+    queries (the ones the log was collected from).  Held-out queries are
+    reported as the generalization check — at our corpus scale the
+    held-out delta hovers around zero.
+    """
+
+    recurring_baseline: float
+    recurring_adapted: float
+    heldout_baseline: float
+    heldout_adapted: float
+    training_interactions: int
+    training_accepts: int
+    boost_count: int
+    k: int
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    n_train_queries: int = 20,
+    n_eval_queries: int = 10,
+    k: int = 10,
+    learning_rate: float = 1.0,
+    seed: int = 99,
+) -> FeedbackLoopReport:
+    """Train on a simulated log; measure precision with/without it."""
+    context = context or build_context()
+    baseline = context.reformulator("tat")
+
+    adaptor = FeedbackAdaptor(
+        context.graph,
+        similarity=baseline.similarity,
+        closeness=baseline.closeness,
+        learning_rate=learning_rate,
+    )
+    adapted = Reformulator(
+        context.graph,
+        ReformulatorConfig(
+            method="tat", n_candidates=baseline.config.n_candidates
+        ),
+        similarity=adaptor,
+        closeness=adaptor,
+    )
+
+    # 1-2. simulate a training log over the *adapted* pipeline and learn.
+    train_queries = context.workloads.mixed_queries(n_train_queries)
+    simulator = SessionSimulator(
+        baseline, context.judges, inspect_top=5, seed=seed
+    )
+    log = simulator.run(train_queries)
+    # Train on explicit signals only: an accept is a positive; a skip is
+    # NOT a rejection (the user may simply have clicked something else).
+    # Explicit negatives come from irrelevant suggestions the user
+    # inspected and passed over.
+    for interaction in log.interactions:
+        if interaction.accepted:
+            adaptor.record(
+                list(interaction.original),
+                interaction.suggestion,
+                accepted=True,
+            )
+        elif not interaction.relevant:
+            adaptor.record(
+                list(interaction.original),
+                interaction.suggestion,
+                accepted=False,
+            )
+
+    # 3. evaluate on the recurring (training) workload and on held-out
+    # queries drawn beyond it.
+    heldout_queries = context.workloads.mixed_queries(
+        n_train_queries + n_eval_queries
+    )[n_train_queries:]
+
+    def precision_of(reformulator, queries) -> float:
+        verdicts = []
+        for wq in queries:
+            keywords = list(wq.keywords)
+            ranked = reformulator.reformulate(keywords, k=k)
+            verdicts.append(context.judges.judge_ranking(keywords, ranked))
+        return precision_curve(verdicts, (k,))[k]
+
+    return FeedbackLoopReport(
+        recurring_baseline=precision_of(baseline, train_queries),
+        recurring_adapted=precision_of(adapted, train_queries),
+        heldout_baseline=precision_of(baseline, heldout_queries),
+        heldout_adapted=precision_of(adapted, heldout_queries),
+        training_interactions=len(log),
+        training_accepts=len(log.accepted),
+        boost_count=adaptor.boost_count,
+        k=k,
+    )
+
+
+def main() -> None:
+    """Print the feedback-loop report."""
+    report = run()
+    print("Feedback-loop experiment\n")
+    print(format_table(
+        ["measure", "value"],
+        [
+            [f"recurring baseline P@{report.k}", report.recurring_baseline],
+            [f"recurring adapted P@{report.k}", report.recurring_adapted],
+            [f"held-out baseline P@{report.k}", report.heldout_baseline],
+            [f"held-out adapted P@{report.k}", report.heldout_adapted],
+            ["training interactions", report.training_interactions],
+            ["accepted", report.training_accepts],
+            ["learned boosts", report.boost_count],
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Figure 8 — Algorithm 3 stage breakdown by query length.
+
+The improved algorithm has two stages: the Viterbi initialization (which
+computes the admissible completion scores) and the A* best-first search.
+The paper reports both stage times per query length and observes the
+Viterbi stage dominates, with total time under interactive thresholds even
+at length 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.astar import astar_topk
+from repro.eval.timing import TimingStats
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    format_table,
+)
+
+
+@dataclass(frozen=True)
+class StageBreakdownReport:
+    """Per query length: mean seconds of each Algorithm 3 stage."""
+
+    viterbi_by_length: Dict[int, TimingStats]
+    astar_by_length: Dict[int, TimingStats]
+    k: int
+
+    def total_mean(self, length: int) -> float:
+        """Mean total (viterbi + A*) seconds at one length."""
+        return (
+            self.viterbi_by_length[length].mean
+            + self.astar_by_length[length].mean
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    n_queries: int = 80,
+    max_len: int = 8,
+    k: int = 10,
+) -> StageBreakdownReport:
+    """Per-stage Alg 3 timings by query length (Figure 8)."""
+    context = context or build_context()
+    workload = context.workloads.length_varied_queries(
+        count=n_queries, min_len=1, max_len=max_len
+    )
+    reformulator = context.reformulator("tat")
+    viterbi_samples: Dict[int, List[float]] = {}
+    astar_samples: Dict[int, List[float]] = {}
+    for wq in workload:
+        hmm = reformulator.build_hmm(list(wq.keywords))
+        outcome = astar_topk(hmm, k)
+        length = len(wq.keywords)
+        viterbi_samples.setdefault(length, []).append(outcome.viterbi_seconds)
+        astar_samples.setdefault(length, []).append(outcome.astar_seconds)
+    return StageBreakdownReport(
+        viterbi_by_length={
+            length: TimingStats.from_samples(vals)
+            for length, vals in sorted(viterbi_samples.items())
+        },
+        astar_by_length={
+            length: TimingStats.from_samples(vals)
+            for length, vals in sorted(astar_samples.items())
+        },
+        k=k,
+    )
+
+
+def main() -> None:
+    """Print the Figure 8 table."""
+    report = run()
+    print(f"Figure 8 reproduction — Alg 3 stage times (k={report.k})\n")
+    rows = []
+    for length in sorted(report.viterbi_by_length):
+        rows.append([
+            length,
+            report.viterbi_by_length[length].mean * 1000,
+            report.astar_by_length[length].mean * 1000,
+            report.total_mean(length) * 1000,
+        ])
+    print(format_table(
+        ["query length", "viterbi ms", "a* ms", "total ms"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Figure 9 — time cost with the number of returned queries (k).
+
+Query length fixed at 6 (a "relative long query").  The Viterbi stage is
+independent of k (it always computes the full table); the A* stage grows
+linearly with k.  Both claims are checked by the bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.astar import astar_topk
+from repro.eval.timing import TimingStats
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    format_table,
+)
+
+DEFAULT_KS = (1, 5, 10, 20, 30, 40, 50)
+
+
+@dataclass(frozen=True)
+class TopkScalingReport:
+    """Per k: mean stage timings over the query sample."""
+
+    viterbi_by_k: Dict[int, TimingStats]
+    astar_by_k: Dict[int, TimingStats]
+    query_length: int
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    ks: Sequence[int] = DEFAULT_KS,
+    query_length: int = 6,
+    n_queries: int = 10,
+) -> TopkScalingReport:
+    """Stage timings across k at fixed query length (Figure 9)."""
+    context = context or build_context()
+    workload = context.workloads.queries_of_length(query_length, n_queries)
+    reformulator = context.reformulator("tat")
+    hmms = [reformulator.build_hmm(list(wq.keywords)) for wq in workload]
+
+    viterbi_by_k: Dict[int, TimingStats] = {}
+    astar_by_k: Dict[int, TimingStats] = {}
+    for k in ks:
+        v_samples: List[float] = []
+        a_samples: List[float] = []
+        for hmm in hmms:
+            outcome = astar_topk(hmm, k)
+            v_samples.append(outcome.viterbi_seconds)
+            a_samples.append(outcome.astar_seconds)
+        viterbi_by_k[k] = TimingStats.from_samples(v_samples)
+        astar_by_k[k] = TimingStats.from_samples(a_samples)
+    return TopkScalingReport(
+        viterbi_by_k=viterbi_by_k,
+        astar_by_k=astar_by_k,
+        query_length=query_length,
+    )
+
+
+def main() -> None:
+    """Print the Figure 9 table."""
+    report = run()
+    print(
+        "Figure 9 reproduction — time vs k "
+        f"(query length {report.query_length})\n"
+    )
+    rows = [
+        [
+            k,
+            report.viterbi_by_k[k].mean * 1000,
+            report.astar_by_k[k].mean * 1000,
+        ]
+        for k in sorted(report.viterbi_by_k)
+    ]
+    print(format_table(["k", "viterbi ms", "a* ms"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Extensions implementing the paper's future-work directions.
+
+* :mod:`repro.extensions.faceted` — "exploit the reformulated queries to
+  support ad hoc faceted retrieval over structured data";
+* :mod:`repro.extensions.feedback` — "the user interaction and feedback
+  analysis on this new kind of query reformulation".
+"""
+
+from repro.extensions.faceted import Facet, FacetedSuggester, FacetEntry
+from repro.extensions.feedback import FeedbackAdaptor, FeedbackEvent
+
+__all__ = [
+    "Facet",
+    "FacetEntry",
+    "FacetedSuggester",
+    "FeedbackAdaptor",
+    "FeedbackEvent",
+]

@@ -1,0 +1,182 @@
+"""Faceted query exploration (the paper's future-work direction).
+
+"We could also exploit the reformulated queries to support ad hoc faceted
+retrieval over structured data, which is more intuitive and user
+friendly."  (Section VII)
+
+A facet here is one *axis of substitution*: fixing all but one query
+position to the original terms and reformulating the free position yields
+a ranked list of drill-sideways alternatives for exactly that keyword,
+each annotated with its result coverage.  A per-field facet additionally
+groups alternatives by the database field they come from (title word vs
+author vs venue), which is the "ad hoc facet" a UI would render as
+selectable filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.candidates import CandidateState, StateKind
+from repro.core.hmm import ReformulationHMM
+from repro.core.reformulator import Reformulator
+from repro.core.viterbi import viterbi_topk
+from repro.errors import ReformulationError
+from repro.search.keyword import KeywordSearchEngine
+
+
+@dataclass(frozen=True)
+class FacetEntry:
+    """One alternative inside a facet."""
+
+    query_text: str
+    substituted: str           # the new term at the facet's position
+    score: float
+    result_count: Optional[int]  # None when no search engine was supplied
+
+
+@dataclass(frozen=True)
+class Facet:
+    """A ranked substitution axis for one query position."""
+
+    position: int
+    original: str
+    field_label: str           # e.g. "papers.title", "authors.name"
+    entries: Tuple[FacetEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class FacetedSuggester:
+    """Derives per-position facets from a configured reformulator.
+
+    Parameters
+    ----------
+    reformulator:
+        The online pipeline (any method).
+    search:
+        Optional keyword search engine; when given, every facet entry is
+        annotated with its result count (and zero-coverage entries are
+        dropped — a facet option that matches nothing is a dead end).
+    """
+
+    def __init__(
+        self,
+        reformulator: Reformulator,
+        search: Optional[KeywordSearchEngine] = None,
+    ) -> None:
+        self.reformulator = reformulator
+        self.search = search
+
+    # ------------------------------------------------------------------ #
+    # facet construction
+    # ------------------------------------------------------------------ #
+
+    def facet_for_position(
+        self,
+        keywords: Sequence[str],
+        position: int,
+        k: int = 5,
+    ) -> Facet:
+        """The substitution facet for one query position.
+
+        All other positions are pinned to their original terms, so the
+        HMM's closeness factor ranks the alternatives by how well they
+        cohere with the *rest of the query as given*.
+        """
+        keywords = list(keywords)
+        if not 0 <= position < len(keywords):
+            raise ReformulationError(
+                f"position {position} out of range for {len(keywords)} terms"
+            )
+        states = self.reformulator.candidates.build(keywords)
+        pinned: List[List[CandidateState]] = []
+        for i, state_list in enumerate(states):
+            if i == position:
+                pinned.append(state_list)
+            else:
+                pinned.append([_pin_original(state_list, keywords[i])])
+        hmm = ReformulationHMM.build(
+            query=keywords,
+            states=pinned,
+            closeness=self.reformulator.closeness,
+            frequency=self.reformulator.frequency,
+            smoothing_lambda=self.reformulator.config.smoothing_lambda,
+        )
+        # ask for extra paths: the identity path and dead entries drop out
+        raw = viterbi_topk(hmm, k + 2)
+        entries: List[FacetEntry] = []
+        for query in raw:
+            substituted = query.terms[position]
+            if substituted is None or substituted == keywords[position]:
+                continue
+            count: Optional[int] = None
+            if self.search is not None:
+                count = self.search.result_size(list(query.keywords))
+                if count == 0:
+                    continue
+            entries.append(FacetEntry(
+                query_text=query.text,
+                substituted=substituted,
+                score=query.score,
+                result_count=count,
+            ))
+            if len(entries) >= k:
+                break
+        return Facet(
+            position=position,
+            original=keywords[position],
+            field_label=self._field_label(keywords[position]),
+            entries=tuple(entries),
+        )
+
+    def facets(self, keywords: Sequence[str], k: int = 5) -> List[Facet]:
+        """One facet per query position, in position order."""
+        return [
+            self.facet_for_position(keywords, position, k)
+            for position in range(len(keywords))
+        ]
+
+    def field_facets(
+        self, keywords: Sequence[str], k: int = 5
+    ) -> Dict[str, List[FacetEntry]]:
+        """Facet entries regrouped by the substituting term's field."""
+        grouped: Dict[str, List[FacetEntry]] = {}
+        for facet in self.facets(keywords, k):
+            for entry in facet.entries:
+                label = self._field_label(entry.substituted)
+                grouped.setdefault(label, []).append(entry)
+        for entries in grouped.values():
+            entries.sort(key=lambda e: -e.score)
+        return grouped
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _field_label(self, text: str) -> str:
+        from repro.errors import UnknownNodeError
+
+        graph = self.reformulator.graph
+        try:
+            node = graph.node(graph.resolve_text_one(text))
+        except UnknownNodeError:
+            return "unknown"
+        table, column = node.payload.field
+        return f"{table}.{column}"
+
+
+def _pin_original(
+    state_list: List[CandidateState], keyword: str
+) -> CandidateState:
+    """The original-term state of a candidate list (synthesized if the
+    list was built without originals)."""
+    for state in state_list:
+        if state.kind is StateKind.ORIGINAL:
+            return state
+    for state in state_list:
+        if state.text == keyword:
+            return state
+    return CandidateState(StateKind.ORIGINAL, None, keyword, 1.0)

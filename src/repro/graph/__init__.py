@@ -1,0 +1,34 @@
+"""TAT graph, random walks, similarity and closeness extraction."""
+
+from repro.graph.adjacency import Adjacency, AdjacencyBuilder
+from repro.graph.closeness import ClosenessExtractor, PathInfo
+from repro.graph.context import ContextEntry, ContextualPreference
+from repro.graph.cooccurrence import CooccurrenceSimilarity
+from repro.graph.nodes import Node, NodeClass, NodeKind, NodeRegistry
+from repro.graph.randomwalk import RandomWalkEngine, WalkResult
+from repro.graph.similarity import SimilarityExtractor, SimilarNode
+from repro.graph.tat import TATGraph
+from repro.graph.viz import EgoNetwork, ego_network, render_text, to_dot
+
+__all__ = [
+    "Adjacency",
+    "AdjacencyBuilder",
+    "ClosenessExtractor",
+    "PathInfo",
+    "ContextEntry",
+    "ContextualPreference",
+    "CooccurrenceSimilarity",
+    "Node",
+    "NodeClass",
+    "NodeKind",
+    "NodeRegistry",
+    "RandomWalkEngine",
+    "WalkResult",
+    "SimilarityExtractor",
+    "SimilarNode",
+    "TATGraph",
+    "EgoNetwork",
+    "ego_network",
+    "render_text",
+    "to_dot",
+]

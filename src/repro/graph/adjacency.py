@@ -1,0 +1,112 @@
+"""Weighted sparse adjacency for the TAT graph.
+
+Edges are accumulated in COO form during construction and frozen into a
+``scipy.sparse`` CSR matrix plus its column-stochastic transition matrix,
+which is what the random-walk engine iterates (Eq 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import GraphError
+
+
+class AdjacencyBuilder:
+    """Accumulates undirected weighted edges, then freezes to CSR."""
+
+    def __init__(self) -> None:
+        self._weights: Dict[Tuple[int, int], float] = {}
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or accumulate onto) the undirected edge u—v."""
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        if u == v:
+            raise GraphError(f"self loop on node {u} not allowed")
+        key = (u, v) if u < v else (v, u)
+        self._weights[key] = self._weights.get(key, 0.0) + weight
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def freeze(self, n_nodes: int) -> "Adjacency":
+        """Build the symmetric CSR adjacency over *n_nodes* nodes."""
+        if not self._weights:
+            matrix = sparse.csr_matrix((n_nodes, n_nodes), dtype=np.float64)
+            return Adjacency(matrix)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for (u, v), w in self._weights.items():
+            if u >= n_nodes or v >= n_nodes:
+                raise GraphError(
+                    f"edge ({u},{v}) out of range for {n_nodes} nodes"
+                )
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((w, w))
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(n_nodes, n_nodes), dtype=np.float64
+        )
+        return Adjacency(matrix)
+
+
+class Adjacency:
+    """Frozen symmetric weighted adjacency with cached transition matrix."""
+
+    def __init__(self, matrix: sparse.csr_matrix) -> None:
+        if matrix.shape[0] != matrix.shape[1]:
+            raise GraphError(f"adjacency must be square, got {matrix.shape}")
+        self.matrix = matrix
+        self._transition: sparse.csr_matrix = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (matrix dimension)."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.matrix.nnz) // 2
+
+    def degree(self, node_id: int) -> float:
+        """Weighted degree of one node."""
+        start, end = self.matrix.indptr[node_id], self.matrix.indptr[node_id + 1]
+        return float(self.matrix.data[start:end].sum())
+
+    def neighbors(self, node_id: int) -> Iterator[Tuple[int, float]]:
+        """(neighbor_id, weight) pairs of one node."""
+        start, end = self.matrix.indptr[node_id], self.matrix.indptr[node_id + 1]
+        for idx in range(start, end):
+            yield int(self.matrix.indices[idx]), float(self.matrix.data[idx])
+
+    def neighbor_ids(self, node_id: int) -> np.ndarray:
+        """Neighbor ids of one node as an array."""
+        start, end = self.matrix.indptr[node_id], self.matrix.indptr[node_id + 1]
+        return self.matrix.indices[start:end]
+
+    def transition_matrix(self) -> sparse.csr_matrix:
+        """Column-stochastic transition matrix ``T`` with ``T[i,j] =
+        w(j,i)/deg(j)``: a walker at node j moves to neighbor i with
+        probability proportional to the edge weight.
+
+        Columns of isolated nodes are all-zero; the walk engine handles the
+        leaked mass by renormalizing against the preference vector (the
+        standard dangling-node treatment).
+        """
+        if self._transition is None:
+            degrees = np.asarray(self.matrix.sum(axis=0)).ravel()
+            inv = np.divide(
+                1.0,
+                degrees,
+                out=np.zeros_like(degrees),
+                where=degrees > 0,
+            )
+            # Column-normalize: scale column j by 1/deg(j).
+            self._transition = (self.matrix @ sparse.diags(inv)).tocsr()
+        return self._transition

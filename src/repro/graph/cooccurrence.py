@@ -1,0 +1,101 @@
+"""Frequent co-occurrence similarity — the paper's baseline [15].
+
+Two terms are similar in proportion to how often they appear together in
+the same tuple.  The paper uses this as the comparison point for both the
+similar-term case study (Table II) and the "Co-occurrence reformulation"
+baseline of Figure 5: the reformulation pipeline is identical, only this
+similarity replaces the contextual random walk.
+
+Scores are normalized per source term so they can be plugged into the HMM
+emission matrix exactly like walk scores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.similarity import SimilarNode
+from repro.graph.tat import TATGraph
+from repro.index.stats import CorpusStats
+
+
+class CooccurrenceSimilarity:
+    """Tuple-level co-occurrence counts as a similarity measure.
+
+    Implements the same interface as
+    :class:`~repro.graph.similarity.SimilarityExtractor` (``similar_nodes``,
+    ``similarity``, ``similar_terms``) so the two are interchangeable in
+    the reformulation pipeline.
+    """
+
+    def __init__(self, graph: TATGraph) -> None:
+        self.graph = graph
+        self.stats = CorpusStats(graph.index)
+        self._cache: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # core
+    # ------------------------------------------------------------------ #
+
+    def _scores_from(self, node_id: int) -> Dict[int, float]:
+        """Normalized same-class co-occurrence scores from one term node."""
+        cached = self._cache.get(node_id)
+        if cached is not None:
+            return cached
+        node = self.graph.node(node_id)
+        if node.text is None:
+            raise GraphError(
+                "co-occurrence similarity is defined on term nodes only"
+            )
+        counts = self.stats.cooccurrence_counts(node.payload)
+        node_class = self.graph.class_of(node_id)
+        raw: Dict[int, float] = {}
+        for other_term, count in counts.items():
+            if other_term.field != node_class:
+                continue
+            other_id = self.graph.term_node_id(other_term)
+            raw[other_id] = float(count)
+        total = sum(raw.values())
+        scores = (
+            {nid: c / total for nid, c in raw.items()} if total > 0 else {}
+        )
+        self._cache[node_id] = scores
+        return scores
+
+    def similar_nodes(self, node_id: int, top_n: int = 10) -> List[SimilarNode]:
+        """Top-*top_n* co-occurring same-class term nodes."""
+        if top_n < 1:
+            raise GraphError("top_n must be >= 1")
+        scores = self._scores_from(node_id)
+        candidates = [
+            SimilarNode(other, score) for other, score in scores.items()
+        ]
+        candidates.sort(key=lambda s: (-s.score, s.node_id))
+        return candidates[:top_n]
+
+    def similarity(self, node_a: int, node_b: int) -> float:
+        """Normalized co-occurrence of b in a's list (0 if absent)."""
+        return self._scores_from(node_a).get(node_b, 0.0)
+
+    def similar_terms(self, text: str, top_n: int = 10) -> List[Tuple[str, float]]:
+        """Similar terms for a raw keyword, as (text, score)."""
+        node_id = self.graph.resolve_text_one(text)
+        result = []
+        for sim in self.similar_nodes(node_id, top_n):
+            node = self.graph.node(sim.node_id)
+            result.append((node.text or str(node), sim.score))
+        return result
+
+    def precompute(self, node_ids: List[int]) -> None:
+        """Warm the per-node score cache."""
+        for node_id in node_ids:
+            self._scores_from(node_id)
+
+    def cache_size(self) -> int:
+        """Number of cached source nodes."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all cached scores."""
+        self._cache.clear()

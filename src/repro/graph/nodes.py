@@ -1,0 +1,146 @@
+"""Node identity for the term-augmented tuple graph.
+
+The TAT graph mixes two node kinds (Definition 5):
+
+* **tuple nodes**, one per database tuple, identified by ``(table, pk)``;
+* **term nodes**, one per field term, identified by ``(table, field, text)``.
+
+Random walks and sparse matrices want dense integer ids, so the
+:class:`NodeRegistry` assigns a stable integer to every node and remembers
+each node's *class* — the table for tuples, the field for terms.  Similar-
+node extraction is restricted to the starting node's class (Section IV-B:
+"we only extract similar nodes belonging to same classes of the initial
+node").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import UnknownNodeError
+from repro.index.inverted import FieldTerm
+from repro.storage.database import TupleRef
+
+
+class NodeKind(enum.Enum):
+    """The two node families of the TAT graph."""
+
+    TUPLE = "tuple"
+    TERM = "term"
+
+
+#: Class label of a node: the table name for tuples, the ``(table, field)``
+#: pair for terms.  Nodes are "similar" only within one class.
+NodeClass = Union[str, Tuple[str, str]]
+
+#: Payload carried by a node.
+NodePayload = Union[TupleRef, FieldTerm]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A TAT-graph node: kind plus payload."""
+
+    kind: NodeKind
+    payload: NodePayload
+
+    @staticmethod
+    def for_tuple(ref: TupleRef) -> "Node":
+        """Wrap a tuple ref as a TAT node."""
+        return Node(NodeKind.TUPLE, ref)
+
+    @staticmethod
+    def for_term(term: FieldTerm) -> "Node":
+        """Wrap a field term as a TAT node."""
+        return Node(NodeKind.TERM, term)
+
+    @property
+    def node_class(self) -> NodeClass:
+        """Table name for tuples, (table, field) for terms."""
+        if self.kind is NodeKind.TUPLE:
+            table, _pk = self.payload  # type: ignore[misc]
+            return table
+        return self.payload.field  # type: ignore[union-attr]
+
+    @property
+    def text(self) -> Optional[str]:
+        """The term text for term nodes, None for tuple nodes."""
+        if self.kind is NodeKind.TERM:
+            return self.payload.text  # type: ignore[union-attr]
+        return None
+
+    def __str__(self) -> str:
+        if self.kind is NodeKind.TUPLE:
+            table, pk = self.payload  # type: ignore[misc]
+            return f"{table}#{pk}"
+        return str(self.payload)
+
+
+class NodeRegistry:
+    """Bidirectional mapping between :class:`Node` objects and dense ids."""
+
+    def __init__(self) -> None:
+        self._nodes: List[Node] = []
+        self._ids: Dict[Node, int] = {}
+        self._by_class: Dict[NodeClass, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._ids
+
+    def add(self, node: Node) -> int:
+        """Register *node* (idempotent); returns its integer id."""
+        existing = self._ids.get(node)
+        if existing is not None:
+            return existing
+        node_id = len(self._nodes)
+        self._nodes.append(node)
+        self._ids[node] = node_id
+        self._by_class.setdefault(node.node_class, []).append(node_id)
+        return node_id
+
+    def id_of(self, node: Node) -> int:
+        """Integer id of a registered node (raises if absent)."""
+        try:
+            return self._ids[node]
+        except KeyError:
+            raise UnknownNodeError(f"node not in graph: {node}") from None
+
+    def get_id(self, node: Node) -> Optional[int]:
+        """Integer id of a node, or None if unregistered."""
+        return self._ids.get(node)
+
+    def node_of(self, node_id: int) -> Node:
+        """Node behind an integer id (raises if out of range)."""
+        try:
+            return self._nodes[node_id]
+        except IndexError:
+            raise UnknownNodeError(f"no node with id {node_id}") from None
+
+    def ids_of_class(self, node_class: NodeClass) -> List[int]:
+        """All node ids sharing one class label."""
+        return self._by_class.get(node_class, [])
+
+    def classes(self) -> Iterator[NodeClass]:
+        """Iterate all distinct node classes."""
+        yield from self._by_class
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate nodes in insertion (id) order."""
+        yield from self._nodes
+
+    def term_ids(self) -> Iterator[int]:
+        """Iterate ids of term nodes."""
+        for node_id, node in enumerate(self._nodes):
+            if node.kind is NodeKind.TERM:
+                yield node_id
+
+    def tuple_ids(self) -> Iterator[int]:
+        """Iterate ids of tuple nodes."""
+        for node_id, node in enumerate(self._nodes):
+            if node.kind is NodeKind.TUPLE:
+                yield node_id

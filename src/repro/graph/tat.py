@@ -1,0 +1,157 @@
+"""Term-Augmented Tuple graph (Definition 5 of the paper).
+
+``G = (V ∪ V_t, E ∪ E_t)`` where
+
+* ``V``   — tuple nodes, ``E``   — foreign-key edges between tuples;
+* ``V_t`` — field-labelled term nodes, ``E_t`` — containment edges linking
+  a term node to every tuple whose field value contains it.
+
+Edge weighting follows Section IV-A's discussion: containment edges carry
+the in-tuple term frequency, optionally scaled by the term's idf so that
+ubiquitous words do not dominate the walk; foreign-key edges carry unit
+weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError, UnknownNodeError
+from repro.index.inverted import FieldRef, FieldTerm, InvertedIndex
+from repro.storage.database import Database, TupleRef
+from repro.graph.adjacency import Adjacency, AdjacencyBuilder
+from repro.graph.nodes import Node, NodeClass, NodeKind, NodeRegistry
+
+
+class TATGraph:
+    """The heterogeneous graph over tuples and terms.
+
+    Parameters
+    ----------
+    database:
+        Source of tuple nodes and foreign-key edges.
+    index:
+        A built :class:`InvertedIndex` providing the term nodes and
+        containment edges.
+    idf_weighted_edges:
+        When True, a containment edge ``(tuple, term)`` is weighted
+        ``tf · idf(term)`` instead of plain ``tf``.
+    fk_edge_weight:
+        Weight assigned to every tuple-tuple foreign-key edge.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        index: InvertedIndex,
+        idf_weighted_edges: bool = True,
+        fk_edge_weight: float = 1.0,
+    ) -> None:
+        if fk_edge_weight <= 0:
+            raise GraphError("fk_edge_weight must be positive")
+        self.database = database
+        self.index = index.build()
+        self.idf_weighted_edges = idf_weighted_edges
+        self.fk_edge_weight = fk_edge_weight
+        self.registry = NodeRegistry()
+        self.adjacency = self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _build(self) -> Adjacency:
+        builder = AdjacencyBuilder()
+        # 1. tuple nodes
+        for ref in self.database.tuple_refs():
+            self.registry.add(Node.for_tuple(ref))
+        # 2. foreign-key edges (E)
+        for child, parent in self.database.fk_edges():
+            u = self.registry.id_of(Node.for_tuple(child))
+            v = self.registry.id_of(Node.for_tuple(parent))
+            builder.add_edge(u, v, self.fk_edge_weight)
+        # 3. term nodes and containment edges (V_t, E_t)
+        for term in self.index.terms():
+            term_id = self.registry.add(Node.for_term(term))
+            idf = self.index.idf(term) if self.idf_weighted_edges else 1.0
+            for posting in self.index.postings(term):
+                tuple_id = self.registry.id_of(Node.for_tuple(posting.ref))
+                builder.add_edge(term_id, tuple_id, posting.tf * idf)
+        return builder.freeze(len(self.registry))
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (tuples + terms)."""
+        return len(self.registry)
+
+    @property
+    def n_edges(self) -> int:
+        """Total undirected edge count."""
+        return self.adjacency.n_edges
+
+    def term_node_id(self, term: FieldTerm) -> int:
+        """Node id of a field term (raises if absent)."""
+        return self.registry.id_of(Node.for_term(term))
+
+    def tuple_node_id(self, ref: TupleRef) -> int:
+        """Node id of a tuple ref (raises if absent)."""
+        return self.registry.id_of(Node.for_tuple(ref))
+
+    def node(self, node_id: int) -> Node:
+        """Node behind an integer id."""
+        return self.registry.node_of(node_id)
+
+    def neighbors(self, node_id: int) -> Iterator[Tuple[int, float]]:
+        """(neighbor id, edge weight) pairs of one node."""
+        return self.adjacency.neighbors(node_id)
+
+    def resolve_text(self, text: str) -> List[int]:
+        """Node ids of every term node matching *text* (any field)."""
+        return [
+            self.registry.id_of(Node.for_term(term))
+            for term in self.index.lookup_text(text)
+        ]
+
+    def resolve_text_one(self, text: str) -> int:
+        """The single best term node for *text*: highest collection tf.
+
+        Raises :class:`UnknownNodeError` when the text occurs nowhere.
+        """
+        candidates = self.index.lookup_text(text)
+        if not candidates:
+            raise UnknownNodeError(f"term {text!r} does not occur in the corpus")
+        best = max(candidates, key=lambda t: (self.index.total_tf(t), str(t)))
+        return self.registry.id_of(Node.for_term(best))
+
+    def class_of(self, node_id: int) -> NodeClass:
+        """Node class of one node id."""
+        return self.registry.node_of(node_id).node_class
+
+    def same_class_ids(self, node_id: int) -> List[int]:
+        """All node ids in the same class as *node_id* (including itself)."""
+        return self.registry.ids_of_class(self.class_of(node_id))
+
+    def term_fields(self) -> List[FieldRef]:
+        """All term-node classes (i.e. indexed fields)."""
+        return self.index.fields()
+
+    def stats(self) -> Dict[str, int]:
+        """Structural summary used by docs, examples and tests."""
+        n_terms = sum(1 for _ in self.registry.term_ids())
+        return {
+            "nodes": self.n_nodes,
+            "edges": self.n_edges,
+            "tuple_nodes": self.n_nodes - n_terms,
+            "term_nodes": n_terms,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"TATGraph(nodes={s['nodes']}, edges={s['edges']}, "
+            f"tuples={s['tuple_nodes']}, terms={s['term_nodes']})"
+        )

@@ -1,0 +1,124 @@
+"""TAT-graph visualization helpers (DOT export and text ego-networks).
+
+The paper explains its method with ego-network pictures (Figures 3-4:
+a term, its tuples, their venues/authors, and the similar term found
+across them).  These helpers regenerate such pictures from any corpus:
+
+* :func:`ego_network` — the radius-limited neighborhood of a node;
+* :func:`to_dot` — Graphviz DOT text (no graphviz dependency; paste into
+  any renderer);
+* :func:`render_text` — indented text tree for terminals/tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.nodes import NodeKind
+from repro.graph.tat import TATGraph
+
+
+@dataclass(frozen=True)
+class EgoNetwork:
+    """A radius-limited neighborhood: nodes with hop distance + edges."""
+
+    center: int
+    distances: Dict[int, int]
+    edges: Tuple[Tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.distances)
+
+
+def ego_network(
+    graph: TATGraph,
+    node_id: int,
+    radius: int = 2,
+    max_nodes: int = 40,
+) -> EgoNetwork:
+    """BFS neighborhood of *node_id*, keeping the strongest-edge nodes.
+
+    When a ring would exceed *max_nodes*, the highest-weight edges win —
+    the picture stays readable on hub-heavy graphs.
+    """
+    if radius < 1:
+        raise GraphError("radius must be >= 1")
+    if max_nodes < 2:
+        raise GraphError("max_nodes must be >= 2")
+    distances: Dict[int, int] = {node_id: 0}
+    frontier = [node_id]
+    for depth in range(1, radius + 1):
+        candidates: Dict[int, float] = {}
+        for node in frontier:
+            for nbr, weight in graph.neighbors(node):
+                if nbr not in distances:
+                    candidates[nbr] = max(candidates.get(nbr, 0.0), weight)
+        room = max_nodes - len(distances)
+        if room <= 0:
+            break
+        ranked = sorted(
+            candidates.items(), key=lambda item: (-item[1], item[0])
+        )[:room]
+        frontier = []
+        for nbr, _weight in ranked:
+            distances[nbr] = depth
+            frontier.append(nbr)
+        if not frontier:
+            break
+
+    kept: Set[int] = set(distances)
+    edges: List[Tuple[int, int]] = []
+    for node in sorted(kept):
+        for nbr, _weight in graph.neighbors(node):
+            if nbr in kept and node < nbr:
+                edges.append((node, nbr))
+    return EgoNetwork(
+        center=node_id, distances=distances, edges=tuple(edges)
+    )
+
+
+def _label(graph: TATGraph, node_id: int) -> str:
+    node = graph.node(node_id)
+    if node.kind is NodeKind.TERM:
+        return node.text or str(node)
+    table, pk = node.payload
+    return f"{table}#{pk}"
+
+
+def to_dot(graph: TATGraph, ego: EgoNetwork) -> str:
+    """Render an ego network as Graphviz DOT text.
+
+    Term nodes are boxes, tuple nodes ellipses (the paper's Figure 3
+    convention); the center node is doubled.
+    """
+    lines = ["graph tat {", "  layout=neato;", "  overlap=false;"]
+    for node_id in sorted(ego.distances):
+        node = graph.node(node_id)
+        shape = "box" if node.kind is NodeKind.TERM else "ellipse"
+        peripheries = 2 if node_id == ego.center else 1
+        label = _label(graph, node_id).replace('"', r"\"")
+        lines.append(
+            f'  n{node_id} [label="{label}", shape={shape}, '
+            f"peripheries={peripheries}];"
+        )
+    for a, b in ego.edges:
+        lines.append(f"  n{a} -- n{b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_text(graph: TATGraph, ego: EgoNetwork) -> str:
+    """Indented text rendering of an ego network, ring by ring."""
+    by_ring: Dict[int, List[int]] = {}
+    for node_id, distance in ego.distances.items():
+        by_ring.setdefault(distance, []).append(node_id)
+    lines = []
+    for distance in sorted(by_ring):
+        for node_id in sorted(by_ring[distance]):
+            marker = "*" if node_id == ego.center else " "
+            lines.append(
+                f"{'  ' * distance}{marker}{_label(graph, node_id)}"
+            )
+    return "\n".join(lines)

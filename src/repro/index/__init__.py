@@ -1,0 +1,15 @@
+"""Full-text indexing layer (the paper's Lucene substitute)."""
+
+from repro.index.analyzer import DEFAULT_STOPWORDS, Analyzer
+from repro.index.inverted import FieldRef, FieldTerm, InvertedIndex, Posting
+from repro.index.stats import CorpusStats
+
+__all__ = [
+    "Analyzer",
+    "DEFAULT_STOPWORDS",
+    "FieldRef",
+    "FieldTerm",
+    "InvertedIndex",
+    "Posting",
+    "CorpusStats",
+]

@@ -1,0 +1,191 @@
+"""Topical-phrase detection and phrase-aware analysis.
+
+Definition 2 of the paper allows a query keyword to be "a word or a
+topical phrase, depending on the tokenization/segmentation".  This module
+supplies the segmentation half: a collocation model learns which adjacent
+word pairs form phrases ("association rule", "nearest neighbor"), and a
+phrase-aware analyzer merges them into single terms so they become
+first-class TAT-graph nodes.
+
+The phrase score is the standard corpus collocation statistic
+
+    score(a, b) = (count(ab) - discount) * N / (count(a) * count(b))
+
+(high when the pair occurs far more often than independence predicts),
+with an absolute minimum pair count to keep rare noise out.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import IndexError_
+from repro.index.analyzer import Analyzer
+from repro.storage.database import Database
+
+Bigram = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PhraseStats:
+    """Diagnostics of one accepted phrase."""
+
+    bigram: Bigram
+    count: int
+    score: float
+
+    @property
+    def text(self) -> str:
+        """The phrase as one space-joined term."""
+        return f"{self.bigram[0]} {self.bigram[1]}"
+
+
+class PhraseModel:
+    """Learned collocations over a token-sequence corpus.
+
+    Parameters
+    ----------
+    min_count:
+        Minimum bigram occurrences (absolute support).
+    min_score:
+        Minimum collocation score (lift-style; ≥ 1 means "more often
+        than independent").
+    discount:
+        Subtracted from bigram counts before scoring, biasing against
+        barely-supported pairs (the word2vec δ).
+    """
+
+    def __init__(
+        self,
+        min_count: int = 3,
+        min_score: float = 4.0,
+        discount: float = 1.0,
+    ) -> None:
+        if min_count < 1:
+            raise IndexError_("min_count must be >= 1")
+        if min_score <= 0:
+            raise IndexError_("min_score must be positive")
+        self.min_count = min_count
+        self.min_score = min_score
+        self.discount = discount
+        self._phrases: Dict[Bigram, PhraseStats] = {}
+        self._learned = False
+
+    # ------------------------------------------------------------------ #
+    # learning
+    # ------------------------------------------------------------------ #
+
+    def learn(self, token_sequences: Iterable[List[str]]) -> "PhraseModel":
+        """Count unigrams/bigrams over the sequences and accept phrases."""
+        unigrams: Counter = Counter()
+        bigrams: Counter = Counter()
+        for tokens in token_sequences:
+            unigrams.update(tokens)
+            bigrams.update(zip(tokens, tokens[1:]))
+        total = sum(unigrams.values())
+        self._phrases = {}
+        for bigram, count in bigrams.items():
+            if count < self.min_count:
+                continue
+            a, b = bigram
+            score = (
+                (count - self.discount)
+                * total
+                / (unigrams[a] * unigrams[b])
+            )
+            if score >= self.min_score:
+                self._phrases[bigram] = PhraseStats(bigram, count, score)
+        self._learned = True
+        return self
+
+    @property
+    def phrases(self) -> List[PhraseStats]:
+        """Accepted phrases, most frequent first."""
+        self._require_learned()
+        return sorted(
+            self._phrases.values(),
+            key=lambda p: (-p.count, -p.score, p.bigram),
+        )
+
+    def is_phrase(self, a: str, b: str) -> bool:
+        """True iff (a, b) was accepted as a collocation."""
+        self._require_learned()
+        return (a, b) in self._phrases
+
+    def __len__(self) -> int:
+        return len(self._phrases)
+
+    def _require_learned(self) -> None:
+        if not self._learned:
+            raise IndexError_("phrase model not learned; call learn() first")
+
+    # ------------------------------------------------------------------ #
+    # segmentation
+    # ------------------------------------------------------------------ #
+
+    def merge(self, tokens: List[str]) -> List[str]:
+        """Greedy left-to-right merge of adjacent phrase pairs.
+
+        A merged phrase becomes one space-joined term ("association
+        rule"); merging is non-overlapping and single-pass, so trigram
+        phrases require two learn/merge rounds (as in word2vec).
+        """
+        self._require_learned()
+        out: List[str] = []
+        i = 0
+        while i < len(tokens):
+            if i + 1 < len(tokens) and (tokens[i], tokens[i + 1]) in self._phrases:
+                out.append(f"{tokens[i]} {tokens[i + 1]}")
+                i += 2
+            else:
+                out.append(tokens[i])
+                i += 1
+        return out
+
+
+class PhraseAnalyzer(Analyzer):
+    """An :class:`Analyzer` that merges learned phrases into single terms.
+
+    Drop-in replacement anywhere an analyzer is accepted (inverted index,
+    workloads): segmented fields are tokenized, then adjacent collocation
+    pairs become one term each; atomic fields are untouched.
+    """
+
+    def __init__(self, model: PhraseModel, **analyzer_kwargs) -> None:
+        super().__init__(**analyzer_kwargs)
+        self.model = model
+
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenize, then merge learned collocations."""
+        return self.model.merge(super().tokenize(text))
+
+
+def learn_phrases_from_database(
+    database: Database,
+    analyzer: Optional[Analyzer] = None,
+    min_count: int = 3,
+    min_score: float = 4.0,
+) -> PhraseModel:
+    """Learn a phrase model from every segmented text field of a database."""
+    analyzer = analyzer or Analyzer()
+
+    def sequences() -> Iterable[List[str]]:
+        for table_name in database.table_names:
+            table = database.table(table_name)
+            schema = table.schema
+            segmented = [
+                f for f in schema.text_fields if not schema.is_atomic(f)
+            ]
+            if not segmented:
+                continue
+            for row in table.scan():
+                for field_name in segmented:
+                    value = row.get(field_name)
+                    if value:
+                        yield analyzer.tokenize(str(value))
+
+    return PhraseModel(min_count=min_count, min_score=min_score).learn(
+        sequences()
+    )

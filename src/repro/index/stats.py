@@ -1,0 +1,75 @@
+"""Corpus-level statistics helpers layered over the inverted index.
+
+Mostly convenience views used by the contextual preference vector
+(Definition 6) and by the evaluation metrics: term frequency rankings,
+co-occurrence counts between a term and its context nodes, and field-level
+summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.index.inverted import FieldRef, FieldTerm, InvertedIndex
+from repro.storage.database import TupleRef
+
+
+class CorpusStats:
+    """Read-only statistics over a built :class:`InvertedIndex`."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index
+
+    def term_frequencies(
+        self, field: Optional[FieldRef] = None
+    ) -> List[Tuple[FieldTerm, int]]:
+        """All (term, collection frequency) pairs, most frequent first."""
+        items = [
+            (term, self.index.total_tf(term))
+            for term in self.index.terms()
+            if field is None or term.field == field
+        ]
+        items.sort(key=lambda pair: (-pair[1], pair[0]))
+        return items
+
+    def top_terms(
+        self, n: int, field: Optional[FieldRef] = None
+    ) -> List[FieldTerm]:
+        """The *n* most frequent terms (optionally within one field)."""
+        return [term for term, _ in self.term_frequencies(field)[:n]]
+
+    def cooccurrence_counts(self, term: FieldTerm) -> Counter:
+        """freq(v_c, t0): how often each other term shares a tuple with *term*.
+
+        This is the node-weight ingredient of the contextual preference
+        vector and the raw signal of the co-occurrence baseline.
+        """
+        counts: Counter = Counter()
+        for posting in self.index.postings(term):
+            for other, tf in self.index.terms_of(posting.ref):
+                if other != term:
+                    counts[other] += min(posting.tf, tf)
+        return counts
+
+    def shared_tuples(self, a: FieldTerm, b: FieldTerm) -> int:
+        """Number of tuples containing both *a* and *b*."""
+        refs_a = {p.ref for p in self.index.postings(a)}
+        if not refs_a:
+            return 0
+        return sum(1 for p in self.index.postings(b) if p.ref in refs_a)
+
+    def field_summary(self) -> Dict[FieldRef, Dict[str, int]]:
+        """Per-field vocabulary size and total term mass."""
+        summary: Dict[FieldRef, Dict[str, int]] = {}
+        for term in self.index.terms():
+            entry = summary.setdefault(
+                term.field, {"vocabulary": 0, "occurrences": 0}
+            )
+            entry["vocabulary"] += 1
+            entry["occurrences"] += self.index.total_tf(term)
+        return summary
+
+    def tuples_of(self, term: FieldTerm) -> List[TupleRef]:
+        """Tuple refs containing one term."""
+        return [p.ref for p in self.index.postings(term)]

@@ -1,0 +1,115 @@
+"""Live reformulation over a mutable database.
+
+The offline structures (index, TAT graph, walk caches) are derived data:
+once the database changes they are stale.  :class:`LiveReformulator`
+owns the database-to-pipeline derivation, queues inserts, and rebuilds
+lazily on the next query — the simplest correct maintenance policy, and
+the right one for corpora updated in batches (nightly crawls, imports).
+
+For per-insert freshness at scale a real deployment would maintain the
+graph incrementally; the rebuild policy here is O(corpus) per refresh but
+always exact, and the `version` counter lets callers see when a rebuild
+happened.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReproError
+from repro.index.analyzer import Analyzer
+from repro.storage.database import Database, TupleRef
+from repro.storage.table import Row
+
+
+class LiveReformulator:
+    """A reformulation pipeline that follows database mutations.
+
+    Parameters
+    ----------
+    database:
+        The mutable database (inserts go through this wrapper OR directly
+        to the database followed by :meth:`invalidate`).
+    config:
+        Pipeline configuration applied on every rebuild.
+    analyzer:
+        Analyzer for the rebuilt index.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[ReformulatorConfig] = None,
+        analyzer: Optional[Analyzer] = None,
+    ) -> None:
+        self.database = database
+        self.config = config or ReformulatorConfig()
+        self.analyzer = analyzer
+        self._pipeline: Optional[Reformulator] = None
+        self._version = 0
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, table_name: str, row: Row) -> TupleRef:
+        """Insert a row and mark the derived structures stale."""
+        ref = self.database.insert(table_name, row)
+        self._dirty = True
+        return ref
+
+    def insert_many(self, table_name: str, rows: List[Row]) -> int:
+        """Insert rows; mark stale when any were inserted."""
+        count = self.database.insert_many(table_name, rows)
+        if count:
+            self._dirty = True
+        return count
+
+    def invalidate(self) -> None:
+        """Mark stale after out-of-band database mutations."""
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # derived pipeline
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Incremented on every rebuild (0 before the first build)."""
+        return self._version
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the pipeline lags the database."""
+        return self._dirty
+
+    def pipeline(self) -> Reformulator:
+        """The current pipeline, rebuilt if the database changed."""
+        if self._dirty or self._pipeline is None:
+            self._pipeline = Reformulator.from_database(
+                self.database, self.config, analyzer=self.analyzer
+            )
+            self._version += 1
+            self._dirty = False
+        return self._pipeline
+
+    # ------------------------------------------------------------------ #
+    # delegation
+    # ------------------------------------------------------------------ #
+
+    def reformulate(
+        self, keywords: Sequence[str], k: int = 10, algorithm: str = "astar"
+    ) -> List[ScoredQuery]:
+        """Top-k suggestions over the (possibly rebuilt) pipeline."""
+        return self.pipeline().reformulate(keywords, k=k, algorithm=algorithm)
+
+    def similar_terms(self, text: str, top_n: int = 10):
+        """Similar terms over the (possibly rebuilt) pipeline."""
+        return self.pipeline().similarity.similar_terms(text, top_n)
+
+    def best(self, keywords: Sequence[str]) -> ScoredQuery:
+        """Single best suggestion (plain Viterbi)."""
+        return self.pipeline().best(keywords)

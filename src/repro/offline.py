@@ -1,0 +1,275 @@
+"""Offline-stage persistence: precompute and store term relations.
+
+The paper splits the system into an offline stage (term relation
+extraction over the whole vocabulary) and an online stage that only reads
+the precomputed relations.  This module is that boundary as a downstream
+user would deploy it:
+
+* :class:`OfflinePrecomputer` walks the vocabulary and materializes each
+  term's similar-term list and closeness row;
+* :class:`TermRelationStore` holds the materialized relations, serves
+  them behind the same ``similar_nodes`` / ``closeness`` interfaces the
+  online stage consumes, and round-trips to a single JSON file.
+
+A store-backed :class:`~repro.core.reformulator.Reformulator` never runs
+a random walk or a BFS at query time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.graph.closeness import ClosenessExtractor
+from repro.graph.nodes import Node
+from repro.graph.similarity import SimilarNode
+from repro.graph.tat import TATGraph
+from repro.index.inverted import FieldTerm
+
+PathLike = Union[str, Path]
+
+#: Serialized term key: "table|field|text".
+def _term_key(term: FieldTerm) -> str:
+    table, column = term.field
+    return f"{table}|{column}|{term.text}"
+
+
+def _parse_term_key(key: str) -> FieldTerm:
+    table, column, text = key.split("|", 2)
+    return FieldTerm((table, column), text)
+
+
+@dataclass
+class TermRelations:
+    """Materialized relations of one term."""
+
+    similar: List[Tuple[str, float]] = field(default_factory=list)
+    closeness: Dict[str, float] = field(default_factory=dict)
+
+
+class TermRelationStore:
+    """Precomputed similarity/closeness, detached from the graph.
+
+    The store speaks term *keys* internally but exposes the node-id
+    interface of the live extractors, so it drops into
+    :class:`~repro.core.candidates.CandidateListBuilder` and
+    :class:`~repro.core.hmm.ReformulationHMM` unchanged.
+    """
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, graph: TATGraph) -> None:
+        self.graph = graph
+        self._relations: Dict[str, TermRelations] = {}
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+
+    def put(
+        self,
+        term: FieldTerm,
+        similar: List[Tuple[FieldTerm, float]],
+        closeness: Dict[FieldTerm, float],
+    ) -> None:
+        """Store one term's similar list and closeness row."""
+        self._relations[_term_key(term)] = TermRelations(
+            similar=[(_term_key(t), s) for t, s in similar],
+            closeness={_term_key(t): c for t, c in closeness.items()},
+        )
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, term: FieldTerm) -> bool:
+        return _term_key(term) in self._relations
+
+    def terms(self) -> List[FieldTerm]:
+        """All terms with stored relations."""
+        return [_parse_term_key(k) for k in self._relations]
+
+    # ------------------------------------------------------------------ #
+    # online interfaces (same surface as the live extractors)
+    # ------------------------------------------------------------------ #
+
+    def _term_of_node(self, node_id: int) -> Optional[FieldTerm]:
+        node = self.graph.node(node_id)
+        if node.text is None:
+            return None
+        return node.payload
+
+    def similar_nodes(self, node_id: int, top_n: int) -> List[SimilarNode]:
+        """Stored similar-term list, resolved back to node ids."""
+        term = self._term_of_node(node_id)
+        if term is None:
+            return []
+        relations = self._relations.get(_term_key(term))
+        if relations is None:
+            return []
+        out: List[SimilarNode] = []
+        for key, score in relations.similar[:top_n]:
+            other_id = self.graph.registry.get_id(
+                Node.for_term(_parse_term_key(key))
+            )
+            if other_id is not None:
+                out.append(SimilarNode(other_id, score))
+        return out
+
+    def similarity(self, node_a: int, node_b: int) -> float:
+        """Stored sim(a, b); 0 when outside a's stored list."""
+        term_a = self._term_of_node(node_a)
+        term_b = self._term_of_node(node_b)
+        if term_a is None or term_b is None:
+            return 0.0
+        relations = self._relations.get(_term_key(term_a))
+        if relations is None:
+            return 0.0
+        key_b = _term_key(term_b)
+        for key, score in relations.similar:
+            if key == key_b:
+                return score
+        return 0.0
+
+    def similar_terms(self, text: str, top_n: int = 10) -> List[Tuple[str, float]]:
+        """Stored similar terms for a raw keyword."""
+        node_id = self.graph.resolve_text_one(text)
+        out = []
+        for sim in self.similar_nodes(node_id, top_n):
+            node = self.graph.node(sim.node_id)
+            out.append((node.text or str(node), sim.score))
+        return out
+
+    def closeness(self, node_a: int, node_b: int) -> float:
+        """Stored clos(a, b); 0 when outside a's stored row."""
+        term_a = self._term_of_node(node_a)
+        term_b = self._term_of_node(node_b)
+        if term_a is None or term_b is None:
+            return 0.0
+        relations = self._relations.get(_term_key(term_a))
+        if relations is None:
+            return 0.0
+        return relations.closeness.get(_term_key(term_b), 0.0)
+
+    def precompute(self, node_ids: Iterable[int]) -> None:
+        """No-op: the store *is* the precomputation (interface parity)."""
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: PathLike) -> None:
+        """Write the store as one JSON document."""
+        payload = {
+            "format_version": self.FORMAT_VERSION,
+            "terms": {
+                key: {
+                    "similar": relations.similar,
+                    "closeness": relations.closeness,
+                }
+                for key, relations in self._relations.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike, graph: TATGraph) -> "TermRelationStore":
+        """Load a store previously written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot load term relations from {path}: {exc}")
+        if payload.get("format_version") != cls.FORMAT_VERSION:
+            raise ReproError(
+                f"{path}: unsupported format version "
+                f"{payload.get('format_version')!r}"
+            )
+        store = cls(graph)
+        for key, data in payload.get("terms", {}).items():
+            store._relations[key] = TermRelations(
+                similar=[(k, float(s)) for k, s in data.get("similar", [])],
+                closeness={
+                    k: float(c) for k, c in data.get("closeness", {}).items()
+                },
+            )
+        return store
+
+
+class OfflinePrecomputer:
+    """Materializes the offline stage for a vocabulary of terms.
+
+    Parameters
+    ----------
+    graph:
+        The TAT graph.
+    similarity:
+        A live similarity backend (contextual walk by default).
+    closeness:
+        A live closeness extractor.
+    n_similar:
+        How many similar terms to store per term (the online candidate
+        lists can only be as long as this).
+    closeness_top:
+        How many closeness entries to store per term (its closest term
+        nodes); pairs outside the stored row read as 0.
+    """
+
+    def __init__(
+        self,
+        graph: TATGraph,
+        similarity=None,
+        closeness: Optional[ClosenessExtractor] = None,
+        n_similar: int = 20,
+        closeness_top: int = 200,
+    ) -> None:
+        if n_similar < 1 or closeness_top < 1:
+            raise ReproError("n_similar and closeness_top must be >= 1")
+        from repro.graph.similarity import SimilarityExtractor
+
+        self.graph = graph
+        self.similarity = similarity or SimilarityExtractor(graph)
+        self.closeness = closeness or ClosenessExtractor(graph)
+        self.n_similar = n_similar
+        self.closeness_top = closeness_top
+
+    def vocabulary(self, fields: Optional[List[Tuple[str, str]]] = None) -> List[FieldTerm]:
+        """The terms to precompute: all indexed terms, or chosen fields."""
+        return [
+            term
+            for term in self.graph.index.terms()
+            if fields is None or term.field in fields
+        ]
+
+    def precompute_term(self, term: FieldTerm) -> TermRelations:
+        """Materialize one term's relations (used by the store builder)."""
+        node_id = self.graph.term_node_id(term)
+        similar = [
+            (self.graph.node(s.node_id).payload, s.score)
+            for s in self.similarity.similar_nodes(node_id, self.n_similar)
+        ]
+        closeness = {
+            self.graph.node(other).payload: score
+            for other, score in self.closeness.close_terms(
+                node_id, self.closeness_top
+            )
+        }
+        return TermRelations(
+            similar=[(_term_key(t), s) for t, s in similar],
+            closeness={_term_key(t): c for t, c in closeness.items()},
+        )
+
+    def build_store(
+        self,
+        fields: Optional[List[Tuple[str, str]]] = None,
+        progress_every: int = 0,
+    ) -> TermRelationStore:
+        """Run the full offline stage and return the populated store."""
+        store = TermRelationStore(self.graph)
+        vocabulary = self.vocabulary(fields)
+        for i, term in enumerate(vocabulary, 1):
+            store._relations[_term_key(term)] = self.precompute_term(term)
+            if progress_every and i % progress_every == 0:
+                print(f"precomputed {i}/{len(vocabulary)} terms")
+        return store

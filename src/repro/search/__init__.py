@@ -1,0 +1,15 @@
+"""Keyword search over structured data (the paper's search substrate)."""
+
+from repro.search.estimate import ResultSizeEstimator
+from repro.search.keyword import KeywordSearchEngine
+from repro.search.ranking import ResultRanker
+from repro.search.results import Edge, ResultSet, SearchResult
+
+__all__ = [
+    "KeywordSearchEngine",
+    "ResultSizeEstimator",
+    "ResultRanker",
+    "Edge",
+    "ResultSet",
+    "SearchResult",
+]

@@ -1,0 +1,47 @@
+"""Result ranking for keyword search.
+
+The paper defers result ranking to prior work ([6], [21]); we implement a
+standard combination so the demo (Figure 6) can show a sensible main
+column: results are scored by the tf·idf mass of their keyword matches
+divided by the tree size, so tight trees with rare matches rank first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.index.inverted import InvertedIndex
+from repro.search.results import ResultSet, SearchResult
+
+
+class ResultRanker:
+    """tf·idf-over-size scoring of joined-tuple-tree results."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index.build()
+
+    def score(self, result: SearchResult) -> float:
+        """Higher is better: total match weight / number of joined tuples."""
+        weight = 0.0
+        for keyword, ref in result.matches:
+            for term in self.index.lookup_text(keyword):
+                for posting in self.index.postings(term):
+                    if posting.ref == ref:
+                        weight += posting.tf * self.index.idf(term)
+        return weight / max(1, result.size)
+
+    def rank(self, result_set: ResultSet) -> ResultSet:
+        """Return a new ResultSet sorted by descending score."""
+        ranked = sorted(
+            result_set.results,
+            key=lambda r: (-self.score(r), r.size, r.root),
+        )
+        return ResultSet(
+            query=result_set.query,
+            results=ranked,
+            truncated=result_set.truncated,
+        )
+
+    def top(self, result_set: ResultSet, n: int) -> List[SearchResult]:
+        """Rank, then return the first n results."""
+        return self.rank(result_set).top(n)

@@ -1,0 +1,114 @@
+"""Keyword-search result objects (Definition 3 of the paper).
+
+A result is a subtree of the tuple graph connecting one matching tuple per
+keyword such that "no node or edge can be removed without losing
+connectivity or keyword matches".  We represent it by its root (the
+connecting node), the set of tuple nodes and edges, and the keyword→tuple
+match assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.storage.database import Database, TupleRef
+
+Edge = Tuple[TupleRef, TupleRef]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One joined-tuple-tree answer to a keyword query."""
+
+    root: TupleRef
+    nodes: FrozenSet[TupleRef]
+    edges: FrozenSet[Edge]
+    matches: Tuple[Tuple[str, TupleRef], ...]  # (keyword, matched tuple)
+
+    @property
+    def size(self) -> int:
+        """Number of tuples joined in this result (smaller = tighter)."""
+        return len(self.nodes)
+
+    def keyword_tuples(self) -> Dict[str, TupleRef]:
+        """keyword -> matched tuple mapping."""
+        return dict(self.matches)
+
+    def signature(self) -> Tuple:
+        """Dedup key: same node set answering the same matches."""
+        return (self.nodes, self.matches)
+
+    def render(
+        self,
+        database: Database,
+        text_limit: int = 60,
+        highlight: bool = True,
+    ) -> str:
+        """Human-readable one-result rendering used by the examples.
+
+        With *highlight* (default), matched keywords are wrapped in
+        ``[..]`` inside the field snippets, so a reader sees at a glance
+        why each tuple is in the tree.
+        """
+        keywords = [kw for kw, _ref in self.matches] if highlight else []
+        lines: List[str] = []
+        for ref in sorted(self.nodes):
+            row = database.fetch_or_none(ref)
+            if row is None:
+                lines.append(f"  {ref[0]}#{ref[1]} (missing)")
+                continue
+            schema = database.table(ref[0]).schema
+            texts = []
+            for fname in schema.text_fields:
+                value = row.get(fname)
+                if value:
+                    snippet = str(value)[:text_limit]
+                    texts.append(_highlight(snippet, keywords))
+            summary = " | ".join(texts) if texts else str(row)
+            marker = "*" if ref == self.root else " "
+            lines.append(f" {marker}{ref[0]}#{ref[1]}: {summary}")
+        return "\n".join(lines)
+
+
+def _highlight(snippet: str, keywords: List[str]) -> str:
+    """Wrap case-insensitive whole-token keyword hits in ``[..]``."""
+    if not keywords:
+        return snippet
+    lowered = {kw.lower() for kw in keywords}
+    if snippet.lower() in lowered:
+        return f"[{snippet}]"  # atomic field matched as a whole
+    out = []
+    for token in snippet.split(" "):
+        if token.lower() in lowered:
+            out.append(f"[{token}]")
+        else:
+            out.append(token)
+    return " ".join(out)
+
+
+@dataclass
+class ResultSet:
+    """An ordered collection of results for one query."""
+
+    query: Tuple[str, ...]
+    results: List[SearchResult] = field(default_factory=list)
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, idx: int) -> SearchResult:
+        return self.results[idx]
+
+    @property
+    def size(self) -> int:
+        """Result count — the 'Result size' metric of Table III."""
+        return len(self.results)
+
+    def top(self, n: int) -> List[SearchResult]:
+        """The first n results."""
+        return self.results[:n]

@@ -1,0 +1,35 @@
+"""In-memory relational storage engine (the paper's MySQL substitute).
+
+Public surface::
+
+    from repro.storage import (
+        Column, TableSchema, ForeignKey, DatabaseSchema,
+        Database, Table, TupleGraph,
+        load_table_csv, dump_table_csv,
+    )
+"""
+
+from repro.storage.csvio import dump_table_csv, load_table_csv
+from repro.storage.database import Database, TupleRef
+from repro.storage.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.storage.table import Row, Table
+from repro.storage.tuplegraph import TupleGraph
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "ForeignKey",
+    "DatabaseSchema",
+    "Database",
+    "Table",
+    "Row",
+    "TupleRef",
+    "TupleGraph",
+    "load_table_csv",
+    "dump_table_csv",
+]

@@ -1,0 +1,93 @@
+"""CSV / TSV import and export for the storage engine.
+
+Real deployments would load a DBLP dump; this module lets users bulk-load
+their own structured data from delimited files, with the same integrity
+checks as programmatic inserts.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import SchemaError
+from repro.storage.database import Database
+from repro.storage.schema import TableSchema
+
+PathLike = Union[str, Path]
+
+
+def _coerce(value: str, col_type: str) -> object:
+    """Convert a CSV cell to the column's declared type ('' -> None)."""
+    if value == "":
+        return None
+    if col_type == "int":
+        try:
+            return int(value)
+        except ValueError:
+            raise SchemaError(f"cannot coerce {value!r} to int") from None
+    if col_type == "float":
+        try:
+            return float(value)
+        except ValueError:
+            raise SchemaError(f"cannot coerce {value!r} to float") from None
+    return value
+
+
+def load_table_csv(
+    database: Database,
+    table_name: str,
+    path: PathLike,
+    delimiter: str = ",",
+    columns: Optional[List[str]] = None,
+) -> int:
+    """Load rows from a delimited file into *table_name*.
+
+    The file must have a header row unless *columns* is given.  Returns the
+    number of rows inserted.
+    """
+    schema: TableSchema = database.table(table_name).schema
+    inserted = 0
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        if columns is None:
+            header = next(reader, None)
+            if header is None:
+                return 0
+            columns = [h.strip() for h in header]
+        types = [schema.column(c).type for c in columns]
+        for raw in reader:
+            if not raw:
+                continue
+            if len(raw) != len(columns):
+                raise SchemaError(
+                    f"{path}: row has {len(raw)} cells, expected {len(columns)}"
+                )
+            row: Dict[str, object] = {
+                c: _coerce(v, t) for c, v, t in zip(columns, raw, types)
+            }
+            database.insert(table_name, row)
+            inserted += 1
+    return inserted
+
+
+def dump_table_csv(
+    database: Database,
+    table_name: str,
+    path: PathLike,
+    delimiter: str = ",",
+) -> int:
+    """Write all rows of *table_name* to a delimited file with a header."""
+    table = database.table(table_name)
+    columns = table.schema.column_names
+    written = 0
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        writer.writerow(columns)
+        for row in table.scan():
+            writer.writerow(
+                ["" if row[c] is None else row[c] for c in columns]
+            )
+            written += 1
+    return written

@@ -1,0 +1,232 @@
+"""Relational schema objects.
+
+The paper stores its DBLP corpus in MySQL; this module is the schema half of
+our in-memory substitute.  A :class:`DatabaseSchema` is a set of
+:class:`TableSchema` objects plus :class:`ForeignKey` references between
+them — exactly the information needed to build the tuple graph of
+Definition 1 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+
+#: Column types understood by the storage engine.  The engine is dynamically
+#: typed like SQLite; declared types are used for validation and for deciding
+#: which columns the indexer treats as text.
+COLUMN_TYPES = ("int", "float", "text")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column: a name, a declared type and a nullability flag."""
+
+    name: str
+    type: str = "text"
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.type not in COLUMN_TYPES:
+            raise SchemaError(
+                f"column {self.name!r}: unknown type {self.type!r}, "
+                f"expected one of {COLUMN_TYPES}"
+            )
+
+    def validate_value(self, value: object) -> None:
+        """Raise :class:`SchemaError` if *value* does not fit this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if self.type == "int" and not isinstance(value, int):
+            raise SchemaError(
+                f"column {self.name!r} expects int, got {type(value).__name__}"
+            )
+        if self.type == "float" and not isinstance(value, (int, float)):
+            raise SchemaError(
+                f"column {self.name!r} expects float, got {type(value).__name__}"
+            )
+        if self.type == "text" and not isinstance(value, str):
+            raise SchemaError(
+                f"column {self.name!r} expects text, got {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A reference ``table.column -> ref_table.ref_column``.
+
+    Foreign keys become the tuple-tuple edges of the TAT graph, so every
+    join path the paper's random walk exploits is declared here.
+    """
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}.{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+class TableSchema:
+    """Schema of one table: ordered columns, a primary key, text fields.
+
+    Parameters
+    ----------
+    name:
+        Table name; must be a valid identifier.
+    columns:
+        Ordered list of :class:`Column` (or plain names, which become
+        nullable text columns).
+    primary_key:
+        Name of the primary-key column.  Required — the tuple graph
+        identifies nodes by ``(table, pk)``.
+    text_fields:
+        Columns whose values are tokenized into term nodes.  Defaults to
+        every declared ``text`` column except the primary key.
+    atomic_fields:
+        Text columns that must *not* be segmented (author names,
+        institution names, conference names — see Section IV-A of the
+        paper).  Each atomic field value becomes a single term node.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: List,
+        primary_key: str,
+        text_fields: Optional[List[str]] = None,
+        atomic_fields: Optional[List[str]] = None,
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name: {name!r}")
+        normalized: List[Column] = []
+        for col in columns:
+            if isinstance(col, str):
+                col = Column(col)
+            elif not isinstance(col, Column):
+                raise SchemaError(f"expected Column or str, got {type(col).__name__}")
+            normalized.append(col)
+        names = [c.name for c in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r}: duplicate column names in {names}")
+        if primary_key not in names:
+            raise UnknownColumnError(
+                f"table {name!r}: primary key {primary_key!r} is not a column"
+            )
+
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(normalized)
+        self.primary_key = primary_key
+        self._by_name: Dict[str, Column] = {c.name: c for c in normalized}
+
+        if text_fields is None:
+            text_fields = [
+                c.name
+                for c in normalized
+                if c.type == "text" and c.name != primary_key
+            ]
+        for f in text_fields:
+            if f not in self._by_name:
+                raise UnknownColumnError(f"table {name!r}: text field {f!r} unknown")
+            if self._by_name[f].type != "text":
+                raise SchemaError(f"table {name!r}: field {f!r} is not text")
+        self.text_fields: Tuple[str, ...] = tuple(text_fields)
+
+        atomic_fields = atomic_fields or []
+        for f in atomic_fields:
+            if f not in self.text_fields:
+                raise SchemaError(
+                    f"table {name!r}: atomic field {f!r} must be a text field"
+                )
+        self.atomic_fields: Tuple[str, ...] = tuple(atomic_fields)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Column by name (raises if unknown)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        """True iff the column exists."""
+        return name in self._by_name
+
+    def is_atomic(self, field_name: str) -> bool:
+        """True if *field_name* must be kept as a single term node."""
+        return field_name in self.atomic_fields
+
+    def validate_row(self, row: Dict[str, object]) -> None:
+        """Validate a full row dict against this schema."""
+        unknown = set(row) - set(self.column_names)
+        if unknown:
+            raise UnknownColumnError(
+                f"table {self.name!r}: unknown columns {sorted(unknown)}"
+            )
+        for col in self.columns:
+            col.validate_value(row.get(col.name))
+        if row.get(self.primary_key) is None:
+            raise SchemaError(
+                f"table {self.name!r}: primary key {self.primary_key!r} is required"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TableSchema({self.name!r}, pk={self.primary_key!r}, cols={self.column_names})"
+
+
+@dataclass
+class DatabaseSchema:
+    """All table schemas plus the foreign keys connecting them."""
+
+    tables: Dict[str, TableSchema] = field(default_factory=dict)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+
+    def add_table(self, table: TableSchema) -> None:
+        """Register a table schema (name must be fresh)."""
+        if table.name in self.tables:
+            raise SchemaError(f"table {table.name!r} already defined")
+        self.tables[table.name] = table
+
+    def add_foreign_key(self, fk: ForeignKey) -> None:
+        """Register a validated foreign key."""
+        for tbl, col in ((fk.table, fk.column), (fk.ref_table, fk.ref_column)):
+            if tbl not in self.tables:
+                raise UnknownTableError(f"foreign key {fk}: unknown table {tbl!r}")
+            if not self.tables[tbl].has_column(col):
+                raise UnknownColumnError(
+                    f"foreign key {fk}: table {tbl!r} has no column {col!r}"
+                )
+        if fk.ref_column != self.tables[fk.ref_table].primary_key:
+            raise SchemaError(
+                f"foreign key {fk}: must reference the primary key of "
+                f"{fk.ref_table!r}"
+            )
+        self.foreign_keys.append(fk)
+
+    def table(self, name: str) -> TableSchema:
+        """Table schema by name (raises if unknown)."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownTableError(f"unknown table {name!r}") from None
+
+    def foreign_keys_of(self, table: str) -> List[ForeignKey]:
+        """Outgoing foreign keys declared on *table*."""
+        return [fk for fk in self.foreign_keys if fk.table == table]
+
+    def foreign_keys_into(self, table: str) -> List[ForeignKey]:
+        """Foreign keys from other tables that reference *table*."""
+        return [fk for fk in self.foreign_keys if fk.ref_table == table]

@@ -1,0 +1,149 @@
+"""JSON schema specifications: describe a database schema in a file.
+
+Lets the CLI (and downstream users) work with arbitrary schemas: a
+directory of CSVs plus one ``schema.json`` fully describes a corpus.
+
+Spec format::
+
+    {
+      "tables": [
+        {
+          "name": "papers",
+          "primary_key": "pid",
+          "columns": [
+            {"name": "pid", "type": "int", "nullable": false},
+            {"name": "title", "type": "text"}
+          ],
+          "text_fields": ["title"],
+          "atomic_fields": []
+        }
+      ],
+      "foreign_keys": [
+        {"table": "papers", "column": "cid",
+         "ref_table": "conferences", "ref_column": "cid"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import SchemaError
+from repro.storage.csvio import dump_table_csv, load_table_csv
+from repro.storage.database import Database
+from repro.storage.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+
+PathLike = Union[str, Path]
+
+SCHEMA_FILENAME = "schema.json"
+
+
+def schema_to_spec(schema: DatabaseSchema) -> Dict:
+    """Serialize a :class:`DatabaseSchema` to a JSON-ready dict."""
+    return {
+        "tables": [
+            {
+                "name": table.name,
+                "primary_key": table.primary_key,
+                "columns": [
+                    {
+                        "name": col.name,
+                        "type": col.type,
+                        "nullable": col.nullable,
+                    }
+                    for col in table.columns
+                ],
+                "text_fields": list(table.text_fields),
+                "atomic_fields": list(table.atomic_fields),
+            }
+            for table in schema.tables.values()
+        ],
+        "foreign_keys": [
+            {
+                "table": fk.table,
+                "column": fk.column,
+                "ref_table": fk.ref_table,
+                "ref_column": fk.ref_column,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def schema_from_spec(spec: Dict) -> DatabaseSchema:
+    """Parse a spec dict back into a :class:`DatabaseSchema`."""
+    if "tables" not in spec:
+        raise SchemaError("schema spec missing 'tables'")
+    schema = DatabaseSchema()
+    for tspec in spec["tables"]:
+        try:
+            columns = [
+                Column(
+                    c["name"],
+                    c.get("type", "text"),
+                    c.get("nullable", True),
+                )
+                for c in tspec["columns"]
+            ]
+            table = TableSchema(
+                tspec["name"],
+                columns,
+                primary_key=tspec["primary_key"],
+                text_fields=tspec.get("text_fields"),
+                atomic_fields=tspec.get("atomic_fields"),
+            )
+        except KeyError as exc:
+            raise SchemaError(f"schema spec table missing key: {exc}")
+        schema.add_table(table)
+    for fspec in spec.get("foreign_keys", []):
+        try:
+            schema.add_foreign_key(ForeignKey(
+                fspec["table"], fspec["column"],
+                fspec["ref_table"], fspec["ref_column"],
+            ))
+        except KeyError as exc:
+            raise SchemaError(f"schema spec foreign key missing key: {exc}")
+    return schema
+
+
+def save_database(database: Database, directory: PathLike) -> None:
+    """Write ``schema.json`` plus one ``<table>.csv`` per table."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    spec = schema_to_spec(database.schema)
+    (directory / SCHEMA_FILENAME).write_text(
+        json.dumps(spec, indent=2), encoding="utf-8"
+    )
+    for table_name in database.table_names:
+        dump_table_csv(database, table_name, directory / f"{table_name}.csv")
+
+
+def load_database(directory: PathLike) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    directory = Path(directory)
+    schema_path = directory / SCHEMA_FILENAME
+    if not schema_path.exists():
+        raise SchemaError(f"no {SCHEMA_FILENAME} in {directory}")
+    try:
+        spec = json.loads(schema_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{schema_path}: invalid JSON ({exc})")
+    schema = schema_from_spec(spec)
+    # Tables may reference each other in any order; load with deferred
+    # integrity checking, then validate once.
+    database = Database(schema, enforce_fk=False)
+    for table_name in schema.tables:
+        csv_path = directory / f"{table_name}.csv"
+        if csv_path.exists():
+            load_table_csv(database, table_name, csv_path)
+    database.check_integrity()
+    database.enforce_fk = True
+    return database

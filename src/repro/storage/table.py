@@ -1,0 +1,132 @@
+"""In-memory table: rows indexed by primary key, with secondary indexes.
+
+Rows are stored as immutable tuples in column order; callers interact with
+plain dicts.  The table keeps a hash index on the primary key and lazily
+built hash indexes on any other column that gets probed, which makes
+foreign-key joins (the backbone of the tuple graph) O(1) per edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import DuplicateKeyError, IntegrityError, UnknownColumnError
+from repro.storage.schema import TableSchema
+
+Row = Dict[str, object]
+
+
+class Table:
+    """One relational table bound to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._columns = schema.column_names
+        self._pk_pos = self._columns.index(schema.primary_key)
+        self._rows: List[Tuple[object, ...]] = []
+        self._pk_index: Dict[object, int] = {}
+        self._secondary: Dict[str, Dict[object, List[int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, row: Row) -> object:
+        """Insert one row dict; returns its primary-key value."""
+        self.schema.validate_row(row)
+        pk = row[self.schema.primary_key]
+        if pk in self._pk_index:
+            raise DuplicateKeyError(
+                f"table {self.schema.name!r}: duplicate primary key {pk!r}"
+            )
+        values = tuple(row.get(c) for c in self._columns)
+        pos = len(self._rows)
+        self._rows.append(values)
+        self._pk_index[pk] = pos
+        for col, index in self._secondary.items():
+            index.setdefault(row.get(col), []).append(pos)
+        return pk
+
+    def insert_many(self, rows: List[Row]) -> int:
+        """Insert many rows; returns the number inserted."""
+        for row in rows:
+            self.insert(row)
+        return len(rows)
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, pk: object) -> bool:
+        return pk in self._pk_index
+
+    def get(self, pk: object) -> Row:
+        """Fetch the row with primary key *pk* (raises if missing)."""
+        try:
+            pos = self._pk_index[pk]
+        except KeyError:
+            raise IntegrityError(
+                f"table {self.schema.name!r}: no row with pk {pk!r}"
+            ) from None
+        return self._to_dict(self._rows[pos])
+
+    def get_or_none(self, pk: object) -> Optional[Row]:
+        """Row by primary key, or None."""
+        pos = self._pk_index.get(pk)
+        if pos is None:
+            return None
+        return self._to_dict(self._rows[pos])
+
+    def find(self, column: str, value: object) -> List[Row]:
+        """All rows whose *column* equals *value*, via a lazy hash index."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(
+                f"table {self.schema.name!r} has no column {column!r}"
+            )
+        index = self._secondary.get(column)
+        if index is None:
+            index = self._build_secondary(column)
+        return [self._to_dict(self._rows[pos]) for pos in index.get(value, ())]
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate all rows in insertion order."""
+        for values in self._rows:
+            yield self._to_dict(values)
+
+    def primary_keys(self) -> Iterator[object]:
+        """Iterate primary-key values in insertion order."""
+        yield from self._pk_index
+
+    def value_of(self, pk: object, column: str) -> object:
+        """Single-cell fetch without materializing the full row dict."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(
+                f"table {self.schema.name!r} has no column {column!r}"
+            )
+        pos = self._pk_index.get(pk)
+        if pos is None:
+            raise IntegrityError(
+                f"table {self.schema.name!r}: no row with pk {pk!r}"
+            )
+        return self._rows[pos][self._columns.index(column)]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _build_secondary(self, column: str) -> Dict[object, List[int]]:
+        col_pos = self._columns.index(column)
+        index: Dict[object, List[int]] = {}
+        for pos, values in enumerate(self._rows):
+            index.setdefault(values[col_pos], []).append(pos)
+        self._secondary[column] = index
+        return index
+
+    def _to_dict(self, values: Tuple[object, ...]) -> Row:
+        return dict(zip(self._columns, values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.schema.name!r}, rows={len(self)})"

@@ -1,0 +1,179 @@
+"""Schemaless (RDF-style) ingestion.
+
+Section III of the paper notes the approach "is also applicable to other
+kind of schema or even schemaless structured data, e.g., XML, RDF and
+graph data".  This module makes that concrete: a :class:`TripleStore`
+accepts subject-predicate-object facts and compiles them into the same
+relational :class:`~repro.storage.Database` the rest of the pipeline
+consumes, so reformulation over a knowledge graph needs no new machinery.
+
+Mapping:
+
+* every entity becomes a row of the ``entities`` table, its label an
+  *atomic* term node;
+* every fact becomes a row of the ``facts`` table with FK edges to its
+  subject (and, for entity-valued objects, to the object entity);
+* literal-valued facts carry their text in a segmented field, so literal
+  words become ordinary term nodes attached to the fact tuple.
+
+The resulting tuple graph is exactly the RDF graph with facts reified as
+relationship tuples — entities sharing predicates/literals connect
+through two hops, just like authors sharing venues in DBLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.storage.database import Database
+from repro.storage.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal object value (free text)."""
+
+    text: str
+
+
+#: An object is either an entity name (str) or a :class:`Literal`.
+TripleObject = Union[str, Literal]
+
+
+@dataclass(frozen=True)
+class Triple:
+    subject: str
+    predicate: str
+    object: TripleObject
+
+
+def triple_schema() -> DatabaseSchema:
+    """The reified-fact relational schema."""
+    schema = DatabaseSchema()
+    schema.add_table(TableSchema(
+        "entities",
+        [Column("eid", "int", nullable=False), Column("label", "text")],
+        primary_key="eid",
+        atomic_fields=["label"],
+    ))
+    schema.add_table(TableSchema(
+        "predicates",
+        [Column("rid", "int", nullable=False), Column("name", "text")],
+        primary_key="rid",
+        atomic_fields=["name"],
+    ))
+    schema.add_table(TableSchema(
+        "facts",
+        [
+            Column("fid", "int", nullable=False),
+            Column("subject", "int"),
+            Column("rid", "int"),
+            Column("object", "int"),       # entity-valued facts
+            Column("literal", "text"),     # literal-valued facts
+        ],
+        primary_key="fid",
+        text_fields=["literal"],
+    ))
+    schema.add_foreign_key(ForeignKey("facts", "subject", "entities", "eid"))
+    schema.add_foreign_key(ForeignKey("facts", "rid", "predicates", "rid"))
+    schema.add_foreign_key(ForeignKey("facts", "object", "entities", "eid"))
+    return schema
+
+
+class TripleStore:
+    """Collects triples, then compiles them into a :class:`Database`."""
+
+    def __init__(self) -> None:
+        self._triples: List[Triple] = []
+        self._entities: Dict[str, int] = {}
+        self._predicates: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # collection
+    # ------------------------------------------------------------------ #
+
+    def add(self, subject: str, predicate: str, obj: TripleObject) -> None:
+        """Register one fact.  Entities are created on first mention."""
+        if not subject or not predicate:
+            raise ReproError("subject and predicate must be non-empty")
+        if isinstance(obj, str) and not obj:
+            raise ReproError("entity object must be non-empty")
+        if isinstance(obj, Literal) and not obj.text:
+            raise ReproError("literal object must be non-empty")
+        self._entity_id(subject)
+        self._predicate_id(predicate)
+        if isinstance(obj, str):
+            self._entity_id(obj)
+        self._triples.append(Triple(subject, predicate, obj))
+
+    def add_many(self, triples) -> None:
+        """Register many (subject, predicate, object) facts."""
+        for subject, predicate, obj in triples:
+            self.add(subject, predicate, obj)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    @property
+    def entity_count(self) -> int:
+        """Number of distinct entities seen."""
+        return len(self._entities)
+
+    @property
+    def predicate_count(self) -> int:
+        """Number of distinct predicates seen."""
+        return len(self._predicates)
+
+    def _entity_id(self, label: str) -> int:
+        existing = self._entities.get(label)
+        if existing is None:
+            existing = len(self._entities)
+            self._entities[label] = existing
+        return existing
+
+    def _predicate_id(self, name: str) -> int:
+        existing = self._predicates.get(name)
+        if existing is None:
+            existing = len(self._predicates)
+            self._predicates[name] = existing
+        return existing
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+
+    def to_database(self) -> Database:
+        """Compile the collected facts into the reified schema."""
+        database = Database(triple_schema())
+        for label, eid in self._entities.items():
+            database.insert("entities", {"eid": eid, "label": label})
+        for name, rid in self._predicates.items():
+            database.insert("predicates", {"rid": rid, "name": name})
+        for fid, triple in enumerate(self._triples):
+            row = {
+                "fid": fid,
+                "subject": self._entities[triple.subject],
+                "rid": self._predicates[triple.predicate],
+                "object": None,
+                "literal": None,
+            }
+            if isinstance(triple.object, Literal):
+                row["literal"] = triple.object.text
+            else:
+                row["object"] = self._entities[triple.object]
+            database.insert("facts", row)
+        return database
+
+    def entity_ref(self, label: str) -> Tuple[str, int]:
+        """The tuple ref of an entity in the compiled database."""
+        try:
+            return ("entities", self._entities[label])
+        except KeyError:
+            raise ReproError(f"unknown entity {label!r}") from None

@@ -1,0 +1,119 @@
+"""Tuple graph (Definition 1 of the paper).
+
+Nodes are tuples, edges are foreign-key references.  The keyword search
+engine walks this graph to join matching tuples into result trees, and the
+TAT graph of Definition 5 is this graph augmented with term nodes.
+
+The graph is undirected for traversal purposes (a join can be followed in
+either direction) but we remember the FK orientation for presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+import networkx as nx
+
+from repro.storage.database import Database, TupleRef
+
+
+class TupleGraph:
+    """Undirected graph over the tuples of a :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._adj: Dict[TupleRef, Set[TupleRef]] = {}
+        for ref in database.tuple_refs():
+            self._adj[ref] = set()
+        for child, parent in database.fk_edges():
+            # fk_edges only yields validated references, so both endpoints
+            # exist in _adj unless FK enforcement was disabled.
+            self._adj.setdefault(child, set()).add(parent)
+            self._adj.setdefault(parent, set()).add(child)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, ref: TupleRef) -> bool:
+        return ref in self._adj
+
+    def nodes(self) -> Iterator[TupleRef]:
+        """Iterate all tuple refs."""
+        yield from self._adj
+
+    def neighbors(self, ref: TupleRef) -> Set[TupleRef]:
+        """Adjacent tuple refs of one node."""
+        return self._adj.get(ref, set())
+
+    def degree(self, ref: TupleRef) -> int:
+        """Number of FK edges touching one node."""
+        return len(self._adj.get(ref, ()))
+
+    def edge_count(self) -> int:
+        """Number of undirected FK edges."""
+        return sum(len(n) for n in self._adj.values()) // 2
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+
+    def bfs_distances(
+        self, source: TupleRef, max_depth: int
+    ) -> Dict[TupleRef, int]:
+        """Hop distances from *source* up to *max_depth* (inclusive)."""
+        dist: Dict[TupleRef, int] = {source: 0}
+        frontier: List[TupleRef] = [source]
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            next_frontier: List[TupleRef] = []
+            for node in frontier:
+                for nbr in self._adj[node]:
+                    if nbr not in dist:
+                        dist[nbr] = depth
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        return dist
+
+    def shortest_path(
+        self, source: TupleRef, target: TupleRef, max_depth: int = 8
+    ) -> List[TupleRef]:
+        """One shortest path source→target, or ``[]`` if none within depth."""
+        if source == target:
+            return [source]
+        parent: Dict[TupleRef, TupleRef] = {source: source}
+        frontier = [source]
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            next_frontier: List[TupleRef] = []
+            for node in frontier:
+                for nbr in self._adj[node]:
+                    if nbr in parent:
+                        continue
+                    parent[nbr] = node
+                    if nbr == target:
+                        path = [nbr]
+                        while path[-1] != source:
+                            path.append(parent[path[-1]])
+                        return list(reversed(path))
+                    next_frontier.append(nbr)
+            frontier = next_frontier
+        return []
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self) -> "nx.Graph":
+        """Export as a networkx graph (used by examples and tests)."""
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        for node, nbrs in self._adj.items():
+            for nbr in nbrs:
+                g.add_edge(node, nbr)
+        return g

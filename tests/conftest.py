@@ -1,0 +1,175 @@
+"""Shared fixtures: a hand-checkable toy database and a small corpus.
+
+The toy database is small enough that every expected value in the tests
+can be verified by eye; the synthesized corpus exercises realistic scale.
+Both are session-scoped — they are immutable inputs, and the offline
+structures built on them (index, graph, extractors) are expensive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dblp_synth import SynthConfig, synthesize_dblp
+from repro.graph.closeness import ClosenessExtractor
+from repro.graph.cooccurrence import CooccurrenceSimilarity
+from repro.graph.similarity import SimilarityExtractor
+from repro.graph.tat import TATGraph
+from repro.index.inverted import InvertedIndex
+from repro.search.keyword import KeywordSearchEngine
+from repro.storage.database import Database
+from repro.storage.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.storage.tuplegraph import TupleGraph
+
+
+def toy_schema() -> DatabaseSchema:
+    """conferences / authors / papers / writes, as in Figure 1."""
+    schema = DatabaseSchema()
+    schema.add_table(TableSchema(
+        "conferences",
+        [Column("cid", "int", nullable=False), Column("name", "text")],
+        primary_key="cid",
+        atomic_fields=["name"],
+    ))
+    schema.add_table(TableSchema(
+        "authors",
+        [Column("aid", "int", nullable=False), Column("name", "text")],
+        primary_key="aid",
+        atomic_fields=["name"],
+    ))
+    schema.add_table(TableSchema(
+        "papers",
+        [
+            Column("pid", "int", nullable=False),
+            Column("title", "text"),
+            Column("cid", "int"),
+            Column("year", "int"),
+        ],
+        primary_key="pid",
+        text_fields=["title"],
+    ))
+    schema.add_table(TableSchema(
+        "writes",
+        [
+            Column("wid", "int", nullable=False),
+            Column("aid", "int"),
+            Column("pid", "int"),
+        ],
+        primary_key="wid",
+        text_fields=[],
+    ))
+    schema.add_foreign_key(ForeignKey("papers", "cid", "conferences", "cid"))
+    schema.add_foreign_key(ForeignKey("writes", "aid", "authors", "aid"))
+    schema.add_foreign_key(ForeignKey("writes", "pid", "papers", "pid"))
+    return schema
+
+
+def build_toy_database() -> Database:
+    """4 papers, 3 authors, 2 conferences — every fact hand-checkable.
+
+    Layout (all in lowercase, analyzer-friendly):
+
+    * vldb hosts p0 ("probabilistic query answering"),
+                 p1 ("uncertain data management")
+    * icdm hosts p2 ("frequent pattern mining"),
+                 p3 ("probabilistic pattern discovery")
+    * ann wrote p0 and p1 (so "probabilistic" and "uncertain" share an
+      author and a venue but never a title)
+    * bob wrote p2; eve wrote p3; bob and eve never collaborate but share
+      the venue icdm and the word "pattern".
+    """
+    database = Database(toy_schema())
+    database.insert("conferences", {"cid": 0, "name": "vldb"})
+    database.insert("conferences", {"cid": 1, "name": "icdm"})
+    database.insert("authors", {"aid": 0, "name": "ann"})
+    database.insert("authors", {"aid": 1, "name": "bob"})
+    database.insert("authors", {"aid": 2, "name": "eve"})
+    database.insert("papers", {
+        "pid": 0, "title": "probabilistic query answering", "cid": 0,
+        "year": 2010,
+    })
+    database.insert("papers", {
+        "pid": 1, "title": "uncertain data management", "cid": 0,
+        "year": 2011,
+    })
+    database.insert("papers", {
+        "pid": 2, "title": "frequent pattern mining", "cid": 1,
+        "year": 2009,
+    })
+    database.insert("papers", {
+        "pid": 3, "title": "probabilistic pattern discovery", "cid": 1,
+        "year": 2012,
+    })
+    database.insert("writes", {"wid": 0, "aid": 0, "pid": 0})
+    database.insert("writes", {"wid": 1, "aid": 0, "pid": 1})
+    database.insert("writes", {"wid": 2, "aid": 1, "pid": 2})
+    database.insert("writes", {"wid": 3, "aid": 2, "pid": 3})
+    return database
+
+
+@pytest.fixture(scope="session")
+def toy_db() -> Database:
+    return build_toy_database()
+
+
+@pytest.fixture(scope="session")
+def toy_index(toy_db) -> InvertedIndex:
+    return InvertedIndex(toy_db).build()
+
+
+@pytest.fixture(scope="session")
+def toy_graph(toy_db, toy_index) -> TATGraph:
+    return TATGraph(toy_db, toy_index)
+
+
+@pytest.fixture(scope="session")
+def toy_tuple_graph(toy_db) -> TupleGraph:
+    return TupleGraph(toy_db)
+
+
+@pytest.fixture(scope="session")
+def toy_search(toy_tuple_graph, toy_index) -> KeywordSearchEngine:
+    return KeywordSearchEngine(toy_tuple_graph, toy_index)
+
+
+@pytest.fixture(scope="session")
+def toy_similarity(toy_graph) -> SimilarityExtractor:
+    return SimilarityExtractor(toy_graph)
+
+
+@pytest.fixture(scope="session")
+def toy_closeness(toy_graph) -> ClosenessExtractor:
+    return ClosenessExtractor(toy_graph, beam_width=None)
+
+
+@pytest.fixture(scope="session")
+def toy_cooccurrence(toy_graph) -> CooccurrenceSimilarity:
+    return CooccurrenceSimilarity(toy_graph)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small but realistic synthesized corpus (deterministic)."""
+    return synthesize_dblp(
+        SynthConfig(n_authors=80, n_papers=300, n_conferences=10, seed=13)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_db(small_corpus) -> Database:
+    return small_corpus.database
+
+
+@pytest.fixture(scope="session")
+def small_index(small_db) -> InvertedIndex:
+    return InvertedIndex(small_db).build()
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_db, small_index) -> TATGraph:
+    return TATGraph(small_db, small_index)

@@ -1,0 +1,73 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The central one is :func:`hmms` — random, fully-parameterized
+:class:`~repro.core.hmm.ReformulationHMM` instances small enough for the
+brute-force oracle, used to cross-check Viterbi, top-k Viterbi and A*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateState, StateKind
+from repro.core.hmm import ReformulationHMM
+
+
+@st.composite
+def hmms(
+    draw,
+    max_positions: int = 4,
+    max_states: int = 4,
+    allow_zeros: bool = True,
+):
+    """A random small HMM with explicit (possibly zero) factor matrices."""
+    m = draw(st.integers(min_value=1, max_value=max_positions))
+    sizes = [
+        draw(st.integers(min_value=1, max_value=max_states)) for _ in range(m)
+    ]
+    low = 0.0 if allow_zeros else 0.01
+    weight = st.floats(
+        min_value=low, max_value=1.0, allow_nan=False, allow_infinity=False
+    )
+
+    states: List[List[CandidateState]] = []
+    for i, n in enumerate(sizes):
+        states.append([
+            CandidateState(
+                kind=StateKind.SIMILAR,
+                node_id=i * max_states + j,
+                text=f"t{i}_{j}",
+                sim=draw(weight),
+            )
+            for j in range(n)
+        ])
+
+    pi_raw = np.array([draw(weight) for _ in range(sizes[0])])
+    if pi_raw.sum() == 0:
+        pi_raw[0] = 1.0
+    pi = pi_raw / pi_raw.sum()
+
+    emissions = []
+    for n in sizes:
+        e_raw = np.array([draw(weight) for _ in range(n)])
+        if e_raw.sum() == 0:
+            e_raw[0] = 1.0
+        emissions.append(e_raw / e_raw.sum())
+
+    transitions = []
+    for i in range(1, m):
+        t = np.array(
+            [[draw(weight) for _ in range(sizes[i])] for _ in range(sizes[i - 1])]
+        )
+        transitions.append(t)
+
+    return ReformulationHMM(
+        query=tuple(f"q{i}" for i in range(m)),
+        states=states,
+        pi=pi,
+        emissions=emissions,
+        transitions=transitions,
+    )

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.storage.schemaspec import save_database
+
+from tests.conftest import build_toy_database
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """A small synthesized corpus written by the synth subcommand."""
+    directory = tmp_path_factory.mktemp("corpus")
+    out = io.StringIO()
+    code = main([
+        "synth", "--out", str(directory),
+        "--authors", "40", "--papers", "150", "--conferences", "6",
+        "--seed", "3",
+    ], out=out)
+    assert code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def toy_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("toy")
+    save_database(build_toy_database(), directory)
+    return directory
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestSynthAndDescribe:
+    def test_synth_writes_schema_and_csvs(self, corpus_dir):
+        assert (corpus_dir / "schema.json").exists()
+        assert (corpus_dir / "papers.csv").exists()
+
+    def test_describe(self, corpus_dir):
+        code, text = run(["describe", "--data", str(corpus_dir)])
+        assert code == 0
+        assert "papers: 150 rows" in text
+        assert "TAT graph" in text
+
+
+class TestReformulate:
+    def test_basic(self, toy_dir):
+        code, text = run([
+            "reformulate", "--data", str(toy_dir),
+            "probabilistic", "query", "-k", "3", "--candidates", "5",
+        ])
+        assert code == 0
+        assert "input: probabilistic | query" in text
+        assert len(text.strip().splitlines()) >= 2
+
+    def test_methods(self, toy_dir):
+        for method in ("tat", "cooccurrence", "rank"):
+            code, text = run([
+                "reformulate", "--data", str(toy_dir),
+                "probabilistic", "query", "--method", method,
+                "--candidates", "5", "-k", "2",
+            ])
+            assert code == 0, method
+
+    def test_uppercase_keywords_normalized(self, toy_dir):
+        code, text = run([
+            "reformulate", "--data", str(toy_dir),
+            "PROBABILISTIC", "Query", "-k", "2", "--candidates", "5",
+        ])
+        assert code == 0
+        assert "input: probabilistic | query" in text
+
+
+class TestSimilarAndClose:
+    def test_similar_walk(self, toy_dir):
+        code, text = run([
+            "similar", "--data", str(toy_dir), "probabilistic", "-n", "4",
+        ])
+        assert code == 0
+        assert len(text.strip().splitlines()) == 4
+
+    def test_similar_cooccurrence(self, toy_dir):
+        code, text = run([
+            "similar", "--data", str(toy_dir), "probabilistic",
+            "--method", "cooccurrence",
+        ])
+        assert code == 0
+
+    def test_similar_unknown_term_fails_cleanly(self, toy_dir):
+        code, _text = run(["similar", "--data", str(toy_dir), "zzzz"])
+        assert code == 1
+
+    def test_close(self, toy_dir):
+        code, text = run([
+            "close", "--data", str(toy_dir), "probabilistic", "-n", "3",
+        ])
+        assert code == 0
+        assert len(text.strip().splitlines()) == 3
+
+
+class TestSearch:
+    def test_search(self, toy_dir):
+        code, text = run([
+            "search", "--data", str(toy_dir), "probabilistic", "query",
+        ])
+        assert code == 0
+        assert "results" in text
+        assert "papers#0" in text
+
+
+class TestPrecompute:
+    def test_precompute_then_serve(self, toy_dir, tmp_path):
+        relations = tmp_path / "relations.json"
+        code, text = run([
+            "precompute", "--data", str(toy_dir),
+            "--out", str(relations), "--similar", "6",
+        ])
+        assert code == 0
+        assert relations.exists()
+        code, text = run([
+            "reformulate", "--data", str(toy_dir),
+            "--relations", str(relations),
+            "probabilistic", "query", "-k", "3", "--candidates", "5",
+        ])
+        assert code == 0
+        assert "probabilistic" in text
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

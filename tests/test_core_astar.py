@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.astar (Algorithm 3) vs the oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.astar import astar_topk, backward_heuristic
+from repro.core.enumeration import brute_force_topk
+from repro.core.viterbi import viterbi_topk
+from repro.errors import ReformulationError
+
+from tests.strategies import hmms
+from tests.test_core_hmm import build_tiny
+
+
+class TestCorrectness:
+    @settings(max_examples=60, deadline=None)
+    @given(hmms())
+    def test_matches_brute_force(self, hmm):
+        k = 5
+        ours = astar_topk(hmm, k).queries
+        oracle = brute_force_topk(hmm, k)
+        assert len(ours) == len(oracle)
+        for a, b in zip(ours, oracle):
+            assert a.score == pytest.approx(b.score, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hmms())
+    def test_matches_algorithm2(self, hmm):
+        k = 4
+        a3 = [q.score for q in astar_topk(hmm, k).queries]
+        a2 = [q.score for q in viterbi_topk(hmm, k)]
+        assert a3 == pytest.approx(a2, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hmms())
+    def test_results_sorted_and_unique(self, hmm):
+        outcome = astar_topk(hmm, 6)
+        scores = [q.score for q in outcome.queries]
+        assert scores == sorted(scores, reverse=True)
+        paths = [q.state_path for q in outcome.queries]
+        assert len(paths) == len(set(paths))
+
+    @settings(max_examples=30, deadline=None)
+    @given(hmms())
+    def test_k_exceeding_space(self, hmm):
+        outcome = astar_topk(hmm, hmm.search_space + 5)
+        # zero-score paths may be pruned, but every positive-score path
+        # must be enumerated
+        positive = sum(
+            1 for q in brute_force_topk(hmm, hmm.search_space)
+            if q.score > 0
+        )
+        assert len(outcome.queries) >= positive
+
+    def test_k_validation(self):
+        with pytest.raises(ReformulationError):
+            astar_topk(build_tiny(), 0)
+
+
+class TestHeuristic:
+    @settings(max_examples=40, deadline=None)
+    @given(hmms())
+    def test_heuristic_admissible(self, hmm):
+        """h[c][i] must upper-bound every completion's true factor."""
+        h = backward_heuristic(hmm)
+        oracle = brute_force_topk(hmm, hmm.search_space)
+        for q in oracle:
+            path = q.state_path
+            # suffix factor from step c
+            for c in range(hmm.length):
+                suffix = 1.0
+                for i in range(c + 1, hmm.length):
+                    suffix *= float(
+                        hmm.transitions[i - 1][path[i - 1], path[i]]
+                    )
+                    suffix *= float(hmm.emissions[i][path[i]])
+                assert h[c][path[c]] >= suffix - 1e-12
+
+    def test_last_step_heuristic_is_one(self):
+        hmm = build_tiny()
+        h = backward_heuristic(hmm)
+        assert np.allclose(h[-1], 1.0)
+
+
+class TestDiagnostics:
+    def test_stage_timings_nonnegative(self):
+        outcome = astar_topk(build_tiny(), 3)
+        assert outcome.viterbi_seconds >= 0
+        assert outcome.astar_seconds >= 0
+        assert outcome.total_seconds == pytest.approx(
+            outcome.viterbi_seconds + outcome.astar_seconds
+        )
+
+    def test_expansion_counter_positive(self):
+        outcome = astar_topk(build_tiny(), 2)
+        assert outcome.expanded >= 2
+
+    def test_pruning_beats_exhaustive_on_peaked_hmm(self):
+        """With one dominant path, A* must not expand the whole space."""
+        import numpy as np
+
+        from repro.core.candidates import CandidateState, StateKind
+        from repro.core.hmm import ReformulationHMM
+
+        m, n = 6, 8
+        states = [
+            [
+                CandidateState(StateKind.SIMILAR, i * n + j, f"t{i}_{j}", 1.0)
+                for j in range(n)
+            ]
+            for i in range(m)
+        ]
+        pi = np.full(n, 1e-6)
+        pi[0] = 1.0
+        pi /= pi.sum()
+        emissions = []
+        for _ in range(m):
+            e = np.full(n, 1e-6)
+            e[0] = 1.0
+            emissions.append(e / e.sum())
+        transitions = []
+        for _ in range(1, m):
+            t = np.full((n, n), 1e-6)
+            t[0, 0] = 1.0
+            transitions.append(t)
+        hmm = ReformulationHMM(
+            query=tuple(f"q{i}" for i in range(m)),
+            states=states,
+            pi=pi,
+            emissions=emissions,
+            transitions=transitions,
+        )
+        outcome = astar_topk(hmm, 1)
+        assert outcome.queries[0].state_path == (0,) * m
+        assert outcome.expanded < n ** m / 100

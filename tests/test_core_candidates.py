@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.candidates on the toy corpus."""
+
+import pytest
+
+from repro.core.candidates import (
+    CandidateListBuilder,
+    CandidateState,
+    StateKind,
+)
+from repro.errors import ReformulationError
+
+
+@pytest.fixture()
+def builder(toy_graph, toy_similarity) -> CandidateListBuilder:
+    return CandidateListBuilder(toy_graph, toy_similarity, n_candidates=5)
+
+
+class TestValidation:
+    def test_n_candidates_positive(self, toy_graph, toy_similarity):
+        with pytest.raises(ReformulationError):
+            CandidateListBuilder(toy_graph, toy_similarity, n_candidates=0)
+
+    def test_void_sim_positive(self, toy_graph, toy_similarity):
+        with pytest.raises(ReformulationError):
+            CandidateListBuilder(toy_graph, toy_similarity, void_sim=0.0)
+
+    def test_empty_query_rejected(self, builder):
+        with pytest.raises(ReformulationError):
+            builder.build([])
+
+
+class TestKnownKeyword:
+    def test_original_state_first(self, builder):
+        states = builder.candidates_for("probabilistic")
+        assert states[0].kind is StateKind.ORIGINAL
+        assert states[0].text == "probabilistic"
+        assert states[0].node_id is not None
+
+    def test_original_has_top_sim(self, builder):
+        states = builder.candidates_for("probabilistic")
+        assert states[0].sim == max(s.sim for s in states)
+
+    def test_similar_states_have_nodes(self, builder, toy_graph):
+        states = builder.candidates_for("probabilistic")
+        for state in states[1:]:
+            assert state.kind is StateKind.SIMILAR
+            assert toy_graph.node(state.node_id).text == state.text
+
+    def test_candidate_count_capped(self, toy_graph, toy_similarity):
+        builder = CandidateListBuilder(
+            toy_graph, toy_similarity, n_candidates=2
+        )
+        states = builder.candidates_for("probabilistic")
+        assert len(states) == 3  # original + 2 similar
+
+    def test_without_original(self, toy_graph, toy_similarity):
+        builder = CandidateListBuilder(
+            toy_graph, toy_similarity, include_original=False, n_candidates=3
+        )
+        states = builder.candidates_for("probabilistic")
+        assert all(s.kind is StateKind.SIMILAR for s in states)
+
+    def test_with_void(self, toy_graph, toy_similarity):
+        builder = CandidateListBuilder(
+            toy_graph, toy_similarity, include_void=True
+        )
+        states = builder.candidates_for("probabilistic")
+        assert states[-1].is_void
+        assert states[-1].text is None
+        assert states[-1].node_id is None
+
+
+class TestUnknownKeyword:
+    def test_unknown_keeps_original_only(self, builder):
+        states = builder.candidates_for("zzzunknown")
+        assert len(states) == 1
+        assert states[0].kind is StateKind.ORIGINAL
+        assert states[0].node_id is None
+        assert states[0].sim == 1.0
+
+    def test_unknown_with_void(self, toy_graph, toy_similarity):
+        builder = CandidateListBuilder(
+            toy_graph, toy_similarity, include_void=True
+        )
+        states = builder.candidates_for("zzzunknown")
+        assert len(states) == 2
+        assert states[1].is_void
+
+
+class TestBuild:
+    def test_build_per_position(self, builder):
+        lists = builder.build(["probabilistic", "query"])
+        assert len(lists) == 2
+        assert lists[0][0].text == "probabilistic"
+        assert lists[1][0].text == "query"
+
+    def test_author_keyword(self, builder):
+        states = builder.candidates_for("bob")
+        texts = {s.text for s in states}
+        assert "bob" in texts
+        assert "eve" in texts  # venue-mate found by the walk
+
+    def test_states_are_frozen(self, builder):
+        state = builder.candidates_for("query")[0]
+        with pytest.raises(AttributeError):
+            state.sim = 2.0

@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.diversify."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversify import (
+    distinct_term_coverage,
+    keyword_overlap,
+    mmr_diversify,
+)
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReformulationError
+
+
+def scored(terms, score):
+    return ScoredQuery(
+        terms=tuple(terms), score=score, state_path=tuple(range(len(terms)))
+    )
+
+
+class TestOverlap:
+    def test_identical(self):
+        a = scored(["x", "y"], 1.0)
+        assert keyword_overlap(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert keyword_overlap(
+            scored(["a", "b"], 1.0), scored(["c", "d"], 1.0)
+        ) == 0.0
+
+    def test_partial(self):
+        assert keyword_overlap(
+            scored(["a", "b"], 1.0), scored(["b", "c"], 1.0)
+        ) == pytest.approx(1 / 3)
+
+    def test_symmetric(self):
+        a, b = scored(["a", "b"], 1.0), scored(["b", "c", "d"], 1.0)
+        assert keyword_overlap(a, b) == keyword_overlap(b, a)
+
+    def test_all_void(self):
+        assert keyword_overlap(scored([None], 1.0), scored([None], 1.0)) == 1.0
+
+
+class TestMmr:
+    def pool(self):
+        return [
+            scored(["a", "b"], 1.00),
+            scored(["a", "c"], 0.95),   # overlaps with #1
+            scored(["x", "y"], 0.60),   # disjoint
+            scored(["a", "d"], 0.90),
+        ]
+
+    def test_lambda_one_is_score_order(self):
+        out = mmr_diversify(self.pool(), k=3, trade_off=1.0)
+        assert [q.score for q in out] == [1.00, 0.95, 0.90]
+
+    def test_low_lambda_prefers_disjoint(self):
+        out = mmr_diversify(self.pool(), k=2, trade_off=0.4)
+        assert out[0].score == 1.00              # best always first
+        assert out[1].keywords == ("x", "y")     # diversity beats 0.95
+
+    def test_k_larger_than_pool(self):
+        out = mmr_diversify(self.pool(), k=10)
+        assert len(out) == 4
+
+    def test_empty_pool(self):
+        assert mmr_diversify([], k=3) == []
+
+    def test_validation(self):
+        with pytest.raises(ReformulationError):
+            mmr_diversify(self.pool(), k=0)
+        with pytest.raises(ReformulationError):
+            mmr_diversify(self.pool(), k=2, trade_off=0.0)
+
+    def test_no_duplicates_selected(self):
+        out = mmr_diversify(self.pool(), k=4, trade_off=0.5)
+        assert len({id(q) for q in out}) == 4
+        assert len({q.text for q in out}) == 4
+
+    def test_zero_scores_handled(self):
+        pool = [scored(["a"], 0.0), scored(["b"], 0.0)]
+        out = mmr_diversify(pool, k=2, trade_off=0.5)
+        assert len(out) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.sampled_from("abcdef"), min_size=1, max_size=3,
+                    unique=True,
+                ),
+                st.floats(0.0, 1.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(0.1, 1.0),
+    )
+    def test_property_subset_of_pool(self, raw, trade_off):
+        pool = [scored(terms, score) for terms, score in raw]
+        out = mmr_diversify(pool, k=3, trade_off=trade_off)
+        assert len(out) == min(3, len(pool))
+        assert all(q in pool for q in out)
+        # the top-scored candidate is always selected first
+        assert out[0].score == max(q.score for q in pool)
+
+
+class TestCoverage:
+    def test_distinct_term_coverage(self):
+        queries = [scored(["a", "b"], 1.0), scored(["b", "c"], 0.5)]
+        assert distinct_term_coverage(queries) == 3
+
+    def test_diversified_coverage_not_worse(self, toy_graph):
+        """End-to-end: MMR never reduces distinct-term coverage."""
+        from repro.core.reformulator import Reformulator, ReformulatorConfig
+
+        plain = Reformulator(
+            toy_graph, ReformulatorConfig(n_candidates=6)
+        ).reformulate(["probabilistic", "query"], k=5)
+        diverse = Reformulator(
+            toy_graph,
+            ReformulatorConfig(n_candidates=6, diversify_trade_off=0.5),
+        ).reformulate(["probabilistic", "query"], k=5)
+        assert distinct_term_coverage(diverse) >= distinct_term_coverage(plain)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.enumeration."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateState, StateKind
+from repro.core.enumeration import RankBasedReformulator, brute_force_topk
+from repro.errors import ReformulationError
+
+from tests.strategies import hmms
+from tests.test_core_hmm import build_tiny
+
+
+def sim_state(node_id, text, sim):
+    return CandidateState(StateKind.SIMILAR, node_id, text, sim)
+
+
+class TestBruteForce:
+    def test_enumerates_whole_space(self):
+        hmm = build_tiny()
+        results = brute_force_topk(hmm, 100)
+        assert len(results) == 4
+
+    def test_guard_on_large_space(self):
+        hmm = build_tiny()
+        with pytest.raises(ReformulationError):
+            brute_force_topk(hmm, 1, max_space=2)
+
+    def test_k_validation(self):
+        with pytest.raises(ReformulationError):
+            brute_force_topk(build_tiny(), 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(hmms())
+    def test_results_are_true_maxima(self, hmm):
+        top = brute_force_topk(hmm, 3)
+        all_scores = sorted(
+            (
+                hmm.path_score(p)
+                for p in itertools.product(
+                    *[range(hmm.n_states(i)) for i in range(hmm.length)]
+                )
+            ),
+            reverse=True,
+        )
+        for query, expected in zip(top, all_scores):
+            assert query.score == pytest.approx(expected, abs=1e-12)
+
+
+class TestRankBased:
+    def make_states(self):
+        return [
+            [sim_state(0, "a0", 0.9), sim_state(1, "a1", 0.5),
+             sim_state(2, "a2", 0.1)],
+            [sim_state(3, "b0", 0.8), sim_state(4, "b1", 0.3)],
+        ]
+
+    def test_top1_is_best_product(self):
+        ranker = RankBasedReformulator(self.make_states())
+        top = ranker.topk(1)[0]
+        assert top.terms == ("a0", "b0")
+        assert top.score == pytest.approx(0.9 * 0.8)
+
+    def test_topk_order(self):
+        ranker = RankBasedReformulator(self.make_states())
+        results = ranker.topk(6)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert len(results) == 6  # entire 3x2 space
+
+    def test_topk_matches_exhaustive(self):
+        states = self.make_states()
+        ranker = RankBasedReformulator(states)
+        exhaustive = sorted(
+            (
+                states[0][i].sim * states[1][j].sim
+                for i in range(3)
+                for j in range(2)
+            ),
+            reverse=True,
+        )
+        ours = [r.score for r in ranker.topk(6)]
+        assert ours == pytest.approx(exhaustive)
+
+    def test_k_larger_than_space(self):
+        ranker = RankBasedReformulator(self.make_states())
+        assert len(ranker.topk(100)) == 6
+
+    def test_no_duplicates(self):
+        ranker = RankBasedReformulator(self.make_states())
+        paths = [r.state_path for r in ranker.topk(6)]
+        assert len(set(paths)) == 6
+
+    def test_unsorted_input_handled(self):
+        states = [
+            [sim_state(0, "low", 0.1), sim_state(1, "high", 0.9)],
+        ]
+        ranker = RankBasedReformulator(states)
+        assert ranker.topk(1)[0].terms == ("high",)
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ReformulationError):
+            RankBasedReformulator([[]])
+
+    def test_k_validation(self):
+        with pytest.raises(ReformulationError):
+            RankBasedReformulator(self.make_states()).topk(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(0.01, 1.0, allow_nan=False), min_size=1, max_size=4
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_property_matches_exhaustive(self, sim_lists):
+        states = [
+            [
+                sim_state(i * 10 + j, f"t{i}_{j}", s)
+                for j, s in enumerate(position)
+            ]
+            for i, position in enumerate(sim_lists)
+        ]
+        ranker = RankBasedReformulator(states)
+        k = 5
+        ours = [r.score for r in ranker.topk(k)]
+        exhaustive = sorted(
+            (
+                __import__("math").prod(combo)
+                for combo in itertools.product(*sim_lists)
+            ),
+            reverse=True,
+        )[:k]
+        assert ours == pytest.approx(exhaustive)

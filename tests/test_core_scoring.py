@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scoring import (
+    ScoredQuery,
+    aggregate_similarity,
+    normalize_distribution,
+    smooth_factors,
+    smooth_rows,
+)
+from repro.errors import ReformulationError
+
+floats01 = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestSmoothFactors:
+    def test_lambda_one_is_identity(self):
+        raw = np.array([0.2, 0.0, 0.8])
+        assert np.array_equal(smooth_factors(raw, 1.0), raw)
+
+    def test_zero_entries_lifted(self):
+        raw = np.array([0.0, 1.0])
+        smoothed = smooth_factors(raw, 0.8)
+        assert smoothed[0] > 0
+
+    def test_mean_preserved(self):
+        raw = np.array([0.1, 0.5, 0.9])
+        smoothed = smooth_factors(raw, 0.7)
+        assert smoothed.mean() == pytest.approx(raw.mean())
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ReformulationError):
+            smooth_factors(np.array([1.0]), 0.0)
+        with pytest.raises(ReformulationError):
+            smooth_factors(np.array([1.0]), 1.5)
+
+    def test_empty_array(self):
+        assert smooth_factors(np.array([]), 0.8).size == 0
+
+    def test_returns_copy(self):
+        raw = np.array([0.5, 0.5])
+        smoothed = smooth_factors(raw, 1.0)
+        smoothed[0] = 99
+        assert raw[0] == 0.5
+
+    @given(st.lists(floats01, min_size=1, max_size=8), st.floats(0.01, 1.0))
+    def test_property_order_preserved(self, values, lam):
+        raw = np.array(values)
+        smoothed = smooth_factors(raw, lam)
+        # smoothing is affine with positive slope: order is preserved
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if raw[i] > raw[j]:
+                    assert smoothed[i] >= smoothed[j]
+
+
+class TestSmoothRows:
+    def test_row_means_used(self):
+        raw = np.array([[0.0, 1.0], [1.0, 1.0]])
+        smoothed = smooth_rows(raw, 0.5)
+        assert smoothed[0, 0] == pytest.approx(0.25)
+        assert smoothed[1, 0] == pytest.approx(1.0)
+
+    def test_lambda_one_identity(self):
+        raw = np.array([[0.3, 0.7]])
+        assert np.array_equal(smooth_rows(raw, 1.0), raw)
+
+    def test_rows_independent(self):
+        raw = np.array([[0.0, 0.0], [1.0, 1.0]])
+        smoothed = smooth_rows(raw, 0.5)
+        assert np.all(smoothed[0] == 0.0)
+        assert np.all(smoothed[1] == 1.0)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ReformulationError):
+            smooth_rows(np.zeros((2, 2)), -0.1)
+
+
+class TestNormalizeDistribution:
+    def test_normalizes(self):
+        out = normalize_distribution(np.array([1.0, 3.0]))
+        assert out.tolist() == [0.25, 0.75]
+
+    def test_all_zero_becomes_uniform(self):
+        out = normalize_distribution(np.zeros(4))
+        assert np.allclose(out, 0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReformulationError):
+            normalize_distribution(np.array([-1.0, 2.0]))
+
+    def test_requires_1d(self):
+        with pytest.raises(ReformulationError):
+            normalize_distribution(np.zeros((2, 2)))
+
+    @given(st.lists(floats01, min_size=1, max_size=10))
+    def test_property_sums_to_one(self, values):
+        out = normalize_distribution(np.array(values))
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= 0).all()
+
+
+class TestAggregateSimilarity:
+    def test_product(self):
+        assert aggregate_similarity([0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_empty_is_one(self):
+        assert aggregate_similarity([]) == 1.0
+
+    def test_negative_clamped(self):
+        assert aggregate_similarity([-0.5, 1.0]) == 0.0
+
+
+class TestScoredQuery:
+    def test_text_drops_voids(self):
+        q = ScoredQuery(terms=("a", None, "b"), score=0.5, state_path=(0, 1, 2))
+        assert q.text == "a b"
+        assert q.keywords == ("a", "b")
+        assert len(q) == 2
+
+    def test_all_void(self):
+        q = ScoredQuery(terms=(None,), score=0.0, state_path=(0,))
+        assert q.text == ""
+        assert len(q) == 0

@@ -1,0 +1,89 @@
+"""Unit tests for repro.data.sessions."""
+
+import pytest
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.data.sessions import SessionSimulator
+from repro.data.workloads import WorkloadGenerator
+from repro.errors import ReproError
+from repro.eval.judge import JudgePanel
+
+
+@pytest.fixture(scope="module")
+def pieces(small_corpus, small_graph):
+    reformulator = Reformulator(
+        small_graph, ReformulatorConfig(n_candidates=8)
+    )
+    judges = JudgePanel(small_corpus.ground_truth)  # no cohesion for speed
+    workloads = WorkloadGenerator(small_corpus, seed=5)
+    return reformulator, judges, workloads
+
+
+class TestValidation:
+    def test_probability_bounds(self, pieces):
+        reformulator, judges, _ = pieces
+        with pytest.raises(ReproError):
+            SessionSimulator(reformulator, judges, accept_if_relevant=1.5)
+        with pytest.raises(ReproError):
+            SessionSimulator(reformulator, judges, accept_if_irrelevant=-0.1)
+
+    def test_inspect_top(self, pieces):
+        reformulator, judges, _ = pieces
+        with pytest.raises(ReproError):
+            SessionSimulator(reformulator, judges, inspect_top=0)
+
+
+class TestSimulation:
+    def test_log_size(self, pieces):
+        reformulator, judges, workloads = pieces
+        simulator = SessionSimulator(
+            reformulator, judges, inspect_top=3, seed=1
+        )
+        log = simulator.run(workloads.mixed_queries(4))
+        assert 0 < len(log) <= 4 * 3
+
+    def test_deterministic(self, pieces):
+        reformulator, judges, workloads = pieces
+        queries = workloads.mixed_queries(4)
+        log_a = SessionSimulator(reformulator, judges, seed=7).run(queries)
+        log_b = SessionSimulator(reformulator, judges, seed=7).run(queries)
+        assert [i.accepted for i in log_a.interactions] == [
+            i.accepted for i in log_b.interactions
+        ]
+
+    def test_seed_changes_behaviour(self, pieces):
+        reformulator, judges, workloads = pieces
+        queries = workloads.mixed_queries(6)
+        log_a = SessionSimulator(reformulator, judges, seed=7).run(queries)
+        log_b = SessionSimulator(reformulator, judges, seed=8).run(queries)
+        assert [i.accepted for i in log_a.interactions] != [
+            i.accepted for i in log_b.interactions
+        ]
+
+    def test_relevant_accepted_more_often(self, pieces):
+        """With enough interactions, the click model's bias shows."""
+        reformulator, judges, workloads = pieces
+        simulator = SessionSimulator(
+            reformulator, judges,
+            accept_if_relevant=0.9, accept_if_irrelevant=0.0,
+            inspect_top=5, seed=2,
+        )
+        log = simulator.run(workloads.mixed_queries(8))
+        for interaction in log.accepted:
+            assert interaction.relevant  # irrelevant never accepted at p=0
+
+    def test_acceptance_rate(self, pieces):
+        reformulator, judges, workloads = pieces
+        all_accept = SessionSimulator(
+            reformulator, judges,
+            accept_if_relevant=1.0, accept_if_irrelevant=1.0,
+            seed=3,
+        )
+        log = all_accept.run(workloads.mixed_queries(3))
+        assert log.acceptance_rate == 1.0
+
+    def test_empty_workload(self, pieces):
+        reformulator, judges, _ = pieces
+        log = SessionSimulator(reformulator, judges).run([])
+        assert len(log) == 0
+        assert log.acceptance_rate == 0.0

@@ -1,0 +1,179 @@
+"""Unit tests for repro.data.dblp_synth and repro.data.names."""
+
+import pytest
+
+from repro.data.dblp_synth import (
+    SynthConfig,
+    dblp_schema,
+    synthesize_dblp,
+)
+from repro.data.names import author_names, conference_names, venue_full_name
+from repro.errors import ReproError
+from repro.index.analyzer import Analyzer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return synthesize_dblp(
+        SynthConfig(n_authors=60, n_papers=200, n_conferences=8, seed=21)
+    )
+
+
+class TestNames:
+    def test_author_names_unique(self):
+        names = author_names(500, seed=1)
+        assert len(set(names)) == 500
+
+    def test_author_names_deterministic(self):
+        assert author_names(50, seed=3) == author_names(50, seed=3)
+
+    def test_author_names_seed_sensitive(self):
+        assert author_names(50, seed=3) != author_names(50, seed=4)
+
+    def test_conference_names_unique(self):
+        names = conference_names(200, seed=1)
+        assert len(set(names)) == 200
+
+    def test_conference_names_deterministic(self):
+        assert conference_names(30, seed=9) == conference_names(30, seed=9)
+
+    def test_venue_full_name_deterministic(self):
+        assert venue_full_name("icde", 1) == venue_full_name("icde", 1)
+
+
+class TestConfig:
+    def test_invalid_sizes(self):
+        with pytest.raises(ReproError):
+            synthesize_dblp(SynthConfig(n_authors=0))
+
+    def test_invalid_title_bounds(self):
+        with pytest.raises(ReproError):
+            synthesize_dblp(SynthConfig(min_title_words=5, max_title_words=3))
+
+    def test_invalid_authors_per_paper(self):
+        with pytest.raises(ReproError):
+            synthesize_dblp(SynthConfig(max_authors_per_paper=0))
+
+
+class TestGeneration:
+    def test_sizes_match_config(self, corpus):
+        db = corpus.database
+        assert len(db.table("authors")) == 60
+        assert len(db.table("papers")) == 200
+        assert len(db.table("conferences")) == 8
+
+    def test_deterministic(self):
+        config = SynthConfig(n_authors=30, n_papers=80, n_conferences=6, seed=5)
+        a = synthesize_dblp(config)
+        b = synthesize_dblp(config)
+        titles_a = [r["title"] for r in a.database.table("papers").scan()]
+        titles_b = [r["title"] for r in b.database.table("papers").scan()]
+        assert titles_a == titles_b
+
+    def test_seed_changes_output(self):
+        a = synthesize_dblp(SynthConfig(n_papers=80, seed=5))
+        b = synthesize_dblp(SynthConfig(n_papers=80, seed=6))
+        titles_a = [r["title"] for r in a.database.table("papers").scan()]
+        titles_b = [r["title"] for r in b.database.table("papers").scan()]
+        assert titles_a != titles_b
+
+    def test_integrity(self, corpus):
+        corpus.database.check_integrity()
+
+    def test_every_paper_has_authors(self, corpus):
+        db = corpus.database
+        authored = {r["pid"] for r in db.table("writes").scan()}
+        assert authored == set(db.table("papers").primary_keys())
+
+    def test_years_in_range(self, corpus):
+        lo, hi = corpus.config.year_range
+        for row in corpus.database.table("papers").scan():
+            assert lo <= row["year"] <= hi
+
+    def test_authors_per_paper_capped(self, corpus):
+        counts = {}
+        for row in corpus.database.table("writes").scan():
+            counts[row["pid"]] = counts.get(row["pid"], 0) + 1
+        # repeat-collaboration growth adds at most one author beyond cap
+        assert max(counts.values()) <= corpus.config.max_authors_per_paper + 1
+
+
+class TestStructuralSemantics:
+    def test_synonym_cluster_mates_never_share_title(self, corpus):
+        """The invariant the whole reproduction rests on."""
+        model = corpus.topic_model
+        analyzer = Analyzer()
+        for row in corpus.database.table("papers").scan():
+            words = set(analyzer.tokenize(str(row["title"])))
+            words = [w for w in words if model.topics_of_word(w)]
+            for i, a in enumerate(words):
+                for b in words[i + 1:]:
+                    assert not (a != b and model.are_synonyms(a, b)), (
+                        f"synonyms {a!r}/{b!r} share title {row['title']!r}"
+                    )
+
+    def test_titles_contain_topic_words(self, corpus):
+        model = corpus.topic_model
+        analyzer = Analyzer()
+        for row in corpus.database.table("papers").scan():
+            topic_id = corpus.ground_truth.paper_topic[row["pid"]]
+            vocab = set(model.topic(topic_id).vocabulary)
+            words = analyzer.tokenize(str(row["title"]))
+            assert any(w in vocab for w in words)
+
+    def test_paper_venue_hosts_topic(self, corpus):
+        truth = corpus.ground_truth
+        db = corpus.database
+        for row in db.table("papers").scan():
+            topic_id = truth.paper_topic[row["pid"]]
+            conf = db.table("conferences").get(row["cid"])
+            assert topic_id in truth.conference_topics[str(conf["name"])]
+
+    def test_paper_authors_work_on_topic(self, corpus):
+        truth = corpus.ground_truth
+        db = corpus.database
+        for row in db.table("writes").scan():
+            topic_id = truth.paper_topic[row["pid"]]
+            author = db.table("authors").get(row["aid"])
+            topics = truth.author_topics[str(author["name"])]
+            # the author either owns the topic or joined an existing group
+            assert topics  # always assigned
+
+    def test_every_topic_has_some_venue(self, corpus):
+        truth = corpus.ground_truth
+        hosted = set()
+        for topics in truth.conference_topics.values():
+            hosted |= topics
+        assert hosted == set(range(len(corpus.topic_model)))
+
+
+class TestGroundTruth:
+    def test_topics_of_term_title_word(self, corpus):
+        assert corpus.ground_truth.topics_of_term("probabilistic") == {1}
+
+    def test_topics_of_term_author(self, corpus):
+        name = next(
+            iter(corpus.ground_truth.author_topics)
+        )
+        assert corpus.ground_truth.topics_of_term(name)
+
+    def test_topics_of_term_unknown(self, corpus):
+        assert corpus.ground_truth.topics_of_term("zzz") == set()
+
+    def test_terms_relevant_identity(self, corpus):
+        assert corpus.ground_truth.terms_relevant("zzz", "zzz")
+
+    def test_terms_relevant_same_topic(self, corpus):
+        assert corpus.ground_truth.terms_relevant("probabilistic", "lineage")
+
+    def test_terms_relevant_unrelated(self, corpus):
+        assert not corpus.ground_truth.terms_relevant(
+            "probabilistic", "twig"
+        )
+
+    def test_schema_shape(self):
+        schema = dblp_schema()
+        assert set(schema.tables) == {
+            "conferences", "authors", "papers", "writes",
+        }
+        assert len(schema.foreign_keys) == 3

@@ -1,0 +1,99 @@
+"""Unit tests for repro.data.topics."""
+
+import pytest
+
+from repro.data.topics import DEFAULT_TOPICS, GENERIC_WORDS, Topic, TopicModel
+
+
+@pytest.fixture(scope="module")
+def model() -> TopicModel:
+    return TopicModel()
+
+
+class TestTopicUniverse:
+    def test_twelve_topics(self, model):
+        assert len(model) == 12
+
+    def test_topic_ids_match_positions(self, model):
+        for i, topic in enumerate(model.topics):
+            assert topic.topic_id == i
+
+    def test_vocabulary_flattens_clusters(self):
+        topic = Topic(0, "t", (("a", "b"), ("c",)))
+        assert topic.vocabulary == ("a", "b", "c")
+
+    def test_every_topic_has_synonym_cluster(self, model):
+        """Each topic must own at least one multi-word cluster so the
+        synonym phenomenon exists everywhere."""
+        for topic in model.topics:
+            assert any(len(c) > 1 for c in topic.clusters), topic.name
+
+    def test_related_topics_resolve(self, model):
+        for topic in model.topics:
+            for name in topic.related:
+                model.by_name(name)  # must not raise
+
+    def test_generic_words_disjoint_from_topics(self, model):
+        for word in GENERIC_WORDS:
+            assert not model.topics_of_word(word), word
+
+
+class TestLookups:
+    def test_topics_of_word(self, model):
+        assert model.topics_of_word("probabilistic") == {1}
+
+    def test_word_in_multiple_topics(self, model):
+        # "tree" is xml vocab; "random" is in graph topic... check a word
+        # that appears twice across the universe, if any; fall back to
+        # asserting the lookup returns a set.
+        assert isinstance(model.topics_of_word("query"), set)
+
+    def test_unknown_word_empty(self, model):
+        assert model.topics_of_word("zzz") == set()
+
+    def test_vocabulary_sorted_unique(self, model):
+        vocab = model.vocabulary
+        assert vocab == sorted(set(vocab))
+
+    def test_by_name(self, model):
+        assert model.by_name("data mining").topic_id == 2
+
+
+class TestRelations:
+    def test_synonyms_within_cluster(self, model):
+        assert model.are_synonyms("probabilistic", "uncertain")
+        assert model.are_synonyms("uncertain", "uncertainty")
+
+    def test_same_word_is_synonym(self, model):
+        assert model.are_synonyms("xml", "xml")
+
+    def test_same_topic_not_synonym(self, model):
+        assert not model.are_synonyms("probabilistic", "lineage")
+
+    def test_share_topic(self, model):
+        assert model.share_topic("probabilistic", "lineage")
+        assert not model.share_topic("probabilistic", "twig")
+
+    def test_related_topic_ids_include_self(self, model):
+        assert 1 in model.related_topic_ids(1)
+
+    def test_topics_related_symmetric_enough(self, model):
+        """topics_related checks both directions of the declaration."""
+        xml = model.by_name("xml data management").topic_id
+        ks = model.by_name("keyword search").topic_id
+        assert model.topics_related(xml, ks)
+        assert model.topics_related(ks, xml)
+
+    def test_unrelated_topics(self, model):
+        xml = model.by_name("xml data management").topic_id
+        txn = model.by_name("transaction processing").topic_id
+        assert not model.topics_related(xml, txn)
+
+    def test_custom_universe(self):
+        topics = (
+            Topic(0, "alpha", (("a", "b"),), related=("beta",)),
+            Topic(1, "beta", (("c",),)),
+        )
+        model = TopicModel(topics)
+        assert model.are_synonyms("a", "b")
+        assert model.topics_related(0, 1)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.data.workloads."""
+
+import pytest
+
+from repro.data.workloads import WorkloadGenerator
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def generator(small_corpus) -> WorkloadGenerator:
+    return WorkloadGenerator(small_corpus, seed=42)
+
+
+class TestMixedQueries:
+    def test_count(self, generator):
+        assert len(generator.mixed_queries(10)) == 10
+
+    def test_deterministic(self, small_corpus):
+        a = WorkloadGenerator(small_corpus, seed=42).mixed_queries(10)
+        b = WorkloadGenerator(small_corpus, seed=42).mixed_queries(10)
+        assert a == b
+
+    def test_seed_sensitivity(self, small_corpus):
+        a = WorkloadGenerator(small_corpus, seed=42).mixed_queries(10)
+        b = WorkloadGenerator(small_corpus, seed=43).mixed_queries(10)
+        assert a != b
+
+    def test_formats_rotate(self, generator):
+        queries = generator.mixed_queries(10)
+        anchor_fields = {q.fields[0] for q in queries}
+        assert anchor_fields == {"title", "author", "conference"}
+
+    def test_keywords_exist_in_corpus(self, generator, small_index):
+        for wq in generator.mixed_queries(10):
+            for kw in wq.keywords:
+                assert small_index.lookup_text(kw), kw
+
+    def test_no_duplicate_keywords(self, generator):
+        for wq in generator.mixed_queries(20):
+            assert len(set(wq.keywords)) == len(wq.keywords)
+
+    def test_anchored_queries_are_cohesive_mostly(
+        self, generator, small_corpus, small_index
+    ):
+        """Anchored sampling must produce mostly answerable queries."""
+        from repro.search.keyword import KeywordSearchEngine
+        from repro.storage.tuplegraph import TupleGraph
+
+        search = KeywordSearchEngine(
+            TupleGraph(small_corpus.database), small_index
+        )
+        queries = generator.mixed_queries(10)
+        cohesive = sum(
+            search.is_cohesive(list(q.keywords)) for q in queries
+        )
+        assert cohesive >= 8
+
+
+class TestLengthVaried:
+    def test_lengths_cycle(self, generator):
+        queries = generator.length_varied_queries(16, min_len=1, max_len=8)
+        lengths = [len(q) for q in queries]
+        assert lengths == [1, 2, 3, 4, 5, 6, 7, 8] * 2
+
+    def test_invalid_bounds(self, generator):
+        with pytest.raises(ReproError):
+            generator.length_varied_queries(10, min_len=3, max_len=2)
+
+    def test_queries_of_length(self, generator):
+        queries = generator.queries_of_length(4, 5)
+        assert len(queries) == 5
+        assert all(len(q) == 4 for q in queries)
+
+    def test_fields_match_keywords(self, generator):
+        for wq in generator.length_varied_queries(24):
+            assert len(wq.fields) == len(wq.keywords)
+
+
+class TestBestPaperQueries:
+    def test_count_and_length(self, generator):
+        queries = generator.best_paper_queries(19)
+        assert len(queries) == 19
+        assert all(1 <= len(q) <= 3 for q in queries)
+
+    def test_keywords_from_titles(self, generator, small_corpus):
+        from repro.index.analyzer import Analyzer
+
+        analyzer = Analyzer()
+        title_words = {
+            w
+            for row in small_corpus.database.table("papers").scan()
+            for w in analyzer.tokenize(str(row["title"]))
+        }
+        for wq in generator.best_paper_queries(19):
+            assert set(wq.keywords) <= title_words
+
+    def test_too_many_requested(self, small_corpus):
+        generator = WorkloadGenerator(small_corpus)
+        with pytest.raises(ReproError):
+            generator.best_paper_queries(count=10_000)
+
+    def test_deterministic(self, small_corpus):
+        a = WorkloadGenerator(small_corpus, seed=1).best_paper_queries(5)
+        b = WorkloadGenerator(small_corpus, seed=1).best_paper_queries(5)
+        assert a == b

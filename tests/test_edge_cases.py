@@ -1,0 +1,193 @@
+"""Edge-case and failure-injection tests across the whole pipeline.
+
+Small corpora, degenerate inputs and unusual text — the situations a
+downstream user hits first and bug reports are made of.
+"""
+
+import pytest
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.errors import ReproError
+from repro.graph.tat import TATGraph
+from repro.index.inverted import InvertedIndex
+from repro.search.keyword import KeywordSearchEngine
+from repro.storage.database import Database
+from repro.storage.schema import Column, DatabaseSchema, TableSchema
+from repro.storage.tuplegraph import TupleGraph
+
+from tests.conftest import build_toy_database, toy_schema
+
+
+def single_table_db(rows):
+    """A one-table database with a segmented text field."""
+    schema = DatabaseSchema()
+    schema.add_table(TableSchema(
+        "notes",
+        [Column("nid", "int", nullable=False), Column("body", "text")],
+        primary_key="nid",
+    ))
+    db = Database(schema)
+    for nid, body in enumerate(rows):
+        db.insert("notes", {"nid": nid, "body": body})
+    return db
+
+
+class TestDegenerateCorpora:
+    def test_empty_database_pipeline(self):
+        db = Database(toy_schema())
+        graph = TATGraph(db, InvertedIndex(db))
+        assert graph.n_nodes == 0
+        reformulator = Reformulator(graph, ReformulatorConfig(n_candidates=3))
+        out = reformulator.reformulate(["anything"], k=3)
+        # unknown keyword keeps only the original; identity is dropped
+        assert out == []
+
+    def test_single_tuple_corpus(self):
+        db = single_table_db(["lonely probabilistic note"])
+        reformulator = Reformulator.from_database(
+            db, ReformulatorConfig(n_candidates=3)
+        )
+        out = reformulator.reformulate(["probabilistic"], k=3)
+        # only title-mates exist as candidates
+        texts = {q.text for q in out}
+        assert texts <= {"lonely", "note"}
+
+    def test_no_fk_schema_still_works(self):
+        db = single_table_db([
+            "alpha beta gamma", "beta gamma delta", "alpha delta",
+        ])
+        graph = TATGraph(db, InvertedIndex(db))
+        assert graph.n_edges > 0  # containment edges only
+        engine = KeywordSearchEngine(TupleGraph(db), InvertedIndex(db))
+        assert engine.result_size(["beta", "gamma"]) >= 2
+
+    def test_table_without_text_fields_only(self):
+        schema = DatabaseSchema()
+        schema.add_table(TableSchema(
+            "numbers",
+            [Column("id", "int", nullable=False), Column("v", "int")],
+            primary_key="id",
+        ))
+        db = Database(schema)
+        db.insert("numbers", {"id": 1, "v": 42})
+        index = InvertedIndex(db).build()
+        assert index.vocabulary_size() == 0
+        graph = TATGraph(db, index)
+        assert graph.stats()["term_nodes"] == 0
+
+
+class TestUnusualText:
+    def test_unicode_terms(self):
+        db = single_table_db(["bücher über datenbanken", "über graphen"])
+        index = InvertedIndex(db).build()
+        # the analyzer is ascii-token based: non-ascii words are split on
+        # the non-ascii characters rather than crashing
+        graph = TATGraph(db, index)
+        assert graph.n_nodes > 0
+
+    def test_very_long_title(self):
+        long_title = " ".join(f"word{i}" for i in range(300))
+        db = single_table_db([long_title, "word1 word2"])
+        reformulator = Reformulator.from_database(
+            db, ReformulatorConfig(n_candidates=3)
+        )
+        assert reformulator.reformulate(["word1"], k=2) is not None
+
+    def test_repeated_words_in_title(self):
+        db = single_table_db(["echo echo echo chamber"])
+        index = InvertedIndex(db).build()
+        from repro.index.inverted import FieldTerm
+
+        assert index.total_tf(FieldTerm(("notes", "body"), "echo")) == 3
+
+    def test_punctuation_only_title(self):
+        db = single_table_db(["!!! ??? ...", "real words here"])
+        index = InvertedIndex(db).build()
+        assert index.vocabulary_size() == 3  # real, words, here
+
+
+class TestDegenerateQueries:
+    def test_eight_keyword_query_on_toy(self, toy_graph):
+        reformulator = Reformulator(
+            toy_graph, ReformulatorConfig(n_candidates=4)
+        )
+        keywords = [
+            "probabilistic", "query", "answering", "uncertain",
+            "data", "management", "frequent", "pattern",
+        ]
+        out = reformulator.reformulate(keywords, k=3)
+        assert all(len(q.terms) == 8 for q in out)
+
+    def test_all_unknown_keywords(self, toy_graph):
+        reformulator = Reformulator(
+            toy_graph, ReformulatorConfig(n_candidates=4)
+        )
+        out = reformulator.reformulate(["zzz", "yyy"], k=3)
+        assert out == []  # only the identity exists, and it is dropped
+
+    def test_duplicate_input_keywords(self, toy_graph):
+        """Degenerate input (Definition 2 forbids it) must not crash."""
+        reformulator = Reformulator(
+            toy_graph, ReformulatorConfig(n_candidates=4)
+        )
+        out = reformulator.reformulate(["pattern", "pattern"], k=3)
+        for q in out:
+            assert len(set(q.keywords)) == len(q.keywords)
+
+    def test_k_one(self, toy_graph):
+        reformulator = Reformulator(
+            toy_graph, ReformulatorConfig(n_candidates=4)
+        )
+        out = reformulator.reformulate(["probabilistic", "query"], k=1)
+        assert len(out) == 1
+
+    def test_search_keyword_matching_everything(self, toy_db):
+        """A keyword present in every paper still terminates cleanly."""
+        db = build_toy_database()
+        for pid in range(10, 30):
+            db.insert("papers", {
+                "pid": pid, "title": "common filler words",
+                "cid": 0, "year": 2000,
+            })
+        engine = KeywordSearchEngine(
+            TupleGraph(db), InvertedIndex(db), max_results=5
+        )
+        results = engine.search(["common"])
+        assert results.size == 5 and results.truncated
+
+
+class TestNumericalRobustness:
+    def test_tiny_smoothing_lambda(self, toy_graph):
+        reformulator = Reformulator(
+            toy_graph,
+            ReformulatorConfig(n_candidates=4, smoothing_lambda=0.01),
+        )
+        out = reformulator.reformulate(["probabilistic", "query"], k=3)
+        assert all(q.score >= 0 for q in out)
+
+    def test_smoothing_disabled(self, toy_graph):
+        reformulator = Reformulator(
+            toy_graph,
+            ReformulatorConfig(n_candidates=4, smoothing_lambda=1.0),
+        )
+        out = reformulator.reformulate(["probabilistic", "query"], k=3)
+        assert out  # zero-closeness paths pruned, others survive
+
+    def test_extreme_damping_values(self, toy_graph):
+        for damping in (0.01, 0.99):
+            reformulator = Reformulator(
+                toy_graph,
+                ReformulatorConfig(n_candidates=4, damping=damping),
+            )
+            assert reformulator.reformulate(["pattern"], k=2) is not None
+
+    def test_closeness_depth_one(self, toy_graph):
+        """Depth 1 cannot connect two terms (they are 2 hops apart):
+        transitions all fall back to smoothing, scores stay finite."""
+        reformulator = Reformulator(
+            toy_graph,
+            ReformulatorConfig(n_candidates=4, closeness_depth=1),
+        )
+        out = reformulator.reformulate(["probabilistic", "query"], k=3)
+        for q in out:
+            assert q.score >= 0

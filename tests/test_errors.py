@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or (
+                    obj is errors.ReproError
+                ), name
+
+    def test_storage_family(self):
+        assert issubclass(errors.UnknownTableError, errors.SchemaError)
+        assert issubclass(errors.UnknownColumnError, errors.SchemaError)
+        assert issubclass(errors.DuplicateKeyError, errors.IntegrityError)
+
+    def test_graph_family(self):
+        assert issubclass(errors.UnknownNodeError, errors.GraphError)
+        assert issubclass(errors.ConvergenceError, errors.GraphError)
+
+    def test_reformulation_family(self):
+        assert issubclass(
+            errors.EmptyCandidateError, errors.ReformulationError
+        )
+
+    def test_single_catch_all(self):
+        """A caller can guard the whole library with one except clause."""
+        with pytest.raises(errors.ReproError):
+            raise errors.DuplicateKeyError("dup")
+        with pytest.raises(errors.ReproError):
+            raise errors.ConvergenceError("no converge")
+        with pytest.raises(errors.ReproError):
+            raise errors.EmptyCandidateError("empty")

@@ -1,0 +1,92 @@
+"""Unit tests for repro.eval.agreement."""
+
+import pytest
+
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReproError
+from repro.eval.agreement import (
+    fleiss_kappa,
+    panel_agreement,
+    raw_agreement,
+)
+
+
+class TestFleissKappa:
+    def test_perfect_agreement(self):
+        matrix = [[1, 1, 1], [0, 0, 0], [1, 1, 1]]
+        assert fleiss_kappa(matrix) == pytest.approx(1.0)
+
+    def test_single_category_everywhere(self):
+        assert fleiss_kappa([[1, 1], [1, 1]]) == 1.0
+
+    def test_total_disagreement_two_judges(self):
+        matrix = [[0, 1], [1, 0], [0, 1], [1, 0]]
+        assert fleiss_kappa(matrix) == pytest.approx(-1.0)
+
+    def test_textbook_value(self):
+        """Classic Fleiss example reduced to binary: hand-computed."""
+        matrix = [
+            [1, 1, 0], [1, 1, 1], [0, 0, 0], [1, 0, 0], [1, 1, 1],
+        ]
+        # hand computation:
+        # P_i per row (n=3, P_i=(Σc²-3)/6): row1 (4+1-3)/6=1/3,
+        # row2 1, row3 1, row4 1/3, row5 1 -> P̄ = 11/15
+        # labels: nine 1s, six 0s -> p(1)=3/5, p(0)=2/5
+        # P_e = 9/25 + 4/25 = 13/25
+        expected = (11 / 15 - 13 / 25) / (1 - 13 / 25)
+        assert fleiss_kappa(matrix) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            fleiss_kappa([])
+        with pytest.raises(ReproError):
+            fleiss_kappa([[1]])
+        with pytest.raises(ReproError):
+            fleiss_kappa([[1, 0], [1]])
+
+
+class TestRawAgreement:
+    def test_fraction_unanimous(self):
+        matrix = [[1, 1], [0, 1], [0, 0], [1, 0]]
+        assert raw_agreement(matrix) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            raw_agreement([])
+
+
+class TestPanelAgreement:
+    def test_panel_over_toy_suggestions(self, toy_search, small_corpus):
+        from repro.eval.judge import JudgePanel
+
+        # toy search engine + small corpus truth: only term verdicts
+        # matter here, cohesion judges consult the toy engine
+        panel = JudgePanel(small_corpus.ground_truth)
+        judged = [
+            (
+                ("probabilistic",),
+                ScoredQuery(("uncertain",), 0.1, (0,)),
+            ),
+            (
+                ("probabilistic",),
+                ScoredQuery(("twig",), 0.1, (0,)),
+            ),
+            (
+                ("clustering",),
+                ScoredQuery(("density",), 0.1, (0,)),
+            ),
+        ]
+        report = panel_agreement(panel, judged)
+        assert report.n_items == 3
+        assert report.n_judges == 3
+        assert 0.0 <= report.raw_agreement <= 1.0
+        assert -1.0 <= report.fleiss_kappa <= 1.0
+        # without cohesion in play, the three judges agree on clear-cut
+        # topical verdicts
+        assert report.raw_agreement == 1.0
+
+    def test_empty_items_rejected(self, small_corpus):
+        from repro.eval.judge import JudgePanel
+
+        with pytest.raises(ReproError):
+            panel_agreement(JudgePanel(small_corpus.ground_truth), [])

@@ -1,0 +1,141 @@
+"""Unit tests for repro.eval.judge."""
+
+import pytest
+
+from repro.core.scoring import ScoredQuery
+from repro.data.dblp_synth import GroundTruth
+from repro.data.topics import TopicModel
+from repro.errors import ReproError
+from repro.eval.judge import JudgeConfig, JudgePanel, RelevanceJudge
+
+
+@pytest.fixture(scope="module")
+def truth() -> GroundTruth:
+    truth = GroundTruth(topic_model=TopicModel())
+    truth.author_topics["alice r"] = {1}       # probabilistic data
+    truth.conference_topics["pdb"] = {1, 6}    # prob. data + query proc.
+    return truth
+
+
+def scored(terms):
+    return ScoredQuery(terms=tuple(terms), score=0.5,
+                       state_path=tuple(range(len(terms))))
+
+
+class TestSingleJudge:
+    def test_identity_always_relevant(self, truth):
+        judge = RelevanceJudge(truth)
+        assert judge.is_relevant(
+            ["probabilistic", "query"], scored(["probabilistic", "query"])
+        )
+
+    def test_synonym_substitution_relevant(self, truth):
+        judge = RelevanceJudge(truth)
+        assert judge.is_relevant(["probabilistic"], scored(["uncertain"]))
+
+    def test_same_topic_substitution_relevant(self, truth):
+        judge = RelevanceJudge(truth)
+        assert judge.is_relevant(["probabilistic"], scored(["lineage"]))
+
+    def test_related_topic_substitution_relevant(self, truth):
+        # query processing is declared related to probabilistic data
+        judge = RelevanceJudge(truth)
+        assert judge.is_relevant(["probabilistic"], scored(["join"]))
+
+    def test_cross_topic_substitution_irrelevant(self, truth):
+        judge = RelevanceJudge(truth)
+        assert not judge.is_relevant(["probabilistic"], scored(["twig"]))
+
+    def test_topical_to_generic_irrelevant(self, truth):
+        judge = RelevanceJudge(truth)
+        assert not judge.is_relevant(["probabilistic"], scored(["efficient"]))
+
+    def test_generic_original_judged_by_query_topics(self, truth):
+        judge = RelevanceJudge(truth)
+        # "efficient" is filler; replacing it with a prob-data word fits
+        assert judge.is_relevant(
+            ["efficient", "probabilistic"], scored(["sampling", "probabilistic"])
+        )
+        # ...but replacing it with an off-topic word does not
+        assert not judge.is_relevant(
+            ["efficient", "probabilistic"], scored(["twig", "probabilistic"])
+        )
+
+    def test_filler_for_filler_ok(self, truth):
+        judge = RelevanceJudge(truth)
+        assert judge.is_relevant(
+            ["efficient", "probabilistic"], scored(["novel", "probabilistic"])
+        )
+
+    def test_author_substitution_uses_author_topics(self, truth):
+        judge = RelevanceJudge(truth)
+        assert judge.is_relevant(["alice r"], scored(["uncertain"]))
+        assert not judge.is_relevant(["alice r"], scored(["twig"]))
+
+    def test_length_mismatch_rejected(self, truth):
+        judge = RelevanceJudge(truth)
+        with pytest.raises(ReproError):
+            judge.is_relevant(["a", "b"], scored(["a"]))
+
+    def test_min_fraction_config(self, truth):
+        lenient = RelevanceJudge(
+            truth,
+            config=JudgeConfig(require_all_terms=False, min_term_fraction=0.5),
+        )
+        # one good + one bad substitution = 0.5 fraction -> accepted
+        assert lenient.is_relevant(
+            ["probabilistic", "lineage"], scored(["uncertain", "twig"])
+        )
+        strict = RelevanceJudge(truth)
+        assert not strict.is_relevant(
+            ["probabilistic", "lineage"], scored(["uncertain", "twig"])
+        )
+
+    def test_all_void_query_irrelevant(self, truth):
+        judge = RelevanceJudge(truth)
+        assert not judge.is_relevant(["probabilistic"], scored([None]))
+
+
+class TestCohesion:
+    def test_cohesion_consulted(self, truth, toy_search):
+        judge = RelevanceJudge(truth, search=toy_search)
+        # "probabilistic uncertain" joins through vldb/ann in the toy db
+        assert judge.is_relevant(
+            ["probabilistic", "uncertain"],
+            scored(["probabilistic", "uncertain"]),
+        )
+
+    def test_incohesive_rejected(self, truth, toy_search):
+        """'ann bob' has no joined result in the toy database; with a
+        ground truth that has no topics for either name, identity terms
+        pass the term check and cohesion decides."""
+        judge = RelevanceJudge(truth, search=toy_search)
+        assert not judge.is_relevant(["ann", "bob"], scored(["ann", "bob"]))
+
+    def test_cohesion_skippable(self, truth, toy_search):
+        judge = RelevanceJudge(
+            truth, search=toy_search, config=JudgeConfig(require_cohesion=False)
+        )
+        assert judge.is_relevant(["ann", "bob"], scored(["ann", "bob"]))
+
+
+class TestPanel:
+    def test_majority_vote(self, truth, toy_search):
+        panel = JudgePanel(truth, toy_search)
+        # clean identity query: all three judges accept
+        assert panel.is_relevant(
+            ["probabilistic", "query"], scored(["probabilistic", "query"])
+        )
+        # off-topic substitution: all three reject the term check
+        assert not panel.is_relevant(["probabilistic"], scored(["twig"]))
+
+    def test_judge_ranking(self, truth, toy_search):
+        panel = JudgePanel(truth, toy_search)
+        ranking = [
+            scored(["probabilistic"]),
+            scored(["twig"]),
+        ]
+        assert panel.judge_ranking(["probabilistic"], ranking) == [True, False]
+
+    def test_panel_has_three_judges(self, truth):
+        assert len(JudgePanel(truth).judges) == 3

@@ -1,0 +1,125 @@
+"""Unit tests for repro.eval.metrics."""
+
+import pytest
+
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReproError
+from repro.eval.metrics import (
+    QualityReport,
+    ResultQualityEvaluator,
+    mean_precision_at,
+    merge_reports,
+    precision_at,
+    precision_curve,
+)
+
+
+def scored(terms):
+    return ScoredQuery(terms=tuple(terms), score=0.1,
+                       state_path=tuple(range(len(terms))))
+
+
+class TestPrecision:
+    def test_precision_at_basic(self):
+        assert precision_at([True, False, True, True], 4) == 0.75
+
+    def test_precision_at_prefix(self):
+        assert precision_at([True, False, True, True], 2) == 0.5
+
+    def test_short_list_counts_missing_as_miss(self):
+        assert precision_at([True], 5) == 0.2
+
+    def test_n_validation(self):
+        with pytest.raises(ReproError):
+            precision_at([True], 0)
+
+    def test_mean_precision(self):
+        assert mean_precision_at([[True], [False]], 1) == 0.5
+
+    def test_mean_precision_empty(self):
+        with pytest.raises(ReproError):
+            mean_precision_at([], 1)
+
+    def test_precision_curve_positions(self):
+        curve = precision_curve([[True] * 10], (1, 3, 5, 7, 10))
+        assert set(curve) == {1, 3, 5, 7, 10}
+        assert all(v == 1.0 for v in curve.values())
+
+    def test_precision_curve_decreasing_for_front_loaded(self):
+        verdicts = [[True, True, False, False, False]]
+        curve = precision_curve(verdicts, (1, 3, 5))
+        assert curve[1] >= curve[3] >= curve[5]
+
+
+class TestMergeReports:
+    def test_averages(self):
+        merged = merge_reports([
+            QualityReport("tat", 10.0, 1.0),
+            QualityReport("tat", 20.0, 2.0),
+        ])
+        assert merged.result_size == 15.0
+        assert merged.query_distance == 1.5
+
+    def test_rejects_mixed_methods(self):
+        with pytest.raises(ReproError):
+            merge_reports([
+                QualityReport("tat", 1, 1), QualityReport("rank", 1, 1),
+            ])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            merge_reports([])
+
+
+class TestResultQualityEvaluator:
+    @pytest.fixture(scope="class")
+    def evaluator(self, toy_graph, toy_search):
+        return ResultQualityEvaluator(toy_graph, toy_search)
+
+    def test_result_size_counts_search_hits(self, evaluator):
+        queries = [scored(["pattern"])]
+        assert evaluator.result_size(queries) == 2.0
+
+    def test_result_size_empty_list(self, evaluator):
+        assert evaluator.result_size([]) == 0.0
+
+    def test_query_distance_identity_zero(self, evaluator):
+        assert evaluator.query_distance(
+            ["probabilistic"], [scored(["probabilistic"])]
+        ) == 0.0
+
+    def test_query_distance_cooccurring_pair(self, evaluator):
+        # probabilistic -> query: distance 2 in the TAT graph
+        assert evaluator.query_distance(
+            ["probabilistic"], [scored(["query"])]
+        ) == 2.0
+
+    def test_query_distance_venue_mates(self, evaluator):
+        assert evaluator.query_distance(
+            ["probabilistic"], [scored(["uncertain"])]
+        ) == 4.0
+
+    def test_query_distance_unknown_term_far(self, evaluator):
+        distance = evaluator.query_distance(
+            ["probabilistic"], [scored(["zzz"])]
+        )
+        assert distance == evaluator.distance.max_depth + 1
+
+    def test_query_distance_void_skipped(self, evaluator):
+        assert evaluator.query_distance(
+            ["probabilistic", "query"],
+            [scored(["probabilistic", None])],
+        ) == 0.0
+
+    def test_report_combines_metrics(self, evaluator):
+        report = evaluator.report(
+            "tat", ["probabilistic"], [scored(["query"])]
+        )
+        assert report.method == "tat"
+        assert report.result_size >= 1
+        assert report.query_distance == 2.0
+
+    def test_empty_queries_report(self, evaluator):
+        report = evaluator.report("tat", ["probabilistic"], [])
+        assert report.result_size == 0.0
+        assert report.query_distance == 0.0

@@ -1,0 +1,92 @@
+"""Unit tests for repro.eval.significance."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.significance import (
+    BootstrapResult,
+    paired_bootstrap,
+    per_query_precision,
+)
+
+
+class TestPairedBootstrap:
+    def test_clear_win_is_significant(self):
+        treatment = [0.9] * 20
+        baseline = [0.5] * 20
+        result = paired_bootstrap(treatment, baseline, seed=1)
+        assert result.mean_difference == pytest.approx(0.4)
+        assert result.p_value == 0.0
+        assert result.significant
+
+    def test_identical_samples_not_significant(self):
+        scores = [0.7] * 20
+        result = paired_bootstrap(scores, scores, seed=1)
+        assert result.mean_difference == 0.0
+        assert not result.significant
+        assert result.p_value == 1.0  # every resample ties at zero
+
+    def test_noisy_tie_not_significant(self):
+        treatment = [0.6, 0.4] * 10
+        baseline = [0.4, 0.6] * 10
+        result = paired_bootstrap(treatment, baseline, seed=3)
+        assert abs(result.mean_difference) < 1e-9
+        assert not result.significant
+
+    def test_clear_loss_p_value_near_one(self):
+        result = paired_bootstrap([0.2] * 15, [0.8] * 15, seed=2)
+        assert result.p_value == 1.0
+
+    def test_deterministic_per_seed(self):
+        t = [0.8, 0.6, 0.9, 0.5, 0.7]
+        b = [0.7, 0.6, 0.6, 0.6, 0.6]
+        a = paired_bootstrap(t, b, seed=9)
+        b_ = paired_bootstrap(t, b, seed=9)
+        assert a == b_
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            paired_bootstrap([1.0], [1.0, 0.5])
+        with pytest.raises(ReproError):
+            paired_bootstrap([], [])
+        with pytest.raises(ReproError):
+            paired_bootstrap([1.0], [0.5], n_resamples=0)
+
+    def test_metadata(self):
+        result = paired_bootstrap([1.0] * 7, [0.0] * 7, n_resamples=100)
+        assert result.n_queries == 7
+        assert result.n_resamples == 100
+
+
+class TestPerQueryPrecision:
+    def test_vector_shape(self):
+        verdicts = [[True, False], [True, True]]
+        assert per_query_precision(verdicts, 2) == [0.5, 1.0]
+
+    def test_missing_tail_counts_as_miss(self):
+        assert per_query_precision([[True]], 4) == [0.25]
+
+
+class TestEndToEnd:
+    def test_fig5_tat_vs_baselines_significance(self):
+        """TAT's Figure 5 win should be checkable for significance."""
+        from repro.experiments import build_context
+
+        context = build_context(scale="small", seed=7)
+        queries = context.workloads.mixed_queries(12)
+        per_method = {}
+        for method in ("tat", "cooccurrence"):
+            reformulator = context.reformulator(method)
+            verdicts = []
+            for wq in queries:
+                keywords = list(wq.keywords)
+                ranked = reformulator.reformulate(keywords, k=10)
+                verdicts.append(
+                    context.judges.judge_ranking(keywords, ranked)
+                )
+            per_method[method] = per_query_precision(verdicts, 10)
+        result = paired_bootstrap(
+            per_method["tat"], per_method["cooccurrence"], seed=5
+        )
+        # direction must match the Figure 5 finding
+        assert result.mean_difference >= 0

@@ -1,0 +1,71 @@
+"""Unit tests for repro.eval.timing."""
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.timing import (
+    TimingStats,
+    grouped_timings,
+    measure,
+    measure_many,
+)
+
+
+class TestTimingStats:
+    def test_from_samples(self):
+        stats = TimingStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.total == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            TimingStats.from_samples([])
+
+
+class TestMeasure:
+    def test_returns_result_and_time(self):
+        seconds, result = measure(lambda: 42)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_measures_sleep(self):
+        seconds, _ = measure(lambda: time.sleep(0.01))
+        assert seconds >= 0.009
+
+    def test_measure_many_stats(self):
+        stats = measure_many(lambda: None, repeats=3, warmup=1)
+        assert stats.count == 3
+
+    def test_measure_many_warmup_excluded(self):
+        calls = []
+        stats = measure_many(lambda: calls.append(1), repeats=2, warmup=2)
+        assert len(calls) == 4
+        assert stats.count == 2
+
+    def test_repeats_validated(self):
+        with pytest.raises(ReproError):
+            measure_many(lambda: None, repeats=0)
+
+
+class TestGroupedTimings:
+    def test_groups_by_key(self):
+        items = [1, 1, 2, 2, 2]
+        grouped = grouped_timings(items, key=lambda x: x, run=lambda x: None)
+        assert grouped[1].count == 2
+        assert grouped[2].count == 3
+
+    def test_keys_sorted(self):
+        grouped = grouped_timings(
+            [3, 1, 2], key=lambda x: x, run=lambda x: None
+        )
+        assert list(grouped) == [1, 2, 3]
+
+    def test_run_receives_item(self):
+        seen = []
+        grouped_timings([5, 6], key=lambda x: 0, run=seen.append)
+        assert seen == [5, 6]

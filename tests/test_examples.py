@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are the first thing a new user executes; these tests keep them
+from rotting.  Each example's ``main()`` is run in-process with stdout
+captured and checked for its headline output.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart")
+        assert "reformulated suggestions:" in out
+        assert "similar terms of 'probabilistic'" in out
+
+    def test_bibliographic_explore(self):
+        out = run_example("bibliographic_explore")
+        assert "-- search results" in out
+        assert "-- reformulated queries (side panel) --" in out
+
+    def test_ecommerce_catalog(self):
+        out = run_example("ecommerce_catalog")
+        assert "shopper query: 'wireless headphones'" in out
+        assert "cordless" in out or "bluetooth" in out
+
+    def test_term_relations_offline(self):
+        out = run_example("term_relations_offline")
+        assert "== similar terms of 'uncertain' ==" in out
+        assert "== close conferences of 'uncertain' ==" in out
+
+    def test_knowledge_graph(self):
+        out = run_example("knowledge_graph")
+        assert "directed_by" in out or "entities" in out
+        assert "<-- synonym" in out
+
+    def test_faceted_session(self):
+        out = run_example("faceted_session")
+        assert "facet for position" in out
+        assert "accepted suggestion rank:" in out
+
+    def test_figure4_walkthrough(self):
+        out = run_example("figure4_walkthrough")
+        assert "*probabilistic" in out
+        assert "never co-occurs!" in out
+        assert "graph tat {" in out

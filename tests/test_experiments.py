@@ -1,0 +1,157 @@
+"""Integration tests: every experiment driver runs and produces the
+paper's qualitative shapes at small scale.
+
+These are the cheapest end-to-end guarantees that the benchmark harness
+regenerates meaningful tables/figures; the full-scale runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import build_context
+from repro.experiments import (
+    ablations,
+    fig5_precision,
+    fig7_alg_comparison,
+    fig8_stage_breakdown,
+    fig9_topk_scaling,
+    fig10_candidate_scaling,
+    table1_close_terms,
+    table2_similar_terms,
+    table3_result_quality,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context(scale="small", seed=7)
+
+
+class TestTable1:
+    def test_close_terms_report(self, context):
+        report = table1_close_terms.run(context, top_n=5)
+        assert report.target == "probabilistic"
+        assert len(report.close_terms) == 5
+        scores = [s for _t, s in report.close_terms]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    def test_close_conferences_present(self, context):
+        report = table1_close_terms.run(context, top_n=5)
+        assert report.close_conferences
+        assert report.joint_result_counts
+
+    def test_close_terms_topically_coherent(self, context):
+        """Most close terms share (or relate to) the target's topic."""
+        report = table1_close_terms.run(context, top_n=5)
+        truth = context.corpus.ground_truth
+        coherent = sum(
+            truth.terms_relevant("probabilistic", term)
+            or not truth.topics_of_term(term)  # filler words allowed
+            for term, _s in report.close_terms
+        )
+        assert coherent >= 3
+
+
+class TestTable2:
+    def test_walk_recovers_synonyms_cooccurrence_cannot(self, context):
+        report = table2_similar_terms.run(context, target="xml", top_n=20)
+        assert report.recovered_synonyms  # e.g. tree / semistructured
+        coo_texts = {t for t, _s in report.cooccurrence_terms}
+        for synonym in report.recovered_synonyms:
+            assert synonym not in coo_texts
+
+    def test_author_case_finds_community(self, context):
+        report = table2_similar_terms.run_author_case(context, top_n=5)
+        assert report.contextual_terms
+        assert report.cooccurrence_terms == []  # names never co-occur
+
+
+class TestFig5:
+    def test_tat_wins_at_10(self, context):
+        report = fig5_precision.run(context, n_queries=10)
+        tat = report.curves["tat"][10]
+        assert tat >= report.curves["cooccurrence"][10]
+        assert tat >= report.curves["rank"][10]
+
+    def test_curves_are_probabilities(self, context):
+        report = fig5_precision.run(context, n_queries=6)
+        for curve in report.curves.values():
+            for value in curve.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestFig7:
+    def test_alg3_beats_alg2_on_long_queries(self, context):
+        report = fig7_alg_comparison.run(
+            context, n_queries=24, max_len=6, k=10
+        )
+        assert report.speedup_at(6) > 1.0
+
+    def test_all_lengths_measured(self, context):
+        report = fig7_alg_comparison.run(context, n_queries=12, max_len=4)
+        assert set(report.alg2_by_length) == {1, 2, 3, 4}
+
+
+class TestFig8:
+    def test_stage_breakdown_positive(self, context):
+        report = fig8_stage_breakdown.run(context, n_queries=12, max_len=4)
+        for length in report.viterbi_by_length:
+            assert report.total_mean(length) > 0
+
+
+class TestFig9:
+    def test_astar_stage_grows_with_k(self, context):
+        report = fig9_topk_scaling.run(
+            context, ks=(1, 30), query_length=4, n_queries=6
+        )
+        assert report.astar_by_k[30].mean > report.astar_by_k[1].mean
+
+    def test_viterbi_stage_flatish_in_k(self, context):
+        report = fig9_topk_scaling.run(
+            context, ks=(1, 30), query_length=4, n_queries=6
+        )
+        # the Viterbi table does not depend on k; allow generous noise
+        assert report.viterbi_by_k[30].mean < report.viterbi_by_k[1].mean * 5
+
+
+class TestFig10:
+    def test_reports_every_size(self, context):
+        report = fig10_candidate_scaling.run(
+            context, sizes=(5, 10), query_length=3, n_queries=4
+        )
+        assert set(report.total_by_size) == {5, 10}
+
+
+class TestTable3:
+    def test_tat_beats_rank_on_both_metrics(self, context):
+        table = table3_result_quality.run(context, n_queries=10, k=8)
+        tat = table.reports["tat"]
+        rank = table.reports["rank"]
+        assert tat.result_size > rank.result_size
+        assert tat.query_distance > rank.query_distance
+
+    def test_all_methods_reported(self, context):
+        table = table3_result_quality.run(context, n_queries=6, k=5)
+        assert set(table.reports) == {"tat", "rank", "cooccurrence"}
+
+
+class TestAblations:
+    def test_preference_ablation(self, context):
+        report = ablations.run_preference_ablation(
+            context, top_n=20, max_targets=20
+        )
+        assert report.walk_synonym_recall > report.cooccurrence_synonym_recall
+        assert 0.0 <= report.variant_overlap <= 1.0
+
+    def test_smoothing_sweep_runs(self, context):
+        report = ablations.run_smoothing_sweep(
+            context, lambdas=(0.8, 1.0), n_queries=4, k=5
+        )
+        assert set(report.precision_by_lambda) == {0.8, 1.0}
+
+    def test_pruning_sweep_monotone_trend(self, context):
+        report = ablations.run_pruning_sweep(
+            context, beams=(50, 4000), n_targets=8
+        )
+        assert report.overlap_by_beam[4000] >= report.overlap_by_beam[50]

@@ -1,0 +1,71 @@
+"""Tests for repro.experiments.common (context builder + table renderer)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.common import (
+    SCALES,
+    build_context,
+    clear_cache,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.5" in lines[2]
+        assert len(lines) == 4
+
+    def test_column_widths_expand(self):
+        text = format_table(["x"], [["very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("very-long-cell-value")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestBuildContext:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ReproError):
+            build_context(scale="galactic")
+
+    def test_scales_registry(self):
+        assert set(SCALES) == {"small", "medium", "large"}
+        assert SCALES["small"].n_papers < SCALES["medium"].n_papers
+
+    def test_cache_returns_same_object(self):
+        a = build_context(scale="small", seed=99)
+        b = build_context(scale="small", seed=99)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = build_context(scale="small", seed=99)
+        b = build_context(scale="small", seed=99, use_cache=False)
+        assert a is not b
+
+    def test_clear_cache(self):
+        a = build_context(scale="small", seed=98)
+        clear_cache()
+        b = build_context(scale="small", seed=98)
+        assert a is not b
+
+    def test_context_wires_everything(self):
+        context = build_context(scale="small", seed=97)
+        assert context.database is context.corpus.database
+        assert set(context.reformulators) == {"tat", "cooccurrence", "rank"}
+        assert context.graph.n_nodes > 0
+        assert context.search.index is context.index
+
+    def test_unknown_method_lookup(self):
+        context = build_context(scale="small", seed=97)
+        with pytest.raises(ReproError):
+            context.reformulator("bogus")

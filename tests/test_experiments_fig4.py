@@ -1,0 +1,31 @@
+"""Tests for the Figure 4 quantification experiment."""
+
+import pytest
+
+from repro.experiments import build_context
+from repro.experiments.fig4_context_effect import run
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run(build_context(scale="small", seed=7), max_pairs=15)
+
+
+class TestFig4ContextEffect:
+    def test_pairs_found(self, report):
+        assert report.n_pairs >= 5
+
+    def test_cooccurrence_blind_to_synonyms(self, report):
+        assert report.cooccurrence_reachability == 0.0
+
+    def test_walks_reach_synonyms(self, report):
+        assert report.contextual_reachability > 0.8
+        assert report.basic_reachability > 0.8
+
+    def test_context_amplifies(self, report):
+        assert report.mean_contextual_over_basic > 1.0
+
+    def test_rows_render(self, report):
+        rows = report.rows()
+        assert len(rows) == 5
+        assert all(isinstance(v, float) for _m, v in rows)

@@ -1,0 +1,38 @@
+"""Tests for the consolidated reproduction report generator."""
+
+import pytest
+
+from repro.experiments import build_context
+from repro.experiments.report import generate_report, main
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    context = build_context(scale="small", seed=7)
+    return generate_report(context, quick=True)
+
+
+class TestReport:
+    def test_contains_every_section(self, report_text):
+        for heading in (
+            "## Table I", "## Table II", "## Figure 5", "## Figure 7",
+            "## Figure 8", "## Figure 9", "## Figure 10", "## Table III",
+            "## Ablations",
+        ):
+            assert heading in report_text, heading
+
+    def test_is_markdown_tables(self, report_text):
+        assert "| method |" in report_text or "| method " in report_text
+        assert "|---|" in report_text
+
+    def test_mentions_corpus(self, report_text):
+        assert "TAT nodes" in report_text
+
+    def test_main_writes_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        code = main([
+            "--out", str(out), "--scale", "small", "--quick",
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "# Reproduction report" in out.read_text()

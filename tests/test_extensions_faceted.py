@@ -1,0 +1,94 @@
+"""Unit tests for repro.extensions.faceted."""
+
+import pytest
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.errors import ReformulationError
+from repro.extensions.faceted import Facet, FacetedSuggester
+
+
+@pytest.fixture(scope="module")
+def reformulator(toy_graph):
+    return Reformulator(toy_graph, ReformulatorConfig(n_candidates=6))
+
+
+@pytest.fixture(scope="module")
+def suggester(reformulator):
+    return FacetedSuggester(reformulator)
+
+
+@pytest.fixture(scope="module")
+def searching_suggester(reformulator, toy_search):
+    return FacetedSuggester(reformulator, search=toy_search)
+
+
+class TestFacetForPosition:
+    def test_only_target_position_varies(self, suggester):
+        facet = suggester.facet_for_position(
+            ["probabilistic", "query"], position=1, k=4
+        )
+        assert facet.position == 1
+        assert facet.original == "query"
+        for entry in facet.entries:
+            first, second = entry.query_text.split(" ", 1)
+            assert first == "probabilistic"
+            assert second == entry.substituted
+            assert second != "query"
+
+    def test_entries_ranked(self, suggester):
+        facet = suggester.facet_for_position(
+            ["probabilistic", "query"], position=0, k=4
+        )
+        scores = [e.score for e in facet.entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_position_validated(self, suggester):
+        with pytest.raises(ReformulationError):
+            suggester.facet_for_position(["a", "b"], position=5)
+
+    def test_field_label(self, suggester):
+        facet = suggester.facet_for_position(
+            ["probabilistic", "query"], position=0, k=3
+        )
+        assert facet.field_label == "papers.title"
+
+    def test_result_counts_annotated(self, searching_suggester):
+        facet = searching_suggester.facet_for_position(
+            ["probabilistic", "query"], position=1, k=4
+        )
+        for entry in facet.entries:
+            assert entry.result_count is not None
+            assert entry.result_count > 0
+
+    def test_dead_entries_dropped_with_search(self, searching_suggester):
+        """Facet entries matching nothing never surface."""
+        facet = searching_suggester.facet_for_position(
+            ["probabilistic", "query"], position=1, k=6
+        )
+        assert all(e.result_count for e in facet.entries)
+
+
+class TestFacets:
+    def test_one_facet_per_position(self, suggester):
+        facets = suggester.facets(["probabilistic", "query"], k=3)
+        assert [f.position for f in facets] == [0, 1]
+
+    def test_field_facets_grouping(self, suggester):
+        grouped = suggester.field_facets(["probabilistic", "query"], k=4)
+        assert "papers.title" in grouped
+        for entries in grouped.values():
+            scores = [e.score for e in entries]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_single_keyword_query(self, suggester):
+        facets = suggester.facets(["pattern"], k=3)
+        assert len(facets) == 1
+        assert facets[0].entries  # alternatives for the only keyword
+
+    def test_unknown_keyword_facet_empty_or_safe(self, suggester):
+        facet = suggester.facet_for_position(
+            ["zzzunknown", "query"], position=0, k=3
+        )
+        # nothing to substitute an unknown term with
+        assert isinstance(facet, Facet)
+        assert facet.entries == ()

@@ -1,0 +1,164 @@
+"""Unit tests for repro.extensions.feedback."""
+
+import pytest
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReproError
+from repro.extensions.feedback import FeedbackAdaptor
+from repro.graph.closeness import ClosenessExtractor
+from repro.graph.similarity import SimilarityExtractor
+from repro.index.inverted import FieldTerm
+
+TITLE = ("papers", "title")
+
+
+def scored(terms):
+    return ScoredQuery(
+        terms=tuple(terms), score=0.1, state_path=tuple(range(len(terms)))
+    )
+
+
+@pytest.fixture()
+def adaptor(toy_graph):
+    return FeedbackAdaptor(
+        toy_graph,
+        similarity=SimilarityExtractor(toy_graph),
+        closeness=ClosenessExtractor(toy_graph, beam_width=None),
+    )
+
+
+class TestValidation:
+    def test_parameters(self, toy_graph, toy_similarity, toy_closeness):
+        with pytest.raises(ReproError):
+            FeedbackAdaptor(toy_graph, toy_similarity, toy_closeness,
+                            learning_rate=0)
+        with pytest.raises(ReproError):
+            FeedbackAdaptor(toy_graph, toy_similarity, toy_closeness,
+                            max_boost=1.0)
+        with pytest.raises(ReproError):
+            FeedbackAdaptor(toy_graph, toy_similarity, toy_closeness,
+                            decay=0)
+
+
+class TestLearning:
+    def test_accept_boosts_similarity(self, adaptor, toy_graph):
+        prob = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        uncertain = toy_graph.term_node_id(FieldTerm(TITLE, "uncertain"))
+        before = adaptor.similarity(prob, uncertain)
+        adaptor.record(
+            ["probabilistic", "query"],
+            scored(["uncertain", "data"]),
+            accepted=True,
+        )
+        after = adaptor.similarity(prob, uncertain)
+        assert after > before
+
+    def test_reject_penalizes(self, adaptor, toy_graph):
+        prob = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        pattern = toy_graph.term_node_id(FieldTerm(TITLE, "pattern"))
+        before = adaptor.similarity(prob, pattern)
+        adaptor.record(
+            ["probabilistic"], scored(["pattern"]), accepted=False
+        )
+        assert adaptor.similarity(prob, pattern) < before
+
+    def test_closeness_boosted_on_accept(self, adaptor, toy_graph):
+        uncertain = toy_graph.term_node_id(FieldTerm(TITLE, "uncertain"))
+        data = toy_graph.term_node_id(FieldTerm(TITLE, "data"))
+        before = adaptor.closeness(uncertain, data)
+        adaptor.record(
+            ["probabilistic", "query"],
+            scored(["uncertain", "data"]),
+            accepted=True,
+        )
+        after = adaptor.closeness(uncertain, data)
+        assert after > before
+        # symmetric bump
+        assert adaptor.closeness(data, uncertain) == pytest.approx(after)
+
+    def test_boost_capped(self, adaptor, toy_graph):
+        for _ in range(50):
+            adaptor.record(
+                ["probabilistic"], scored(["uncertain"]), accepted=True
+            )
+        prob = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        uncertain = toy_graph.term_node_id(FieldTerm(TITLE, "uncertain"))
+        base = adaptor.base_similarity.similarity(prob, uncertain)
+        assert adaptor.similarity(prob, uncertain) <= base * adaptor.max_boost + 1e-12
+
+    def test_identity_terms_ignored(self, adaptor):
+        adaptor.record(
+            ["probabilistic", "query"],
+            scored(["probabilistic", "answering"]),
+            accepted=True,
+        )
+        # only one substitution pair + one adjacency pair (x2 sym)
+        assert adaptor.boost_count <= 3
+
+    def test_unknown_terms_ignored(self, adaptor):
+        adaptor.record(["zzz"], scored(["yyy"]), accepted=True)
+        assert adaptor.boost_count == 0
+
+    def test_events_logged(self, adaptor):
+        event = adaptor.record(
+            ["probabilistic"], scored(["uncertain"]), accepted=True
+        )
+        assert adaptor.events[-1] is event
+        assert event.accepted
+
+
+class TestDecay:
+    def test_decay_moves_toward_one(self, adaptor, toy_graph):
+        adaptor.record(
+            ["probabilistic"], scored(["uncertain"]), accepted=True
+        )
+        prob = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        uncertain = toy_graph.term_node_id(FieldTerm(TITLE, "uncertain"))
+        boosted = adaptor.similarity(prob, uncertain)
+        adaptor.decay_boosts()
+        decayed = adaptor.similarity(prob, uncertain)
+        base = adaptor.base_similarity.similarity(prob, uncertain)
+        assert base < decayed < boosted
+
+    def test_decay_eventually_clears(self, adaptor):
+        adaptor.record(
+            ["probabilistic"], scored(["uncertain"]), accepted=True
+        )
+        for _ in range(200):
+            adaptor.decay_boosts()
+        assert adaptor.boost_count == 0
+
+
+class TestRanking:
+    def test_accepted_candidate_climbs(self, toy_graph):
+        """The end-to-end promise: clicks reorder the similar list."""
+        adaptor = FeedbackAdaptor(
+            toy_graph,
+            similarity=SimilarityExtractor(toy_graph),
+            closeness=ClosenessExtractor(toy_graph, beam_width=None),
+            learning_rate=2.0,
+        )
+        before = [t for t, _s in adaptor.similar_terms("probabilistic", 8)]
+        target = before[-1]
+        for _ in range(3):
+            adaptor.record(
+                ["probabilistic"], scored([target]), accepted=True
+            )
+        after = [t for t, _s in adaptor.similar_terms("probabilistic", 8)]
+        assert after.index(target) < before.index(target)
+
+    def test_reformulator_over_adaptor(self, toy_graph):
+        adaptor = FeedbackAdaptor(
+            toy_graph,
+            similarity=SimilarityExtractor(toy_graph),
+            closeness=ClosenessExtractor(toy_graph, beam_width=None),
+        )
+        reformulator = Reformulator(
+            toy_graph,
+            ReformulatorConfig(n_candidates=5),
+            similarity=adaptor,
+            closeness=adaptor,
+        )
+        out = reformulator.reformulate(["probabilistic", "query"], k=3)
+        assert out

@@ -1,0 +1,141 @@
+"""Unit tests for repro.graph.adjacency."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyBuilder
+
+
+def build_triangle():
+    builder = AdjacencyBuilder()
+    builder.add_edge(0, 1, 1.0)
+    builder.add_edge(1, 2, 2.0)
+    builder.add_edge(0, 2, 3.0)
+    return builder.freeze(3)
+
+
+class TestBuilder:
+    def test_edge_count(self):
+        adj = build_triangle()
+        assert adj.n_edges == 3
+        assert adj.n_nodes == 3
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            AdjacencyBuilder().add_edge(1, 1)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(GraphError):
+            AdjacencyBuilder().add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            AdjacencyBuilder().add_edge(0, 1, -1.0)
+
+    def test_duplicate_edges_accumulate(self):
+        builder = AdjacencyBuilder()
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(1, 0, 2.0)  # same undirected edge
+        adj = builder.freeze(2)
+        assert adj.n_edges == 1
+        assert adj.degree(0) == 3.0
+
+    def test_out_of_range_edge(self):
+        builder = AdjacencyBuilder()
+        builder.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            builder.freeze(3)
+
+    def test_empty_graph(self):
+        adj = AdjacencyBuilder().freeze(4)
+        assert adj.n_edges == 0
+        assert adj.degree(2) == 0.0
+
+    def test_len_counts_accumulated_edges(self):
+        builder = AdjacencyBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 0)
+        assert len(builder) == 1
+
+
+class TestAdjacency:
+    def test_symmetry(self):
+        adj = build_triangle()
+        m = adj.matrix.toarray()
+        assert np.allclose(m, m.T)
+
+    def test_degree(self):
+        adj = build_triangle()
+        assert adj.degree(0) == 4.0  # 1 + 3
+        assert adj.degree(1) == 3.0
+        assert adj.degree(2) == 5.0
+
+    def test_neighbors(self):
+        adj = build_triangle()
+        nbrs = dict(adj.neighbors(0))
+        assert nbrs == {1: 1.0, 2: 3.0}
+
+    def test_neighbor_ids(self):
+        adj = build_triangle()
+        assert set(adj.neighbor_ids(1)) == {0, 2}
+
+    def test_isolated_node_has_no_neighbors(self):
+        builder = AdjacencyBuilder()
+        builder.add_edge(0, 1)
+        adj = builder.freeze(3)
+        assert list(adj.neighbors(2)) == []
+
+
+class TestTransition:
+    def test_columns_sum_to_one(self):
+        adj = build_triangle()
+        t = adj.transition_matrix().toarray()
+        assert np.allclose(t.sum(axis=0), 1.0)
+
+    def test_isolated_column_is_zero(self):
+        builder = AdjacencyBuilder()
+        builder.add_edge(0, 1)
+        adj = builder.freeze(3)
+        t = adj.transition_matrix().toarray()
+        assert t[:, 2].sum() == 0.0
+
+    def test_weight_proportional(self):
+        adj = build_triangle()
+        t = adj.transition_matrix().toarray()
+        # from node 0 (deg 4): to 1 with 1/4, to 2 with 3/4
+        assert t[1, 0] == pytest.approx(0.25)
+        assert t[2, 0] == pytest.approx(0.75)
+
+    def test_cached(self):
+        adj = build_triangle()
+        assert adj.transition_matrix() is adj.transition_matrix()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 9),
+                st.integers(0, 9),
+                st.floats(0.1, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_columns_stochastic(self, edges):
+        builder = AdjacencyBuilder()
+        added = 0
+        for u, v, w in edges:
+            if u != v:
+                builder.add_edge(u, v, w)
+                added += 1
+        if added == 0:
+            return
+        adj = builder.freeze(10)
+        t = adj.transition_matrix().toarray()
+        sums = t.sum(axis=0)
+        for j in range(10):
+            if adj.degree(j) > 0:
+                assert sums[j] == pytest.approx(1.0)
+            else:
+                assert sums[j] == 0.0

@@ -1,0 +1,183 @@
+"""Unit tests for repro.graph.closeness on the toy corpus.
+
+Toy distances (term—tuple—term paths):
+  probabilistic—p0—query           distance 2, and
+  probabilistic—p3—pattern         distance 2;
+  probabilistic ... uncertain      distance 4 (p0—vldb—p1 or p0—w0—a0—w1—p1)
+"""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.closeness import ClosenessExtractor
+from repro.index.inverted import FieldTerm
+
+TITLE = ("papers", "title")
+CONF = ("conferences", "name")
+
+
+def node_of(graph, text, field=TITLE):
+    return graph.term_node_id(FieldTerm(field, text))
+
+
+class TestValidation:
+    def test_max_depth_positive(self, toy_graph):
+        with pytest.raises(GraphError):
+            ClosenessExtractor(toy_graph, max_depth=0)
+
+    def test_beam_width_positive_or_none(self, toy_graph):
+        with pytest.raises(GraphError):
+            ClosenessExtractor(toy_graph, beam_width=0)
+        ClosenessExtractor(toy_graph, beam_width=None)
+
+    def test_weighting_validated(self, toy_graph):
+        with pytest.raises(GraphError):
+            ClosenessExtractor(toy_graph, path_weighting="bogus")
+
+    def test_top_n_validated(self, toy_graph, toy_closeness):
+        with pytest.raises(GraphError):
+            toy_closeness.close_terms(0, 0)
+
+
+class TestDistances:
+    def test_distance_to_self(self, toy_graph, toy_closeness):
+        node = node_of(toy_graph, "probabilistic")
+        assert toy_closeness.distance(node, node) == 0
+
+    def test_cooccurring_terms_distance_2(self, toy_graph, toy_closeness):
+        assert toy_closeness.distance(
+            node_of(toy_graph, "probabilistic"), node_of(toy_graph, "query")
+        ) == 2
+
+    def test_venue_mates_distance_4(self, toy_graph, toy_closeness):
+        assert toy_closeness.distance(
+            node_of(toy_graph, "probabilistic"),
+            node_of(toy_graph, "uncertain"),
+        ) == 4
+
+    def test_unreachable_within_depth(self, toy_graph):
+        tight = ClosenessExtractor(toy_graph, max_depth=2, beam_width=None)
+        assert tight.distance(
+            node_of(toy_graph, "probabilistic"),
+            node_of(toy_graph, "uncertain"),
+        ) is None
+
+    def test_term_to_conference_distance(self, toy_graph, toy_closeness):
+        # probabilistic — p0 — conference tuple — "vldb" name term
+        assert toy_closeness.distance(
+            node_of(toy_graph, "probabilistic"),
+            node_of(toy_graph, "vldb", CONF),
+        ) == 3
+
+
+class TestCloseness:
+    def test_self_closeness_zero(self, toy_graph, toy_closeness):
+        node = node_of(toy_graph, "probabilistic")
+        assert toy_closeness.closeness(node, node) == 0.0
+
+    def test_unreachable_closeness_zero(self, toy_graph):
+        tight = ClosenessExtractor(toy_graph, max_depth=2, beam_width=None)
+        assert tight.closeness(
+            node_of(toy_graph, "probabilistic"),
+            node_of(toy_graph, "uncertain"),
+        ) == 0.0
+
+    def test_degree_weighting_symmetric(self, toy_graph, toy_closeness):
+        pairs = [
+            ("probabilistic", "query"),
+            ("probabilistic", "uncertain"),
+            ("pattern", "mining"),
+            ("frequent", "discovery"),
+        ]
+        for a, b in pairs:
+            na, nb = node_of(toy_graph, a), node_of(toy_graph, b)
+            assert toy_closeness.closeness(na, nb) == pytest.approx(
+                toy_closeness.closeness(nb, na)
+            )
+
+    def test_count_weighting_eq3_by_hand(self, toy_graph):
+        """Literal Eq 3 on a hand-counted case.
+
+        probabilistic—{p0,p3}; query—p0.  Exactly one shortest path of
+        length 2, so clos = 1/2.
+        """
+        exact = ClosenessExtractor(
+            toy_graph, beam_width=None, path_weighting="count"
+        )
+        assert exact.closeness(
+            node_of(toy_graph, "probabilistic"), node_of(toy_graph, "query")
+        ) == pytest.approx(0.5)
+
+    def test_count_weighting_multiple_paths(self, toy_graph):
+        """pattern and probabilistic share exactly one tuple (p3): 1 path.
+        mining—p2—pattern: also 1 path.  But pattern—{p2,p3} to
+        probabilistic—{p0,p3}: 1 shared tuple -> clos 0.5."""
+        exact = ClosenessExtractor(
+            toy_graph, beam_width=None, path_weighting="count"
+        )
+        assert exact.closeness(
+            node_of(toy_graph, "pattern"), node_of(toy_graph, "probabilistic")
+        ) == pytest.approx(0.5)
+
+    def test_direct_beats_indirect(self, toy_graph, toy_closeness):
+        prob = node_of(toy_graph, "probabilistic")
+        direct = toy_closeness.closeness(prob, node_of(toy_graph, "query"))
+        indirect = toy_closeness.closeness(
+            prob, node_of(toy_graph, "uncertain")
+        )
+        assert direct > indirect > 0
+
+
+class TestReadouts:
+    def test_close_terms_only_terms(self, toy_graph, toy_closeness):
+        from repro.graph.nodes import NodeKind
+
+        node = node_of(toy_graph, "probabilistic")
+        for other, _score in toy_closeness.close_terms(node, 20):
+            assert toy_graph.node(other).kind is NodeKind.TERM
+
+    def test_close_terms_sorted(self, toy_graph, toy_closeness):
+        node = node_of(toy_graph, "probabilistic")
+        scores = [s for _n, s in toy_closeness.close_terms(node, 20)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_close_terms_in_class(self, toy_graph, toy_closeness):
+        node = node_of(toy_graph, "probabilistic")
+        confs = toy_closeness.close_terms_in_class(node, CONF, 5)
+        names = {toy_graph.node(n).text for n, _s in confs}
+        assert names == {"vldb", "icdm"}
+
+    def test_caching(self, toy_graph):
+        extractor = ClosenessExtractor(toy_graph, beam_width=None)
+        node = node_of(toy_graph, "pattern")
+        extractor.paths_from(node)
+        assert extractor.cache_size() == 1
+        extractor.clear_cache()
+        assert extractor.cache_size() == 0
+
+    def test_precompute(self, toy_graph):
+        extractor = ClosenessExtractor(toy_graph, beam_width=None)
+        nodes = [node_of(toy_graph, t) for t in ("pattern", "query")]
+        extractor.precompute(nodes)
+        assert extractor.cache_size() == 2
+
+
+class TestPruning:
+    def test_beam_limits_frontier_but_keeps_top(self, small_graph):
+        """A narrow beam must still find the strongest close terms."""
+        exact = ClosenessExtractor(small_graph, beam_width=None)
+        pruned = ClosenessExtractor(small_graph, beam_width=100)
+        title = ("papers", "title")
+        target = next(
+            t for t in small_graph.index.terms() if t.field == title
+        )
+        node = small_graph.term_node_id(target)
+        exact_top = {n for n, _s in exact.close_terms(node, 5)}
+        pruned_top = {n for n, _s in pruned.close_terms(node, 5)}
+        assert len(exact_top & pruned_top) >= 3
+
+    def test_wide_beam_equals_exact(self, toy_graph):
+        exact = ClosenessExtractor(toy_graph, beam_width=None)
+        wide = ClosenessExtractor(toy_graph, beam_width=10_000)
+        node = node_of(toy_graph, "probabilistic")
+        assert exact.paths_from(node) == wide.paths_from(node)

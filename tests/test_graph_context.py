@@ -1,0 +1,145 @@
+"""Unit tests for repro.graph.context on the toy corpus."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.context import ContextualPreference
+from repro.graph.nodes import NodeKind
+from repro.graph.tat import TATGraph
+from repro.index.inverted import FieldTerm, InvertedIndex
+
+from tests.conftest import build_toy_database
+
+TITLE = ("papers", "title")
+
+
+@pytest.fixture()
+def pref(toy_graph) -> ContextualPreference:
+    return ContextualPreference(toy_graph)
+
+
+class TestValidation:
+    def test_hops_positive(self, toy_graph):
+        with pytest.raises(GraphError):
+            ContextualPreference(toy_graph, hops=0)
+
+    def test_decay_bounds(self, toy_graph):
+        with pytest.raises(GraphError):
+            ContextualPreference(toy_graph, hop_decay=0.0)
+        with pytest.raises(GraphError):
+            ContextualPreference(toy_graph, hop_decay=1.5)
+
+    def test_top_per_field_positive(self, toy_graph):
+        with pytest.raises(GraphError):
+            ContextualPreference(toy_graph, top_per_field=0)
+
+    def test_include_self_bounds(self, toy_graph):
+        with pytest.raises(GraphError):
+            ContextualPreference(toy_graph, include_self=1.0)
+
+
+class TestWeights:
+    def test_field_cardinality_term_field(self, pref):
+        assert pref.field_cardinality(TITLE) == 10
+
+    def test_field_cardinality_table(self, pref):
+        assert pref.field_cardinality("papers") == 4
+
+    def test_node_idf_term_positive(self, pref, toy_graph):
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "uncertain"))
+        assert pref.node_idf(node_id) > 0
+
+    def test_node_idf_tuple_positive(self, pref, toy_graph):
+        node_id = toy_graph.tuple_node_id(("papers", 0))
+        assert pref.node_idf(node_id) > 0
+
+
+class TestNeighborhood:
+    def test_hop1_is_containing_tuples(self, toy_graph):
+        pref = ContextualPreference(toy_graph, hops=1)
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        mass = pref.neighborhood_mass(node_id)
+        payloads = {toy_graph.node(n).payload for n in mass}
+        assert payloads == {("papers", 0), ("papers", 3)}
+
+    def test_excludes_start(self, pref, toy_graph):
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        assert node_id not in pref.neighborhood_mass(node_id)
+
+    def test_deeper_hops_reach_conferences(self, toy_graph):
+        pref = ContextualPreference(toy_graph, hops=2)
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        mass = pref.neighborhood_mass(node_id)
+        payloads = {toy_graph.node(n).payload for n in mass}
+        assert ("conferences", 0) in payloads
+        assert ("conferences", 1) in payloads
+
+    def test_nearer_mass_dominates(self, toy_graph):
+        pref = ContextualPreference(toy_graph, hops=3, hop_decay=0.5)
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        mass = pref.neighborhood_mass(node_id)
+        paper = toy_graph.tuple_node_id(("papers", 0))
+        conf = toy_graph.tuple_node_id(("conferences", 0))
+        assert mass[paper] > mass[conf]
+
+    def test_isolated_node(self):
+        db = build_toy_database()
+        db.insert("authors", {"aid": 9, "name": "loner"})
+        graph = TATGraph(db, InvertedIndex(db))
+        pref = ContextualPreference(graph)
+        # the author tuple and its name term form a 2-node island
+        node_id = graph.term_node_id(FieldTerm(("authors", "name"), "loner"))
+        mass = pref.neighborhood_mass(node_id)
+        assert set(mass) == {graph.tuple_node_id(("authors", 9))}
+
+
+class TestEntriesAndPreference:
+    def test_entries_capped_per_field(self, toy_graph):
+        pref = ContextualPreference(toy_graph, hops=4, top_per_field=1)
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        entries = pref.context_entries(node_id)
+        by_field = {}
+        for e in entries:
+            by_field[e.field] = by_field.get(e.field, 0) + 1
+        assert all(count == 1 for count in by_field.values())
+
+    def test_entry_weight_is_product(self, pref, toy_graph):
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        for entry in pref.context_entries(node_id):
+            assert entry.weight == pytest.approx(
+                entry.field_weight * entry.node_weight
+            )
+
+    def test_preference_weights_normalized_shape(self, pref, toy_graph):
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        weights = pref.preference_weights(node_id)
+        assert weights
+        assert all(w > 0 for w in weights.values())
+
+    def test_include_self_adds_start_node(self, toy_graph):
+        pref = ContextualPreference(toy_graph, include_self=0.3)
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        weights = pref.preference_weights(node_id)
+        assert weights[node_id] == pytest.approx(0.3)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_fallback_to_indicator_when_no_context(self):
+        db = build_toy_database()
+        graph = TATGraph(db, InvertedIndex(db))
+        pref = ContextualPreference(graph)
+        # fabricate: ask for a tuple node with no neighbors
+        db2 = build_toy_database()
+        db2.insert("authors", {"aid": 9, "name": None})
+        graph2 = TATGraph(db2, InvertedIndex(db2))
+        pref2 = ContextualPreference(graph2)
+        loner = graph2.tuple_node_id(("authors", 9))
+        assert pref2.preference_weights(loner) == {loner: 1.0}
+
+    def test_scarce_field_outweighs(self, toy_graph):
+        """Conference context nodes get the 1/|F| boost (|F|=2 vs 10)."""
+        pref = ContextualPreference(toy_graph, hops=2)
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "probabilistic"))
+        entries = {e.node_id: e for e in pref.context_entries(node_id)}
+        conf_entry = entries[toy_graph.tuple_node_id(("conferences", 0))]
+        # conferences table has 2 rows -> field weight 1/2
+        assert conf_entry.field_weight == pytest.approx(0.5)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.graph.cooccurrence on the toy corpus."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.cooccurrence import CooccurrenceSimilarity
+from repro.index.inverted import FieldTerm
+
+TITLE = ("papers", "title")
+
+
+def node_of(graph, text, field=TITLE):
+    return graph.term_node_id(FieldTerm(field, text))
+
+
+class TestScores:
+    def test_title_mates_positive(self, toy_graph, toy_cooccurrence):
+        prob = node_of(toy_graph, "probabilistic")
+        query = node_of(toy_graph, "query")
+        assert toy_cooccurrence.similarity(prob, query) > 0
+
+    def test_synonyms_invisible(self, toy_graph, toy_cooccurrence):
+        """The structural limitation the paper exploits: 'uncertain'
+        never co-occurs with 'probabilistic' in a title, so frequent
+        co-occurrence similarity is exactly zero."""
+        prob = node_of(toy_graph, "probabilistic")
+        uncertain = node_of(toy_graph, "uncertain")
+        assert toy_cooccurrence.similarity(prob, uncertain) == 0.0
+
+    def test_scores_normalized(self, toy_graph, toy_cooccurrence):
+        prob = node_of(toy_graph, "probabilistic")
+        scores = toy_cooccurrence._scores_from(prob)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_same_class_only(self, toy_graph, toy_cooccurrence):
+        prob = node_of(toy_graph, "probabilistic")
+        for sim in toy_cooccurrence.similar_nodes(prob, 20):
+            assert toy_graph.class_of(sim.node_id) == TITLE
+
+    def test_counts_match_hand_computation(self, toy_graph, toy_cooccurrence):
+        """probabilistic co-occurs once each with query, answering,
+        pattern, discovery -> each gets 1/4 after normalization."""
+        prob = node_of(toy_graph, "probabilistic")
+        scores = {
+            toy_graph.node(s.node_id).text: s.score
+            for s in toy_cooccurrence.similar_nodes(prob, 10)
+        }
+        assert scores == {
+            "query": pytest.approx(0.25),
+            "answering": pytest.approx(0.25),
+            "pattern": pytest.approx(0.25),
+            "discovery": pytest.approx(0.25),
+        }
+
+    def test_author_names_have_no_cooccurrence(self, toy_graph, toy_cooccurrence):
+        """An atomic name is alone in its tuple: empty similar list."""
+        bob = node_of(toy_graph, "bob", ("authors", "name"))
+        assert toy_cooccurrence.similar_nodes(bob, 10) == []
+
+
+class TestInterface:
+    def test_top_n_validation(self, toy_graph, toy_cooccurrence):
+        prob = node_of(toy_graph, "probabilistic")
+        with pytest.raises(GraphError):
+            toy_cooccurrence.similar_nodes(prob, 0)
+
+    def test_tuple_node_rejected(self, toy_graph, toy_cooccurrence):
+        tuple_id = toy_graph.tuple_node_id(("papers", 0))
+        with pytest.raises(GraphError):
+            toy_cooccurrence.similar_nodes(tuple_id, 5)
+
+    def test_similar_terms_text_interface(self, toy_cooccurrence):
+        terms = dict(toy_cooccurrence.similar_terms("pattern", 10))
+        assert set(terms) == {
+            "frequent", "mining", "probabilistic", "discovery",
+        }
+
+    def test_sorted_descending(self, toy_graph, toy_cooccurrence):
+        prob = node_of(toy_graph, "pattern")
+        scores = [s.score for s in toy_cooccurrence.similar_nodes(prob, 10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_caching(self, toy_graph):
+        cooc = CooccurrenceSimilarity(toy_graph)
+        prob = node_of(toy_graph, "pattern")
+        cooc.similar_nodes(prob, 5)
+        assert cooc.cache_size() == 1
+        cooc.precompute([node_of(toy_graph, "mining")])
+        assert cooc.cache_size() == 2
+        cooc.clear_cache()
+        assert cooc.cache_size() == 0
+
+    def test_interchangeable_with_walk_interface(self, toy_graph):
+        """Both similarity backends expose the same surface."""
+        from repro.graph.similarity import SimilarityExtractor
+
+        walk = SimilarityExtractor(toy_graph)
+        cooc = CooccurrenceSimilarity(toy_graph)
+        for backend in (walk, cooc):
+            assert hasattr(backend, "similar_nodes")
+            assert hasattr(backend, "similarity")
+            assert hasattr(backend, "similar_terms")
+            assert hasattr(backend, "precompute")

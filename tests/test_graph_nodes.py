@@ -1,0 +1,105 @@
+"""Unit tests for repro.graph.nodes."""
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.graph.nodes import Node, NodeKind, NodeRegistry
+from repro.index.inverted import FieldTerm
+
+TITLE = ("papers", "title")
+
+
+def term(text: str) -> Node:
+    return Node.for_term(FieldTerm(TITLE, text))
+
+
+class TestNode:
+    def test_tuple_node_class_is_table(self):
+        node = Node.for_tuple(("papers", 3))
+        assert node.kind is NodeKind.TUPLE
+        assert node.node_class == "papers"
+        assert node.text is None
+
+    def test_term_node_class_is_field(self):
+        node = term("xml")
+        assert node.kind is NodeKind.TERM
+        assert node.node_class == TITLE
+        assert node.text == "xml"
+
+    def test_str_forms(self):
+        assert str(Node.for_tuple(("papers", 3))) == "papers#3"
+        assert str(term("xml")) == "papers.title:xml"
+
+    def test_equality_and_hash(self):
+        assert term("xml") == term("xml")
+        assert term("xml") != term("html")
+        assert len({term("xml"), term("xml")}) == 1
+
+
+class TestRegistry:
+    def test_add_is_idempotent(self):
+        reg = NodeRegistry()
+        a = reg.add(term("xml"))
+        b = reg.add(term("xml"))
+        assert a == b and len(reg) == 1
+
+    def test_ids_are_dense(self):
+        reg = NodeRegistry()
+        ids = [reg.add(term(t)) for t in ("a", "b", "c")]
+        assert ids == [0, 1, 2]
+
+    def test_roundtrip(self):
+        reg = NodeRegistry()
+        node = term("xml")
+        node_id = reg.add(node)
+        assert reg.node_of(node_id) == node
+        assert reg.id_of(node) == node_id
+
+    def test_unknown_node_raises(self):
+        reg = NodeRegistry()
+        with pytest.raises(UnknownNodeError):
+            reg.id_of(term("missing"))
+
+    def test_unknown_id_raises(self):
+        reg = NodeRegistry()
+        with pytest.raises(UnknownNodeError):
+            reg.node_of(5)
+
+    def test_get_id_returns_none(self):
+        reg = NodeRegistry()
+        assert reg.get_id(term("missing")) is None
+
+    def test_contains(self):
+        reg = NodeRegistry()
+        reg.add(term("xml"))
+        assert term("xml") in reg
+        assert term("html") not in reg
+
+    def test_ids_of_class(self):
+        reg = NodeRegistry()
+        t1 = reg.add(term("xml"))
+        p1 = reg.add(Node.for_tuple(("papers", 0)))
+        t2 = reg.add(term("html"))
+        assert reg.ids_of_class(TITLE) == [t1, t2]
+        assert reg.ids_of_class("papers") == [p1]
+        assert reg.ids_of_class("nope") == []
+
+    def test_kind_iterators(self):
+        reg = NodeRegistry()
+        t1 = reg.add(term("xml"))
+        p1 = reg.add(Node.for_tuple(("papers", 0)))
+        assert list(reg.term_ids()) == [t1]
+        assert list(reg.tuple_ids()) == [p1]
+
+    def test_classes(self):
+        reg = NodeRegistry()
+        reg.add(term("xml"))
+        reg.add(Node.for_tuple(("papers", 0)))
+        assert set(reg.classes()) == {TITLE, "papers"}
+
+    def test_nodes_iterates_in_insertion_order(self):
+        reg = NodeRegistry()
+        nodes = [term("a"), Node.for_tuple(("papers", 1)), term("b")]
+        for n in nodes:
+            reg.add(n)
+        assert list(reg.nodes()) == nodes

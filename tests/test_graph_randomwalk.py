@@ -1,0 +1,163 @@
+"""Unit tests for repro.graph.randomwalk."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, GraphError
+from repro.graph.adjacency import AdjacencyBuilder
+from repro.graph.randomwalk import RandomWalkEngine
+
+
+def line_graph(n=5):
+    builder = AdjacencyBuilder()
+    for i in range(n - 1):
+        builder.add_edge(i, i + 1)
+    return builder.freeze(n)
+
+
+def star_graph(n=6):
+    """Node 0 is the hub."""
+    builder = AdjacencyBuilder()
+    for i in range(1, n):
+        builder.add_edge(0, i)
+    return builder.freeze(n)
+
+
+@pytest.fixture()
+def engine() -> RandomWalkEngine:
+    return RandomWalkEngine(line_graph())
+
+
+class TestValidation:
+    def test_damping_bounds(self):
+        with pytest.raises(GraphError):
+            RandomWalkEngine(line_graph(), damping=0.0)
+        with pytest.raises(GraphError):
+            RandomWalkEngine(line_graph(), damping=1.0)
+
+    def test_tol_positive(self):
+        with pytest.raises(GraphError):
+            RandomWalkEngine(line_graph(), tol=0.0)
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(GraphError):
+            RandomWalkEngine(line_graph(), max_iterations=0)
+
+    def test_indicator_out_of_range(self, engine):
+        with pytest.raises(GraphError):
+            engine.indicator_preference(99)
+
+    def test_weighted_preference_validations(self, engine):
+        with pytest.raises(GraphError):
+            engine.weighted_preference({99: 1.0})
+        with pytest.raises(GraphError):
+            engine.weighted_preference({0: -1.0})
+        with pytest.raises(GraphError):
+            engine.weighted_preference({0: 0.0})
+
+    def test_walk_shape_check(self, engine):
+        with pytest.raises(GraphError):
+            engine.walk(np.ones(3))
+
+    def test_walk_zero_mass(self, engine):
+        with pytest.raises(GraphError):
+            engine.walk(np.zeros(5))
+
+
+class TestConvergence:
+    def test_converges_on_line(self, engine):
+        result = engine.global_walk()
+        assert result.converged
+        assert result.residual < engine.tol
+
+    def test_scores_sum_to_one(self, engine):
+        result = engine.individual_walk(2)
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_scores_nonnegative(self, engine):
+        result = engine.individual_walk(0)
+        assert (result.scores >= 0).all()
+
+    def test_fixed_point_satisfies_equation(self):
+        adj = star_graph()
+        engine = RandomWalkEngine(adj, damping=0.85, tol=1e-12)
+        r = engine.indicator_preference(1)
+        p = engine.walk(r).scores
+        t = adj.transition_matrix()
+        lhs = p
+        rhs = 0.85 * (t @ p) + 0.15 * r
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    def test_strict_mode_raises_when_budget_too_small(self):
+        engine = RandomWalkEngine(
+            line_graph(), max_iterations=1, tol=1e-15, strict=True
+        )
+        with pytest.raises(ConvergenceError):
+            engine.global_walk()
+
+    def test_nonstrict_returns_best_effort(self):
+        engine = RandomWalkEngine(line_graph(), max_iterations=1, tol=1e-15)
+        result = engine.global_walk()
+        assert not result.converged
+        assert result.iterations == 1
+
+    def test_dangling_mass_redistributed(self):
+        # node 2 is isolated: walk mass leaking through its zero column
+        # must be restored, keeping the distribution normalized.
+        builder = AdjacencyBuilder()
+        builder.add_edge(0, 1)
+        adj = builder.freeze(3)
+        engine = RandomWalkEngine(adj)
+        result = engine.walk(np.array([0.4, 0.3, 0.3]))
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores[2] > 0  # restart keeps feeding it
+
+
+class TestSemantics:
+    def test_individual_walk_peaks_at_source(self):
+        engine = RandomWalkEngine(line_graph(9))
+        scores = engine.individual_walk(4).scores
+        assert scores.argmax() == 4
+
+    def test_scores_decay_with_distance_on_line(self):
+        engine = RandomWalkEngine(line_graph(9))
+        scores = engine.individual_walk(0).scores
+        assert scores[1] > scores[3] > scores[5]
+
+    def test_hub_scores_high_in_global_walk(self):
+        engine = RandomWalkEngine(star_graph())
+        scores = engine.global_walk().scores
+        assert scores.argmax() == 0
+
+    def test_uniform_preference_symmetry_on_star(self):
+        engine = RandomWalkEngine(star_graph())
+        scores = engine.global_walk().scores
+        leaves = scores[1:]
+        assert np.allclose(leaves, leaves[0])
+
+    def test_higher_damping_spreads_more(self):
+        low = RandomWalkEngine(line_graph(9), damping=0.3)
+        high = RandomWalkEngine(line_graph(9), damping=0.9)
+        far_low = low.individual_walk(0).scores[6]
+        far_high = high.individual_walk(0).scores[6]
+        assert far_high > far_low
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 8), st.floats(0.1, 0.9))
+    def test_property_distribution(self, source, damping):
+        engine = RandomWalkEngine(line_graph(9), damping=damping)
+        scores = engine.individual_walk(source).scores
+        assert scores.sum() == pytest.approx(1.0)
+        assert (scores >= 0).all()
+        # the source receives the restart mass, so it always beats the
+        # uniform share (it need not be the argmax at high damping from a
+        # line endpoint, where mass piles up on the neighbor)
+        assert scores[source] > 1.0 / 9
+
+    def test_empty_graph_uniform_preference_raises(self):
+        adj = AdjacencyBuilder().freeze(0)
+        engine = RandomWalkEngine(adj)
+        with pytest.raises(GraphError):
+            engine.uniform_preference()

@@ -1,0 +1,118 @@
+"""Unit tests for repro.graph.similarity on the toy corpus.
+
+Key semantic check: "probabilistic" and "uncertain" never share a title
+but share the author ann and the venue vldb — the contextual walk must
+give "uncertain" a positive similarity from "probabilistic" while
+co-occurrence gives zero (tested in test_graph_cooccurrence).
+"""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.similarity import SimilarityExtractor
+from repro.index.inverted import FieldTerm
+
+TITLE = ("papers", "title")
+
+
+def node_of(graph, text):
+    return graph.term_node_id(FieldTerm(TITLE, text))
+
+
+class TestSimilarNodes:
+    def test_same_class_only(self, toy_graph, toy_similarity):
+        node_id = node_of(toy_graph, "probabilistic")
+        for sim in toy_similarity.similar_nodes(node_id, 20):
+            assert toy_graph.class_of(sim.node_id) == TITLE
+
+    def test_excludes_self(self, toy_graph, toy_similarity):
+        node_id = node_of(toy_graph, "probabilistic")
+        assert node_id not in {
+            s.node_id for s in toy_similarity.similar_nodes(node_id, 20)
+        }
+
+    def test_sorted_descending(self, toy_graph, toy_similarity):
+        node_id = node_of(toy_graph, "probabilistic")
+        scores = [s.score for s in toy_similarity.similar_nodes(node_id, 20)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_n_respected(self, toy_graph, toy_similarity):
+        node_id = node_of(toy_graph, "probabilistic")
+        assert len(toy_similarity.similar_nodes(node_id, 3)) == 3
+
+    def test_top_n_validation(self, toy_graph, toy_similarity):
+        node_id = node_of(toy_graph, "probabilistic")
+        with pytest.raises(GraphError):
+            toy_similarity.similar_nodes(node_id, 0)
+
+    def test_scores_positive(self, toy_graph, toy_similarity):
+        node_id = node_of(toy_graph, "probabilistic")
+        assert all(
+            s.score > 0 for s in toy_similarity.similar_nodes(node_id, 20)
+        )
+
+
+class TestSemantics:
+    def test_synonym_reachable_without_cooccurrence(
+        self, toy_graph, toy_similarity
+    ):
+        """The paper's core claim at toy scale."""
+        prob = node_of(toy_graph, "probabilistic")
+        uncertain = node_of(toy_graph, "uncertain")
+        assert toy_similarity.similarity(prob, uncertain) > 0
+
+    def test_direct_cooccurrence_scores_highest(
+        self, toy_graph, toy_similarity
+    ):
+        """Direct title-mates outrank venue-mates."""
+        prob = node_of(toy_graph, "probabilistic")
+        query = node_of(toy_graph, "query")       # same title (p0)
+        uncertain = node_of(toy_graph, "uncertain")  # only via venue/author
+        assert toy_similarity.similarity(prob, query) > (
+            toy_similarity.similarity(prob, uncertain)
+        )
+
+    def test_similar_terms_text_interface(self, toy_similarity):
+        terms = toy_similarity.similar_terms("probabilistic", 5)
+        texts = [t for t, _s in terms]
+        assert "pattern" in texts or "query" in texts
+
+    def test_author_similarity_via_shared_venue(self, toy_graph, toy_similarity):
+        """bob and eve never co-author but share icdm."""
+        sims = dict(toy_similarity.similar_terms("bob", 5))
+        assert "eve" in sims
+
+    def test_idf_readout_changes_scores(self, toy_graph):
+        plain = SimilarityExtractor(toy_graph, idf_readout=False)
+        weighted = SimilarityExtractor(toy_graph, idf_readout=True)
+        prob = node_of(toy_graph, "probabilistic")
+        uncertain = node_of(toy_graph, "uncertain")
+        idf = toy_graph.index.idf(FieldTerm(TITLE, "uncertain"))
+        assert weighted.similarity(prob, uncertain) == pytest.approx(
+            plain.similarity(prob, uncertain) * idf
+        )
+
+    def test_contextual_false_uses_indicator(self, toy_graph):
+        individual = SimilarityExtractor(toy_graph, contextual=False)
+        prob = node_of(toy_graph, "probabilistic")
+        scores = individual.walk_scores(prob)
+        # indicator restart: the source holds the restart mass
+        assert scores[prob] > 0.1
+
+
+class TestCaching:
+    def test_walk_scores_cached(self, toy_graph):
+        sim = SimilarityExtractor(toy_graph)
+        node_id = node_of(toy_graph, "pattern")
+        a = sim.walk_scores(node_id)
+        b = sim.walk_scores(node_id)
+        assert a is b
+        assert sim.cache_size() == 1
+
+    def test_precompute_and_clear(self, toy_graph):
+        sim = SimilarityExtractor(toy_graph)
+        ids = [node_of(toy_graph, t) for t in ("pattern", "mining")]
+        sim.precompute(ids)
+        assert sim.cache_size() == 2
+        sim.clear_cache()
+        assert sim.cache_size() == 0

@@ -1,0 +1,109 @@
+"""Unit tests for repro.graph.tat on the toy corpus."""
+
+import pytest
+
+from repro.errors import GraphError, UnknownNodeError
+from repro.graph.nodes import NodeKind
+from repro.graph.tat import TATGraph
+from repro.index.inverted import FieldTerm, InvertedIndex
+
+from tests.conftest import build_toy_database
+
+TITLE = ("papers", "title")
+CONF = ("conferences", "name")
+
+
+class TestConstruction:
+    def test_node_counts(self, toy_graph):
+        stats = toy_graph.stats()
+        assert stats["tuple_nodes"] == 13
+        assert stats["term_nodes"] == 15
+        assert stats["nodes"] == 28
+
+    def test_edge_counts(self, toy_graph):
+        # 12 FK edges + containment edges: 12 title-word slots + 2 conf
+        # names + 3 author names = 17 (no repeated words in any tuple)
+        assert toy_graph.n_edges == 12 + 17
+
+    def test_rejects_bad_fk_weight(self, toy_db, toy_index):
+        with pytest.raises(GraphError):
+            TATGraph(toy_db, toy_index, fk_edge_weight=0.0)
+
+    def test_containment_edge_weight_uses_idf(self, toy_db):
+        index = InvertedIndex(toy_db).build()
+        weighted = TATGraph(toy_db, index, idf_weighted_edges=True)
+        plain = TATGraph(toy_db, index, idf_weighted_edges=False)
+        term_id = plain.term_node_id(FieldTerm(TITLE, "uncertain"))
+        tuple_id = plain.tuple_node_id(("papers", 1))
+        plain_w = dict(plain.neighbors(term_id))[tuple_id]
+        assert plain_w == 1.0  # tf = 1
+        term_id_w = weighted.term_node_id(FieldTerm(TITLE, "uncertain"))
+        tuple_id_w = weighted.tuple_node_id(("papers", 1))
+        weighted_w = dict(weighted.neighbors(term_id_w))[tuple_id_w]
+        assert weighted_w == pytest.approx(index.idf(FieldTerm(TITLE, "uncertain")))
+
+
+class TestLookups:
+    def test_term_node_id_roundtrip(self, toy_graph):
+        term = FieldTerm(TITLE, "probabilistic")
+        node_id = toy_graph.term_node_id(term)
+        assert toy_graph.node(node_id).payload == term
+
+    def test_tuple_node_id_roundtrip(self, toy_graph):
+        node_id = toy_graph.tuple_node_id(("papers", 2))
+        assert toy_graph.node(node_id).payload == ("papers", 2)
+
+    def test_resolve_text(self, toy_graph):
+        ids = toy_graph.resolve_text("probabilistic")
+        assert len(ids) == 1
+        assert toy_graph.node(ids[0]).text == "probabilistic"
+
+    def test_resolve_text_unknown(self, toy_graph):
+        assert toy_graph.resolve_text("zzz") == []
+
+    def test_resolve_text_one_unknown_raises(self, toy_graph):
+        with pytest.raises(UnknownNodeError):
+            toy_graph.resolve_text_one("zzz")
+
+    def test_resolve_text_one_prefers_frequent_field(self):
+        db = build_toy_database()
+        # make "vldb" also a title word, rarer than the conference name?
+        # Here it appears once in titles and once as conference, ties are
+        # broken deterministically by the field-term string.
+        db.insert("papers", {"pid": 9, "title": "vldb retrospective",
+                             "cid": 0, "year": 1})
+        graph = TATGraph(db, InvertedIndex(db))
+        node = graph.node(graph.resolve_text_one("vldb"))
+        assert node.text == "vldb"
+
+    def test_term_connects_to_containing_tuples(self, toy_graph):
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "pattern"))
+        neighbor_nodes = {
+            toy_graph.node(n).payload for n, _w in toy_graph.neighbors(node_id)
+        }
+        assert neighbor_nodes == {("papers", 2), ("papers", 3)}
+
+
+class TestClasses:
+    def test_class_of_term(self, toy_graph):
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "pattern"))
+        assert toy_graph.class_of(node_id) == TITLE
+
+    def test_class_of_tuple(self, toy_graph):
+        node_id = toy_graph.tuple_node_id(("authors", 0))
+        assert toy_graph.class_of(node_id) == "authors"
+
+    def test_same_class_ids_contains_self(self, toy_graph):
+        node_id = toy_graph.term_node_id(FieldTerm(TITLE, "pattern"))
+        same = toy_graph.same_class_ids(node_id)
+        assert node_id in same
+        assert all(toy_graph.class_of(n) == TITLE for n in same)
+        assert len(same) == 10
+
+    def test_term_fields(self, toy_graph):
+        assert TITLE in toy_graph.term_fields()
+        assert CONF in toy_graph.term_fields()
+
+    def test_all_nodes_have_a_kind(self, toy_graph):
+        kinds = {toy_graph.node(i).kind for i in range(toy_graph.n_nodes)}
+        assert kinds == {NodeKind.TUPLE, NodeKind.TERM}

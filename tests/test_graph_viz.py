@@ -1,0 +1,80 @@
+"""Unit tests for repro.graph.viz."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.viz import ego_network, render_text, to_dot
+
+
+@pytest.fixture(scope="module")
+def center(toy_graph):
+    return toy_graph.resolve_text_one("probabilistic")
+
+
+class TestEgoNetwork:
+    def test_center_at_distance_zero(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=2)
+        assert ego.distances[center] == 0
+
+    def test_radius_respected(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=1)
+        assert max(ego.distances.values()) <= 1
+
+    def test_radius_one_is_containing_papers(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=1)
+        ring1 = {
+            toy_graph.node(n).payload
+            for n, d in ego.distances.items()
+            if d == 1
+        }
+        assert ring1 == {("papers", 0), ("papers", 3)}
+
+    def test_max_nodes_cap(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=3, max_nodes=5)
+        assert len(ego) <= 5
+
+    def test_edges_within_kept_nodes(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=2)
+        kept = set(ego.distances)
+        for a, b in ego.edges:
+            assert a in kept and b in kept
+            assert a < b  # canonical orientation, no duplicates
+
+    def test_validation(self, toy_graph, center):
+        with pytest.raises(GraphError):
+            ego_network(toy_graph, center, radius=0)
+        with pytest.raises(GraphError):
+            ego_network(toy_graph, center, max_nodes=1)
+
+
+class TestRenderers:
+    def test_dot_structure(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=2)
+        dot = to_dot(toy_graph, ego)
+        assert dot.startswith("graph tat {")
+        assert dot.rstrip().endswith("}")
+        assert f"n{center} " in dot
+        assert "peripheries=2" in dot  # the doubled center
+        assert "shape=box" in dot      # term nodes
+        assert "shape=ellipse" in dot  # tuple nodes
+        assert " -- " in dot
+
+    def test_dot_node_count(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=1)
+        dot = to_dot(toy_graph, ego)
+        declared = [l for l in dot.splitlines() if "[label=" in l]
+        assert len(declared) == len(ego)
+
+    def test_text_rendering(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=2)
+        text = render_text(toy_graph, ego)
+        assert "*probabilistic" in text
+        assert "papers#0" in text
+
+    def test_text_indentation_by_ring(self, toy_graph, center):
+        ego = ego_network(toy_graph, center, radius=2)
+        lines = render_text(toy_graph, ego).splitlines()
+        center_line = next(l for l in lines if l.startswith("*"))
+        assert not center_line.startswith(" ")
+        ring2 = [l for l in lines if l.startswith("    ")]
+        assert ring2  # something at distance 2

@@ -1,0 +1,98 @@
+"""Unit tests for repro.index.analyzer."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.analyzer import DEFAULT_STOPWORDS, Analyzer
+
+
+@pytest.fixture()
+def analyzer() -> Analyzer:
+    return Analyzer()
+
+
+class TestTokenize:
+    def test_lowercases(self, analyzer):
+        assert analyzer.tokenize("Probabilistic QUERY") == [
+            "probabilistic", "query",
+        ]
+
+    def test_strips_punctuation(self, analyzer):
+        assert analyzer.tokenize("top-k, search!") == ["top-k", "search"]
+
+    def test_keeps_duplicates(self, analyzer):
+        assert analyzer.tokenize("query query") == ["query", "query"]
+
+    def test_drops_stopwords(self, analyzer):
+        assert analyzer.tokenize("the query of data") == ["query", "data"]
+
+    def test_drops_short_tokens(self, analyzer):
+        assert analyzer.tokenize("a b xy") == ["xy"]
+
+    def test_numbers_kept(self, analyzer):
+        assert analyzer.tokenize("2pc protocol") == ["2pc", "protocol"]
+
+    def test_empty_string(self, analyzer):
+        assert analyzer.tokenize("") == []
+
+    def test_custom_stopwords(self):
+        analyzer = Analyzer(stopwords=["query"])
+        assert analyzer.tokenize("the query") == ["the"]
+
+    def test_no_stopwords(self):
+        analyzer = Analyzer(stopwords=frozenset())
+        assert "the" in analyzer.tokenize("the query")
+
+    def test_min_token_len(self):
+        analyzer = Analyzer(min_token_len=4)
+        assert analyzer.tokenize("xml twig join") == ["twig", "join"]
+
+
+class TestNormalize:
+    def test_lowercase_and_collapse(self, analyzer):
+        assert analyzer.normalize("  Christian   S. Jensen ") == (
+            "christian s. jensen"
+        )
+
+    def test_empty(self, analyzer):
+        assert analyzer.normalize("   ") == ""
+
+
+class TestAnalyze:
+    def test_atomic_single_term(self, analyzer):
+        assert analyzer.analyze("Jiawei Han", atomic=True) == ["jiawei han"]
+
+    def test_atomic_empty(self, analyzer):
+        assert analyzer.analyze("  ", atomic=True) == []
+
+    def test_atomic_keeps_stopwords(self, analyzer):
+        # atomic values are never stopword-filtered
+        assert analyzer.analyze("the who", atomic=True) == ["the who"]
+
+    def test_segmented_path(self, analyzer):
+        assert analyzer.analyze("XML twig joins") == ["xml", "twig", "joins"]
+
+
+class TestProperties:
+    @given(st.text())
+    def test_tokens_are_normalized(self, text):
+        analyzer = Analyzer()
+        for token in analyzer.tokenize(text):
+            assert token == token.lower()
+            assert len(token) >= analyzer.min_token_len
+            assert token not in DEFAULT_STOPWORDS
+
+    @given(st.text())
+    def test_tokenize_idempotent_on_join(self, text):
+        analyzer = Analyzer()
+        tokens = analyzer.tokenize(text)
+        assert analyzer.tokenize(" ".join(tokens)) == tokens
+
+    @given(st.text(alphabet=string.ascii_letters + " ", max_size=80))
+    def test_normalize_idempotent(self, text):
+        analyzer = Analyzer()
+        once = analyzer.normalize(text)
+        assert analyzer.normalize(once) == once

@@ -1,0 +1,141 @@
+"""Unit tests for repro.index.inverted against the hand-built toy corpus.
+
+Toy titles:
+  p0 "probabilistic query answering"   (vldb)
+  p1 "uncertain data management"       (vldb)
+  p2 "frequent pattern mining"         (icdm)
+  p3 "probabilistic pattern discovery" (icdm)
+"""
+
+import math
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.inverted import FieldTerm, InvertedIndex
+
+from tests.conftest import build_toy_database
+
+TITLE = ("papers", "title")
+CONF = ("conferences", "name")
+AUTHOR = ("authors", "name")
+
+
+class TestBuild:
+    def test_requires_build(self):
+        index = InvertedIndex(build_toy_database())
+        with pytest.raises(IndexError_):
+            index.postings(FieldTerm(TITLE, "probabilistic"))
+
+    def test_build_idempotent(self, toy_db):
+        index = InvertedIndex(toy_db).build().build()
+        assert index.doc_count == 2 + 3 + 4  # confs + authors + papers
+
+    def test_doc_count_excludes_textless_tables(self, toy_index):
+        # writes has no text fields and contributes no documents
+        assert toy_index.doc_count == 9
+
+    def test_vocabulary_size(self, toy_index):
+        # 10 distinct title words + 2 conference names + 3 author names
+        assert toy_index.vocabulary_size() == 15
+
+    def test_fields(self, toy_index):
+        assert set(toy_index.fields()) == {TITLE, CONF, AUTHOR}
+
+
+class TestPostings:
+    def test_postings_of_shared_term(self, toy_index):
+        postings = toy_index.postings(FieldTerm(TITLE, "probabilistic"))
+        assert {p.ref for p in postings} == {("papers", 0), ("papers", 3)}
+
+    def test_tf_recorded(self, toy_index):
+        postings = toy_index.postings(FieldTerm(TITLE, "pattern"))
+        assert all(p.tf == 1 for p in postings)
+
+    def test_unseen_term_empty(self, toy_index):
+        assert toy_index.postings(FieldTerm(TITLE, "nonexistent")) == []
+
+    def test_field_labels_distinguish(self, toy_index):
+        # "vldb" exists as conference name, not as title word
+        assert toy_index.postings(FieldTerm(CONF, "vldb"))
+        assert toy_index.postings(FieldTerm(TITLE, "vldb")) == []
+
+    def test_atomic_field_whole_value(self, toy_db):
+        db = build_toy_database()
+        db.insert("authors", {"aid": 9, "name": "jiawei han"})
+        index = InvertedIndex(db).build()
+        assert index.postings(FieldTerm(AUTHOR, "jiawei han"))
+        assert index.postings(FieldTerm(AUTHOR, "jiawei")) == []
+
+    def test_repeated_word_tf(self):
+        db = build_toy_database()
+        db.insert("papers", {
+            "pid": 9, "title": "query query rewriting", "cid": 0, "year": 1,
+        })
+        index = InvertedIndex(db).build()
+        posting = [
+            p for p in index.postings(FieldTerm(TITLE, "query"))
+            if p.ref == ("papers", 9)
+        ]
+        assert posting[0].tf == 2
+
+
+class TestLookup:
+    def test_lookup_text_across_fields(self, toy_index):
+        terms = toy_index.lookup_text("probabilistic")
+        assert [t.field for t in terms] == [TITLE]
+
+    def test_lookup_normalizes(self, toy_index):
+        assert toy_index.lookup_text("  PROBABILISTIC ") == (
+            toy_index.lookup_text("probabilistic")
+        )
+
+    def test_lookup_author_name(self, toy_index):
+        terms = toy_index.lookup_text("ann")
+        assert [t.field for t in terms] == [AUTHOR]
+
+    def test_tuples_matching(self, toy_index):
+        matches = toy_index.tuples_matching("pattern")
+        assert set(matches) == {("papers", 2), ("papers", 3)}
+
+    def test_tuples_matching_unknown(self, toy_index):
+        assert toy_index.tuples_matching("zzz") == {}
+
+    def test_terms_of_forward_index(self, toy_index):
+        terms = dict(toy_index.terms_of(("papers", 0)))
+        texts = {t.text for t in terms}
+        assert texts == {"probabilistic", "query", "answering"}
+
+    def test_terms_of_textless_tuple(self, toy_index):
+        assert toy_index.terms_of(("writes", 0)) == []
+
+
+class TestStats:
+    def test_df(self, toy_index):
+        assert toy_index.df(FieldTerm(TITLE, "probabilistic")) == 2
+        assert toy_index.df(FieldTerm(TITLE, "uncertain")) == 1
+
+    def test_total_tf(self, toy_index):
+        assert toy_index.total_tf(FieldTerm(TITLE, "pattern")) == 2
+
+    def test_idf_positive_and_monotone(self, toy_index):
+        rare = toy_index.idf(FieldTerm(TITLE, "uncertain"))
+        common = toy_index.idf(FieldTerm(TITLE, "probabilistic"))
+        assert rare > common > 0
+
+    def test_idf_formula(self, toy_index):
+        expected = math.log(1 + 9 / (1 + 2))
+        assert toy_index.idf(FieldTerm(TITLE, "probabilistic")) == pytest.approx(
+            expected
+        )
+
+    def test_field_cardinality(self, toy_index):
+        assert toy_index.field_cardinality(TITLE) == 10
+        assert toy_index.field_cardinality(CONF) == 2
+        assert toy_index.field_cardinality(AUTHOR) == 3
+
+    def test_field_cardinality_unknown_field(self, toy_index):
+        assert toy_index.field_cardinality(("papers", "nope")) == 0
+
+    def test_terms_iterator_covers_vocabulary(self, toy_index):
+        assert sum(1 for _ in toy_index.terms()) == 15

@@ -1,0 +1,152 @@
+"""Unit tests for repro.index.phrases."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.analyzer import Analyzer
+from repro.index.phrases import (
+    PhraseAnalyzer,
+    PhraseModel,
+    learn_phrases_from_database,
+)
+
+#: A corpus where "association rule" is a strong collocation and
+#: "data mining" a weaker one; "the" is filtered by the analyzer upstream.
+CORPUS = (
+    [["association", "rule", "mining"]] * 6
+    + [["association", "rule", "discovery"]] * 4
+    + [["rule", "based", "systems"]] * 3
+    + [["association", "networks"]] * 3
+    + [["frequent", "itemset", "mining"]] * 5
+)
+
+
+@pytest.fixture()
+def model() -> PhraseModel:
+    return PhraseModel(min_count=3, min_score=2.0).learn(CORPUS)
+
+
+class TestLearning:
+    def test_requires_learn(self):
+        with pytest.raises(IndexError_):
+            PhraseModel().phrases
+
+    def test_accepts_strong_collocation(self, model):
+        assert model.is_phrase("association", "rule")
+
+    def test_rejects_rare_pair_under_strict_support(self):
+        strict = PhraseModel(min_count=5, min_score=2.0).learn(CORPUS)
+        assert not strict.is_phrase("rule", "discovery")  # count 4 < 5
+        assert strict.is_phrase("association", "rule")    # count 10
+
+    def test_rejects_low_lift_pair(self):
+        # lift threshold high enough that only extreme collocations pass
+        picky = PhraseModel(min_count=3, min_score=10.0).learn(CORPUS)
+        assert picky.is_phrase("based", "systems")       # lift 13.3
+        assert not picky.is_phrase("association", "rule")  # lift 3.2
+
+    def test_min_count_filters(self):
+        model = PhraseModel(min_count=100, min_score=0.1).learn(CORPUS)
+        assert len(model) == 0
+
+    def test_phrases_sorted_by_count(self, model):
+        counts = [p.count for p in model.phrases]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            PhraseModel(min_count=0)
+        with pytest.raises(IndexError_):
+            PhraseModel(min_score=0)
+
+    def test_phrase_text(self, model):
+        stats = next(
+            p for p in model.phrases if p.bigram == ("association", "rule")
+        )
+        assert stats.text == "association rule"
+
+
+class TestMerge:
+    def test_merges_phrase(self, model):
+        assert model.merge(["association", "rule", "mining"]) == [
+            "association rule", "mining",
+        ]
+
+    def test_non_overlapping_greedy(self, model):
+        # even if (rule, mining) were a phrase, the left merge wins
+        tokens = ["association", "rule", "mining"]
+        merged = model.merge(tokens)
+        assert merged[0] == "association rule"
+
+    def test_untouched_sequence(self, model):
+        assert model.merge(["frequent", "systems"]) == [
+            "frequent", "systems",
+        ]
+
+    def test_empty(self, model):
+        assert model.merge([]) == []
+
+    def test_single_token(self, model):
+        assert model.merge(["rule"]) == ["rule"]
+
+
+class TestPhraseAnalyzer:
+    def test_tokenize_merges(self, model):
+        analyzer = PhraseAnalyzer(model)
+        assert analyzer.tokenize("Association rule mining") == [
+            "association rule", "mining",
+        ]
+
+    def test_atomic_fields_untouched(self, model):
+        analyzer = PhraseAnalyzer(model)
+        assert analyzer.analyze("Association Rule", atomic=True) == [
+            "association rule"
+        ]
+
+    def test_stopwords_removed_before_merge(self, model):
+        analyzer = PhraseAnalyzer(model)
+        # "the" disappears, making the pair adjacent
+        assert analyzer.tokenize("association the rule") == [
+            "association rule"
+        ]
+
+
+class TestDatabaseLearning:
+    def test_learn_from_database(self):
+        from repro.storage.database import Database
+        from tests.conftest import toy_schema
+
+        db = Database(toy_schema())
+        db.insert("conferences", {"cid": 0, "name": "vldb"})
+        for pid in range(4):
+            db.insert("papers", {
+                "pid": pid,
+                "title": "association rule mining advances",
+                "cid": 0,
+                "year": 2000 + pid,
+            })
+        model = learn_phrases_from_database(db, min_count=3, min_score=1.5)
+        assert model.is_phrase("association", "rule")
+
+    def test_phrase_terms_become_index_nodes(self):
+        """End to end: phrase-aware index + TAT graph node."""
+        from repro.graph.tat import TATGraph
+        from repro.index.inverted import FieldTerm, InvertedIndex
+        from repro.storage.database import Database
+        from tests.conftest import toy_schema
+
+        db = Database(toy_schema())
+        db.insert("conferences", {"cid": 0, "name": "vldb"})
+        for pid in range(4):
+            db.insert("papers", {
+                "pid": pid,
+                "title": "association rule mining advances",
+                "cid": 0,
+                "year": 2000,
+            })
+        model = learn_phrases_from_database(db, min_count=3, min_score=1.5)
+        index = InvertedIndex(db, analyzer=PhraseAnalyzer(model)).build()
+        phrase_term = FieldTerm(("papers", "title"), "association rule")
+        assert index.df(phrase_term) == 4
+        graph = TATGraph(db, index)
+        assert graph.term_node_id(phrase_term) >= 0

@@ -1,0 +1,75 @@
+"""Unit tests for repro.index.stats."""
+
+import pytest
+
+from repro.index.inverted import FieldTerm
+from repro.index.stats import CorpusStats
+
+TITLE = ("papers", "title")
+CONF = ("conferences", "name")
+
+
+@pytest.fixture()
+def stats(toy_index) -> CorpusStats:
+    return CorpusStats(toy_index)
+
+
+class TestFrequencies:
+    def test_term_frequencies_sorted(self, stats):
+        freqs = stats.term_frequencies()
+        values = [v for _t, v in freqs]
+        assert values == sorted(values, reverse=True)
+
+    def test_term_frequencies_field_filter(self, stats):
+        freqs = stats.term_frequencies(field=CONF)
+        assert {t.text for t, _ in freqs} == {"vldb", "icdm"}
+
+    def test_top_terms(self, stats):
+        top = stats.top_terms(2, field=TITLE)
+        assert len(top) == 2
+        # "probabilistic" and "pattern" both occur twice; ties broken
+        # deterministically
+        assert {t.text for t in top} == {"pattern", "probabilistic"}
+
+    def test_top_terms_larger_than_vocab(self, stats):
+        top = stats.top_terms(100, field=CONF)
+        assert len(top) == 2
+
+
+class TestCooccurrence:
+    def test_counts_within_tuple(self, stats):
+        counts = stats.cooccurrence_counts(FieldTerm(TITLE, "probabilistic"))
+        texts = {t.text: c for t, c in counts.items()}
+        # co-occurs with p0's words and p3's words
+        assert texts["query"] == 1
+        assert texts["pattern"] == 1
+        assert "uncertain" not in texts  # never shares a title
+
+    def test_counts_exclude_self(self, stats):
+        counts = stats.cooccurrence_counts(FieldTerm(TITLE, "pattern"))
+        assert FieldTerm(TITLE, "pattern") not in counts
+
+    def test_unseen_term_empty(self, stats):
+        assert not stats.cooccurrence_counts(FieldTerm(TITLE, "zzz"))
+
+    def test_shared_tuples(self, stats):
+        a = FieldTerm(TITLE, "probabilistic")
+        b = FieldTerm(TITLE, "pattern")
+        assert stats.shared_tuples(a, b) == 1
+        assert stats.shared_tuples(a, FieldTerm(TITLE, "uncertain")) == 0
+
+    def test_shared_tuples_symmetric(self, stats):
+        a = FieldTerm(TITLE, "probabilistic")
+        b = FieldTerm(TITLE, "pattern")
+        assert stats.shared_tuples(a, b) == stats.shared_tuples(b, a)
+
+
+class TestSummaries:
+    def test_field_summary(self, stats):
+        summary = stats.field_summary()
+        assert summary[TITLE]["vocabulary"] == 10
+        assert summary[CONF]["occurrences"] == 2
+
+    def test_tuples_of(self, stats):
+        refs = stats.tuples_of(FieldTerm(TITLE, "probabilistic"))
+        assert set(refs) == {("papers", 0), ("papers", 3)}

@@ -1,0 +1,91 @@
+"""Unit tests for repro.live (mutable-corpus reformulation)."""
+
+import pytest
+
+from repro.core.reformulator import ReformulatorConfig
+from repro.live import LiveReformulator
+
+from tests.conftest import build_toy_database
+
+
+@pytest.fixture()
+def live():
+    return LiveReformulator(
+        build_toy_database(), ReformulatorConfig(n_candidates=6)
+    )
+
+
+class TestLifecycle:
+    def test_starts_stale(self, live):
+        assert live.is_stale
+        assert live.version == 0
+
+    def test_first_query_builds(self, live):
+        live.reformulate(["probabilistic", "query"], k=2)
+        assert live.version == 1
+        assert not live.is_stale
+
+    def test_queries_without_mutation_reuse_pipeline(self, live):
+        live.reformulate(["probabilistic", "query"], k=2)
+        pipeline = live.pipeline()
+        live.reformulate(["pattern", "mining"], k=2)
+        assert live.pipeline() is pipeline
+        assert live.version == 1
+
+    def test_insert_marks_stale(self, live):
+        live.reformulate(["probabilistic", "query"], k=2)
+        live.insert("papers", {
+            "pid": 50, "title": "probabilistic mining study",
+            "cid": 1, "year": 2012,
+        })
+        assert live.is_stale
+        live.reformulate(["probabilistic", "query"], k=2)
+        assert live.version == 2
+
+    def test_insert_many(self, live):
+        n = live.insert_many("authors", [
+            {"aid": 50, "name": "new one"},
+            {"aid": 51, "name": "new two"},
+        ])
+        assert n == 2 and live.is_stale
+
+    def test_empty_insert_many_not_stale(self, live):
+        live.pipeline()
+        live.insert_many("authors", [])
+        assert not live.is_stale
+
+    def test_invalidate_after_oob_mutation(self, live):
+        live.pipeline()
+        live.database.insert("authors", {"aid": 60, "name": "oob"})
+        assert not live.is_stale  # wrapper cannot see it...
+        live.invalidate()
+        assert live.is_stale
+
+
+class TestFreshness:
+    def test_new_vocabulary_becomes_suggestible(self, live):
+        """Inserting papers that co-locate two previously unrelated terms
+        must change the similar lists after rebuild."""
+        before = {t for t, _s in live.similar_terms("probabilistic", 10)}
+        assert "stream" not in before
+        for pid in range(60, 64):
+            live.insert("papers", {
+                "pid": pid,
+                "title": "probabilistic stream processing",
+                "cid": 0,
+                "year": 2012,
+            })
+        after = {t for t, _s in live.similar_terms("probabilistic", 10)}
+        assert "stream" in after
+
+    def test_fk_violations_still_enforced(self, live):
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            live.insert("papers", {
+                "pid": 70, "title": "x", "cid": 404, "year": 1,
+            })
+
+    def test_best_delegates(self, live):
+        best = live.best(["probabilistic", "query"])
+        assert best.score > 0

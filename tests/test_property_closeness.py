@@ -1,0 +1,96 @@
+"""Property-based closeness invariants on random databases."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.closeness import ClosenessExtractor
+from repro.graph.tat import TATGraph
+from repro.index.inverted import InvertedIndex
+
+from tests.test_property_invariants import small_databases
+
+
+def _term_ids(graph, limit=6):
+    return [
+        graph.term_node_id(t)
+        for t in sorted(graph.index.terms(), key=str)
+    ][:limit]
+
+
+class TestClosenessProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(small_databases())
+    def test_degree_weighting_symmetric(self, database):
+        graph = TATGraph(database, InvertedIndex(database))
+        extractor = ClosenessExtractor(
+            graph, beam_width=None, path_weighting="degree"
+        )
+        ids = _term_ids(graph)
+        for a in ids:
+            for b in ids:
+                assert extractor.closeness(a, b) == pytest.approx(
+                    extractor.closeness(b, a)
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_databases())
+    def test_count_weighting_symmetric(self, database):
+        """Shortest-path counts are symmetric on undirected graphs."""
+        graph = TATGraph(database, InvertedIndex(database))
+        extractor = ClosenessExtractor(
+            graph, beam_width=None, path_weighting="count"
+        )
+        ids = _term_ids(graph)
+        for a in ids:
+            for b in ids:
+                assert extractor.closeness(a, b) == pytest.approx(
+                    extractor.closeness(b, a)
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_databases())
+    def test_closeness_nonnegative_and_self_zero(self, database):
+        graph = TATGraph(database, InvertedIndex(database))
+        extractor = ClosenessExtractor(graph, beam_width=None)
+        ids = _term_ids(graph)
+        for a in ids:
+            assert extractor.closeness(a, a) == 0.0
+            for b in ids:
+                assert extractor.closeness(a, b) >= 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_databases())
+    def test_distances_match_networkx(self, database):
+        """Unpruned hop distances agree with networkx shortest paths."""
+        import networkx as nx
+
+        graph = TATGraph(database, InvertedIndex(database))
+        extractor = ClosenessExtractor(
+            graph, max_depth=6, beam_width=None
+        )
+        g = nx.Graph()
+        g.add_nodes_from(range(graph.n_nodes))
+        matrix = graph.adjacency.matrix.tocoo()
+        g.add_edges_from(zip(matrix.row, matrix.col))
+        ids = _term_ids(graph, limit=4)
+        for a in ids:
+            expected = nx.single_source_shortest_path_length(
+                g, a, cutoff=6
+            )
+            for b in ids:
+                assert extractor.distance(a, b) == expected.get(b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_databases())
+    def test_pruned_is_subset_of_exact(self, database):
+        """Pruning may drop reachable nodes but never invents closeness."""
+        graph = TATGraph(database, InvertedIndex(database))
+        exact = ClosenessExtractor(graph, beam_width=None)
+        pruned = ClosenessExtractor(graph, beam_width=2)
+        ids = _term_ids(graph, limit=4)
+        for a in ids:
+            exact_paths = exact.paths_from(a)
+            for b, info in pruned.paths_from(a).items():
+                assert b in exact_paths
+                # a pruned search can only find equal-or-longer routes
+                assert info.distance >= exact_paths[b].distance

@@ -1,0 +1,150 @@
+"""Cross-module property-based invariants (hypothesis).
+
+Random databases are generated from a constrained universe and the
+derived structures (CSV round-trips, inverted index, TAT graph) are
+checked against their defining invariants.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.tat import TATGraph
+from repro.index.inverted import InvertedIndex
+from repro.storage.csvio import dump_table_csv, load_table_csv
+from repro.storage.database import Database
+from repro.storage.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.storage.schemaspec import schema_from_spec, schema_to_spec
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
+titles = st.lists(words, min_size=1, max_size=6).map(" ".join)
+
+
+@st.composite
+def small_databases(draw):
+    """A random two-table database: parents and children with FK."""
+    schema = DatabaseSchema()
+    schema.add_table(TableSchema(
+        "parents",
+        [Column("id", "int", nullable=False), Column("name", "text")],
+        primary_key="id",
+        atomic_fields=["name"],
+    ))
+    schema.add_table(TableSchema(
+        "children",
+        [
+            Column("id", "int", nullable=False),
+            Column("body", "text"),
+            Column("parent", "int"),
+        ],
+        primary_key="id",
+    ))
+    schema.add_foreign_key(ForeignKey("children", "parent", "parents", "id"))
+    database = Database(schema)
+
+    n_parents = draw(st.integers(1, 4))
+    for pid in range(n_parents):
+        database.insert(
+            "parents", {"id": pid, "name": draw(words)}
+        )
+    n_children = draw(st.integers(0, 8))
+    for cid in range(n_children):
+        database.insert("children", {
+            "id": cid,
+            "body": draw(titles),
+            "parent": draw(st.integers(0, n_parents - 1)),
+        })
+    return database
+
+
+class TestCsvRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(small_databases())
+    def test_roundtrip_preserves_rows(self, database):
+        import tempfile
+        from pathlib import Path
+
+        tmp = Path(tempfile.mkdtemp(prefix="repro-csv-"))
+        clone = Database(database.schema, enforce_fk=False)
+        for table_name in database.table_names:
+            path = tmp / f"{table_name}.csv"
+            dump_table_csv(database, table_name, path)
+            load_table_csv(clone, table_name, path)
+        clone.check_integrity()
+        for table_name in database.table_names:
+            original = list(database.table(table_name).scan())
+            loaded = list(clone.table(table_name).scan())
+            assert loaded == original
+
+
+class TestSchemaSpecRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(small_databases())
+    def test_spec_roundtrip(self, database):
+        spec = schema_to_spec(database.schema)
+        rebuilt = schema_from_spec(spec)
+        assert schema_to_spec(rebuilt) == spec
+
+
+class TestIndexInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(small_databases())
+    def test_postings_consistency(self, database):
+        index = InvertedIndex(database).build()
+        for term in index.terms():
+            postings = index.postings(term)
+            # df is the posting count; total tf sums the postings
+            assert index.df(term) == len(postings)
+            assert index.total_tf(term) == sum(p.tf for p in postings)
+            assert index.df(term) <= index.doc_count
+            # every posting is reflected in the forward index
+            for posting in postings:
+                forward = dict(index.terms_of(posting.ref))
+                assert forward[term] == posting.tf
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_databases())
+    def test_idf_positive_and_antitone(self, database):
+        index = InvertedIndex(database).build()
+        terms = sorted(index.terms(), key=str)
+        for a in terms:
+            assert index.idf(a) > 0
+            for b in terms:
+                if index.df(a) < index.df(b):
+                    assert index.idf(a) >= index.idf(b)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(small_databases())
+    def test_tat_structure(self, database):
+        index = InvertedIndex(database).build()
+        graph = TATGraph(database, index)
+        stats = graph.stats()
+        # node accounting
+        assert stats["tuple_nodes"] == len(database)
+        assert stats["term_nodes"] == index.vocabulary_size()
+        # adjacency symmetric with positive weights
+        m = graph.adjacency.matrix
+        assert (m != m.T).nnz == 0
+        assert (m.data > 0).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_databases())
+    def test_every_term_touches_its_tuples(self, database):
+        index = InvertedIndex(database).build()
+        graph = TATGraph(database, index)
+        for term in index.terms():
+            term_id = graph.term_node_id(term)
+            neighbor_refs = {
+                graph.node(n).payload for n, _w in graph.neighbors(term_id)
+            }
+            posting_refs = {p.ref for p in index.postings(term)}
+            assert posting_refs <= neighbor_refs

@@ -1,0 +1,107 @@
+"""Unit tests for repro.search.estimate (result-size estimation)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.search.estimate import ResultSizeEstimator
+from repro.search.keyword import KeywordSearchEngine
+
+
+@pytest.fixture(scope="module")
+def toy_estimator(toy_tuple_graph, toy_index):
+    return ResultSizeEstimator(toy_tuple_graph, toy_index, depth=2)
+
+
+@pytest.fixture(scope="module")
+def toy_engine(toy_tuple_graph, toy_index):
+    return KeywordSearchEngine(
+        toy_tuple_graph, toy_index, max_depth=2, max_results=10_000
+    )
+
+
+class TestBalls:
+    def test_ball_contains_matches(self, toy_estimator):
+        ball = toy_estimator.ball("probabilistic")
+        assert ("papers", 0) in ball and ("papers", 3) in ball
+
+    def test_ball_radius(self, toy_estimator):
+        ball = toy_estimator.ball("probabilistic")
+        # depth 2 from p0: conference 0, writes 0, ann, p3's venue etc.
+        assert ("conferences", 0) in ball
+        assert ("authors", 0) in ball
+
+    def test_unknown_keyword_empty_ball(self, toy_estimator):
+        assert toy_estimator.ball("zzz") == frozenset()
+
+    def test_ball_cached(self, toy_estimator):
+        assert toy_estimator.ball("pattern") is toy_estimator.ball("pattern")
+
+    def test_precompute_and_summary_size(
+        self, toy_tuple_graph, toy_index
+    ):
+        estimator = ResultSizeEstimator(toy_tuple_graph, toy_index)
+        estimator.precompute(["pattern", "mining"])
+        assert estimator.summary_size() > 0
+
+    def test_validation(self, toy_tuple_graph, toy_index):
+        with pytest.raises(ReproError):
+            ResultSizeEstimator(toy_tuple_graph, toy_index, depth=-1)
+
+
+class TestEstimates:
+    def test_zero_iff_engine_zero_on_toy(self, toy_estimator, toy_engine):
+        cases = [
+            ["probabilistic", "query"],
+            ["probabilistic", "uncertain"],
+            ["ann", "bob"],              # cross-component: no results
+            ["probabilistic", "zzz"],    # unmatched keyword
+            ["frequent", "pattern", "mining"],
+        ]
+        for keywords in cases:
+            actual = toy_engine.result_size(keywords)
+            estimated = toy_estimator.estimate(keywords)
+            assert (estimated == 0) == (actual == 0), keywords
+
+    def test_empty_query(self, toy_estimator):
+        assert toy_estimator.estimate([]) == 0
+        assert toy_estimator.estimate(["  "]) == 0
+
+    def test_single_keyword_counts_ball(self, toy_estimator):
+        # single keyword: every match is a root, plus its neighborhood
+        assert toy_estimator.estimate(["pattern"]) >= 2
+
+    def test_is_cohesive_matches_engine(self, toy_estimator, toy_engine):
+        assert toy_estimator.is_cohesive(["probabilistic", "uncertain"])
+        assert not toy_estimator.is_cohesive(["ann", "bob"])
+
+    def test_monotone_in_query_length(self, toy_estimator):
+        """Adding a keyword can only shrink the intersection."""
+        two = toy_estimator.estimate(["probabilistic", "pattern"])
+        three = toy_estimator.estimate(
+            ["probabilistic", "pattern", "mining"]
+        )
+        assert three <= two
+
+
+class TestCorrelationAtScale:
+    def test_rank_correlation_with_engine(self, small_corpus, small_index):
+        """Estimates must rank queries like the real engine does."""
+        from scipy import stats
+
+        from repro.data.workloads import WorkloadGenerator
+        from repro.storage.tuplegraph import TupleGraph
+
+        tuple_graph = TupleGraph(small_corpus.database)
+        engine = KeywordSearchEngine(
+            tuple_graph, small_index, max_depth=2, max_results=100_000
+        )
+        estimator = ResultSizeEstimator(tuple_graph, small_index, depth=2)
+        queries = WorkloadGenerator(small_corpus, seed=17).mixed_queries(15)
+        actual = [
+            engine.result_size(list(q.keywords)) for q in queries
+        ]
+        estimated = [
+            estimator.estimate(list(q.keywords)) for q in queries
+        ]
+        rho, _p = stats.spearmanr(actual, estimated)
+        assert rho > 0.7

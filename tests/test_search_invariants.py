@@ -1,0 +1,111 @@
+"""Search-engine invariants on the synthesized corpus.
+
+Definition 3 guarantees checked at realistic scale: every result is a
+connected tree covering all keywords, with minimal branches; the engine
+agrees with itself across depth settings; and the estimator brackets the
+engine correctly.
+"""
+
+import pytest
+
+from repro.search.estimate import ResultSizeEstimator
+from repro.search.keyword import KeywordSearchEngine
+from repro.storage.tuplegraph import TupleGraph
+
+
+@pytest.fixture(scope="module")
+def tuple_graph(small_db):
+    return TupleGraph(small_db)
+
+
+@pytest.fixture(scope="module")
+def engine(tuple_graph, small_index):
+    return KeywordSearchEngine(
+        tuple_graph, small_index, max_depth=2, max_results=500
+    )
+
+
+@pytest.fixture(scope="module")
+def sample_queries(small_corpus):
+    from repro.data.workloads import WorkloadGenerator
+
+    return WorkloadGenerator(small_corpus, seed=31).mixed_queries(8)
+
+
+class TestDefinition3Invariants:
+    def test_results_are_connected_trees(
+        self, engine, tuple_graph, sample_queries
+    ):
+        for wq in sample_queries:
+            for result in engine.search(list(wq.keywords)).top(10):
+                nodes = set(result.nodes)
+                seen = {result.root}
+                frontier = [result.root]
+                while frontier:
+                    node = frontier.pop()
+                    for nbr in tuple_graph.neighbors(node):
+                        if nbr in nodes and nbr not in seen:
+                            seen.add(nbr)
+                            frontier.append(nbr)
+                assert seen == nodes, wq.keywords
+
+    def test_every_keyword_matched_in_tree(
+        self, engine, small_index, sample_queries
+    ):
+        for wq in sample_queries:
+            keywords = list(wq.keywords)
+            for result in engine.search(keywords).top(10):
+                assert {kw for kw, _r in result.matches} == set(keywords)
+                for keyword, ref in result.matches:
+                    assert ref in result.nodes
+                    matched = small_index.tuples_matching(keyword)
+                    assert ref in matched
+
+    def test_tree_edges_are_graph_edges(
+        self, engine, tuple_graph, sample_queries
+    ):
+        for wq in sample_queries:
+            for result in engine.search(list(wq.keywords)).top(10):
+                for a, b in result.edges:
+                    assert b in tuple_graph.neighbors(a)
+
+    def test_root_within_depth_of_every_match(
+        self, engine, tuple_graph, sample_queries
+    ):
+        for wq in sample_queries:
+            for result in engine.search(list(wq.keywords)).top(5):
+                for _kw, ref in result.matches:
+                    dist = tuple_graph.bfs_distances(
+                        result.root, engine.max_depth
+                    )
+                    assert ref in dist
+
+
+class TestDepthMonotonicity:
+    def test_deeper_engine_finds_at_least_as_much(
+        self, tuple_graph, small_index, sample_queries
+    ):
+        shallow = KeywordSearchEngine(
+            tuple_graph, small_index, max_depth=1, max_results=100_000
+        )
+        deep = KeywordSearchEngine(
+            tuple_graph, small_index, max_depth=2, max_results=100_000
+        )
+        for wq in sample_queries:
+            keywords = list(wq.keywords)
+            assert deep.result_size(keywords) >= shallow.result_size(keywords)
+
+
+class TestEstimatorBracket:
+    def test_estimator_zero_iff_engine_zero(
+        self, tuple_graph, small_index, sample_queries
+    ):
+        engine = KeywordSearchEngine(
+            tuple_graph, small_index, max_depth=2, max_results=100_000
+        )
+        estimator = ResultSizeEstimator(tuple_graph, small_index, depth=2)
+        for wq in sample_queries:
+            keywords = list(wq.keywords)
+            assert (estimator.estimate(keywords) == 0) == (
+                engine.result_size(keywords) == 0
+            ), keywords

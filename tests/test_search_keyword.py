@@ -1,0 +1,141 @@
+"""Unit tests for repro.search.keyword on the toy corpus.
+
+Toy layout reminder: ann wrote p0+p1 at vldb; bob wrote p2, eve wrote p3,
+both at icdm.  The vldb and icdm components are NOT connected to each
+other (no shared authors or venues).
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.search.keyword import KeywordSearchEngine
+
+
+class TestSingleKeyword:
+    def test_each_match_is_a_result(self, toy_search):
+        results = toy_search.search(["pattern"])
+        assert results.size == 2
+        assert {r.root for r in results} == {("papers", 2), ("papers", 3)}
+
+    def test_single_results_are_singletons(self, toy_search):
+        for result in toy_search.search(["pattern"]):
+            assert result.size == 1
+            assert result.edges == frozenset()
+
+    def test_author_name_matches_author_tuple(self, toy_search):
+        results = toy_search.search(["ann"])
+        assert results.size == 1
+        assert results[0].root == ("authors", 0)
+
+    def test_no_match(self, toy_search):
+        assert toy_search.search(["zzz"]).size == 0
+
+    def test_empty_query(self, toy_search):
+        assert toy_search.search([]).size == 0
+
+    def test_blank_keywords_stripped(self, toy_search):
+        assert toy_search.search(["  ", "pattern"]).size == 2
+
+
+class TestMultiKeyword:
+    def test_same_title_pair(self, toy_search):
+        results = toy_search.search(["probabilistic", "query"])
+        assert results.size >= 1
+        best = min(results, key=lambda r: r.size)
+        assert best.size == 1
+        assert best.root == ("papers", 0)
+
+    def test_any_keyword_unmatched_gives_empty(self, toy_search):
+        assert toy_search.search(["probabilistic", "zzz"]).size == 0
+
+    def test_author_and_term_joined_through_writes(self, toy_search):
+        results = toy_search.search(["ann", "uncertain"])
+        assert results.size >= 1
+        nodes = set().union(*(r.nodes for r in results))
+        assert ("authors", 0) in nodes
+        assert ("papers", 1) in nodes
+
+    def test_venue_mates_joined_through_conference(self, toy_search):
+        results = toy_search.search(["probabilistic", "uncertain"])
+        assert results.size >= 1
+        # the join must pass through a shared connector (vldb or ann)
+        connectors = set()
+        for r in results:
+            connectors |= {
+                ref for ref in r.nodes
+                if ref[0] in ("conferences", "authors", "writes")
+            }
+        assert connectors
+
+    def test_cross_component_query_empty(self, toy_search):
+        """ann's component never joins bob's."""
+        assert toy_search.search(["ann", "bob"]).size == 0
+
+    def test_trees_are_connected(self, toy_db, toy_search):
+        from repro.storage.tuplegraph import TupleGraph
+
+        tg = TupleGraph(toy_db)
+        for result in toy_search.search(["probabilistic", "uncertain"]):
+            nodes = set(result.nodes)
+            seen = {next(iter(nodes))}
+            frontier = list(seen)
+            while frontier:
+                node = frontier.pop()
+                for nbr in tg.neighbors(node):
+                    if nbr in nodes and nbr not in seen:
+                        seen.add(nbr)
+                        frontier.append(nbr)
+            assert seen == nodes
+
+    def test_matches_cover_all_keywords(self, toy_search):
+        for result in toy_search.search(["probabilistic", "pattern"]):
+            assert {kw for kw, _ref in result.matches} == {
+                "probabilistic", "pattern",
+            }
+
+    def test_three_keywords(self, toy_search):
+        results = toy_search.search(["frequent", "pattern", "mining"])
+        assert results.size >= 1
+        assert min(r.size for r in results) == 1
+
+
+class TestLimits:
+    def test_max_results_truncates(self, toy_tuple_graph, toy_index):
+        engine = KeywordSearchEngine(
+            toy_tuple_graph, toy_index, max_results=1
+        )
+        results = engine.search(["pattern"])
+        assert results.size == 1
+        assert results.truncated
+
+    def test_max_depth_zero_requires_direct_overlap(
+        self, toy_tuple_graph, toy_index
+    ):
+        engine = KeywordSearchEngine(toy_tuple_graph, toy_index, max_depth=0)
+        assert engine.search(["probabilistic", "query"]).size >= 1
+        assert engine.search(["probabilistic", "uncertain"]).size == 0
+
+    def test_validation(self, toy_tuple_graph, toy_index):
+        with pytest.raises(ReproError):
+            KeywordSearchEngine(toy_tuple_graph, toy_index, max_depth=-1)
+        with pytest.raises(ReproError):
+            KeywordSearchEngine(toy_tuple_graph, toy_index, max_results=0)
+
+
+class TestConvenience:
+    def test_result_size(self, toy_search):
+        assert toy_search.result_size(["pattern"]) == 2
+
+    def test_result_size_cached(self, toy_search):
+        first = toy_search.result_size(["pattern", "mining"])
+        second = toy_search.result_size(["pattern", "mining"])
+        assert first == second
+
+    def test_is_cohesive(self, toy_search):
+        assert toy_search.is_cohesive(["probabilistic", "uncertain"])
+        assert not toy_search.is_cohesive(["ann", "bob"])
+
+    def test_results_deduplicated(self, toy_search):
+        results = toy_search.search(["probabilistic", "pattern"])
+        signatures = [r.signature() for r in results]
+        assert len(signatures) == len(set(signatures))

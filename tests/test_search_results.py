@@ -1,0 +1,122 @@
+"""Unit tests for repro.search.results and repro.search.ranking."""
+
+import pytest
+
+from repro.search.ranking import ResultRanker
+from repro.search.results import ResultSet, SearchResult
+
+
+def make_result(root=("papers", 0), extra=(), matches=(("kw", ("papers", 0)),)):
+    nodes = frozenset([root, *extra])
+    edges = frozenset(
+        (root, e) if root <= e else (e, root) for e in extra
+    )
+    return SearchResult(
+        root=root, nodes=nodes, edges=edges, matches=tuple(matches)
+    )
+
+
+class TestSearchResult:
+    def test_size(self):
+        r = make_result(extra=[("writes", 0), ("authors", 0)])
+        assert r.size == 3
+
+    def test_keyword_tuples(self):
+        r = make_result(matches=(("a", ("papers", 0)), ("b", ("papers", 1))))
+        assert r.keyword_tuples() == {
+            "a": ("papers", 0), "b": ("papers", 1),
+        }
+
+    def test_signature_distinguishes_matches(self):
+        r1 = make_result(matches=(("a", ("papers", 0)),))
+        r2 = make_result(matches=(("b", ("papers", 0)),))
+        assert r1.signature() != r2.signature()
+
+    def test_render_marks_root(self, toy_db):
+        r = make_result(root=("papers", 0))
+        text = r.render(toy_db, highlight=False)
+        assert "*papers#0" in text
+        assert "probabilistic query answering" in text
+
+    def test_render_missing_tuple(self, toy_db):
+        r = make_result(root=("papers", 999))
+        assert "missing" in r.render(toy_db)
+
+    def test_render_highlights_matched_keyword(self, toy_db):
+        r = make_result(
+            root=("papers", 0),
+            matches=(("probabilistic", ("papers", 0)),),
+        )
+        text = r.render(toy_db)
+        assert "[probabilistic] query answering" in text
+
+    def test_render_highlights_atomic_whole_value(self, toy_db):
+        r = make_result(
+            root=("authors", 0),
+            matches=(("ann", ("authors", 0)),),
+        )
+        assert "[ann]" in r.render(toy_db)
+
+    def test_render_highlight_case_insensitive(self, toy_db):
+        r = make_result(
+            root=("papers", 0),
+            matches=(("PROBABILISTIC", ("papers", 0)),),
+        )
+        assert "[probabilistic]" in r.render(toy_db)
+
+    def test_render_highlight_off(self, toy_db):
+        r = make_result(
+            root=("papers", 0),
+            matches=(("probabilistic", ("papers", 0)),),
+        )
+        assert "[" not in r.render(toy_db, highlight=False)
+
+
+class TestResultSet:
+    def test_iteration_and_indexing(self):
+        rs = ResultSet(query=("a",), results=[make_result(), make_result()])
+        assert len(rs) == 2
+        assert rs[0] is list(iter(rs))[0]
+
+    def test_top(self):
+        rs = ResultSet(query=("a",), results=[make_result()] * 5)
+        assert len(rs.top(3)) == 3
+
+    def test_size_property(self):
+        rs = ResultSet(query=("a",))
+        assert rs.size == 0
+
+
+class TestRanker:
+    def test_tight_trees_rank_first(self, toy_search, toy_index):
+        ranker = ResultRanker(toy_index)
+        results = toy_search.search(["probabilistic", "query"])
+        ranked = ranker.rank(results)
+        sizes = [r.size for r in ranked]
+        # the single-tuple direct hit must come before any joined tree
+        assert sizes[0] == min(sizes)
+
+    def test_scores_positive_for_real_matches(self, toy_search, toy_index):
+        ranker = ResultRanker(toy_index)
+        for result in toy_search.search(["pattern"]):
+            assert ranker.score(result) > 0
+
+    def test_rank_preserves_membership(self, toy_search, toy_index):
+        ranker = ResultRanker(toy_index)
+        results = toy_search.search(["probabilistic", "pattern"])
+        ranked = ranker.rank(results)
+        assert {r.signature() for r in ranked.results} == {
+            r.signature() for r in results.results
+        }
+
+    def test_top_shortcut(self, toy_search, toy_index):
+        ranker = ResultRanker(toy_index)
+        results = toy_search.search(["pattern"])
+        assert len(ranker.top(results, 1)) == 1
+
+    def test_rarer_match_scores_higher(self, toy_search, toy_index):
+        """'uncertain' (df 1) beats 'probabilistic' (df 2) on idf."""
+        ranker = ResultRanker(toy_index)
+        rare = toy_search.search(["uncertain"])[0]
+        common = toy_search.search(["probabilistic"])[0]
+        assert ranker.score(rare) > ranker.score(common)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.storage.csvio."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.csvio import dump_table_csv, load_table_csv
+from repro.storage.database import Database
+from repro.storage.schema import Column, DatabaseSchema, TableSchema
+
+
+@pytest.fixture()
+def db() -> Database:
+    schema = DatabaseSchema()
+    schema.add_table(TableSchema(
+        "items",
+        [
+            Column("id", "int", nullable=False),
+            Column("name", "text"),
+            Column("price", "float"),
+        ],
+        primary_key="id",
+    ))
+    return Database(schema)
+
+
+def write(path, text):
+    path.write_text(text, encoding="utf-8")
+
+
+class TestLoad:
+    def test_load_with_header(self, db, tmp_path):
+        f = tmp_path / "items.csv"
+        write(f, "id,name,price\n1,apple,2.5\n2,pear,3.0\n")
+        assert load_table_csv(db, "items", f) == 2
+        assert db.table("items").get(1)["name"] == "apple"
+        assert db.table("items").get(2)["price"] == 3.0
+
+    def test_load_explicit_columns(self, db, tmp_path):
+        f = tmp_path / "items.csv"
+        write(f, "1,apple\n2,pear\n")
+        n = load_table_csv(db, "items", f, columns=["id", "name"])
+        assert n == 2
+        assert db.table("items").get(2)["price"] is None
+
+    def test_empty_cell_becomes_none(self, db, tmp_path):
+        f = tmp_path / "items.csv"
+        write(f, "id,name,price\n1,,\n")
+        load_table_csv(db, "items", f)
+        row = db.table("items").get(1)
+        assert row["name"] is None and row["price"] is None
+
+    def test_empty_file(self, db, tmp_path):
+        f = tmp_path / "items.csv"
+        write(f, "")
+        assert load_table_csv(db, "items", f) == 0
+
+    def test_bad_int_raises(self, db, tmp_path):
+        f = tmp_path / "items.csv"
+        write(f, "id,name,price\nnope,apple,1.0\n")
+        with pytest.raises(SchemaError):
+            load_table_csv(db, "items", f)
+
+    def test_bad_float_raises(self, db, tmp_path):
+        f = tmp_path / "items.csv"
+        write(f, "id,name,price\n1,apple,cheap\n")
+        with pytest.raises(SchemaError):
+            load_table_csv(db, "items", f)
+
+    def test_row_width_mismatch(self, db, tmp_path):
+        f = tmp_path / "items.csv"
+        write(f, "id,name,price\n1,apple\n")
+        with pytest.raises(SchemaError):
+            load_table_csv(db, "items", f)
+
+    def test_tsv_delimiter(self, db, tmp_path):
+        f = tmp_path / "items.tsv"
+        write(f, "id\tname\tprice\n1\tapple\t2.5\n")
+        assert load_table_csv(db, "items", f, delimiter="\t") == 1
+
+
+class TestDump:
+    def test_round_trip(self, db, tmp_path):
+        db.insert("items", {"id": 1, "name": "apple", "price": 2.5})
+        db.insert("items", {"id": 2, "name": None, "price": None})
+        f = tmp_path / "out.csv"
+        assert dump_table_csv(db, "items", f) == 2
+
+        db2 = Database(db.schema)
+        assert load_table_csv(db2, "items", f) == 2
+        assert db2.table("items").get(1)["name"] == "apple"
+        assert db2.table("items").get(2)["name"] is None
+
+    def test_dump_header(self, db, tmp_path):
+        f = tmp_path / "out.csv"
+        dump_table_csv(db, "items", f)
+        assert f.read_text().splitlines()[0] == "id,name,price"

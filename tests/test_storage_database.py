@@ -1,0 +1,104 @@
+"""Unit tests for repro.storage.database."""
+
+import pytest
+
+from repro.errors import IntegrityError, UnknownTableError
+from repro.storage.database import Database
+from repro.storage.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+
+from tests.conftest import build_toy_database, toy_schema
+
+
+@pytest.fixture()
+def db() -> Database:
+    return build_toy_database()
+
+
+class TestBasics:
+    def test_table_names(self, db):
+        assert set(db.table_names) == {
+            "conferences", "authors", "papers", "writes",
+        }
+
+    def test_total_tuples(self, db):
+        assert len(db) == 2 + 3 + 4 + 4
+
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.table("nope")
+
+    def test_describe_mentions_tables(self, db):
+        text = db.describe()
+        assert "papers" in text and "FK" in text
+
+
+class TestForeignKeys:
+    def test_insert_with_valid_fk(self, db):
+        db.insert("papers", {"pid": 9, "title": "new", "cid": 0, "year": 2012})
+
+    def test_insert_with_dangling_fk_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("papers", {"pid": 9, "title": "new", "cid": 99, "year": 1})
+
+    def test_insert_with_null_fk_allowed(self, db):
+        db.insert("papers", {"pid": 9, "title": "new", "cid": None, "year": 1})
+
+    def test_unenforced_mode_defers_check(self):
+        db = Database(toy_schema(), enforce_fk=False)
+        db.insert("papers", {"pid": 0, "title": "x", "cid": 5, "year": 1})
+        with pytest.raises(IntegrityError):
+            db.check_integrity()
+
+    def test_unenforced_then_fixed_passes(self):
+        db = Database(toy_schema(), enforce_fk=False)
+        db.insert("papers", {"pid": 0, "title": "x", "cid": 5, "year": 1})
+        db.insert("conferences", {"cid": 5, "name": "fixit"})
+        db.check_integrity()
+
+    def test_check_integrity_on_valid_db(self, db):
+        db.check_integrity()
+
+
+class TestGraphMaterial:
+    def test_tuple_refs_cover_everything(self, db):
+        refs = list(db.tuple_refs())
+        assert len(refs) == len(db)
+        assert ("papers", 0) in refs and ("writes", 3) in refs
+
+    def test_fk_edges_count(self, db):
+        # 4 papers->conference + 4 writes->author + 4 writes->paper
+        assert len(list(db.fk_edges())) == 12
+
+    def test_fk_edges_direction(self, db):
+        edges = set(db.fk_edges())
+        assert (("papers", 0), ("conferences", 0)) in edges
+        assert (("writes", 0), ("authors", 0)) in edges
+
+    def test_fk_edges_skip_null(self, db):
+        db.insert("papers", {"pid": 9, "title": "x", "cid": None, "year": 1})
+        edges = [e for e in db.fk_edges() if e[0] == ("papers", 9)]
+        assert edges == []
+
+    def test_fetch(self, db):
+        assert db.fetch(("authors", 1))["name"] == "bob"
+
+    def test_fetch_or_none_missing_row(self, db):
+        assert db.fetch_or_none(("authors", 99)) is None
+
+    def test_fetch_or_none_missing_table(self, db):
+        assert db.fetch_or_none(("nope", 1)) is None
+
+    def test_insert_returns_ref(self, db):
+        ref = db.insert("authors", {"aid": 9, "name": "zed"})
+        assert ref == ("authors", 9)
+
+    def test_insert_many(self, db):
+        n = db.insert_many("authors", [
+            {"aid": 10, "name": "x1"}, {"aid": 11, "name": "x2"},
+        ])
+        assert n == 2 and ("authors", 11) in list(db.tuple_refs())

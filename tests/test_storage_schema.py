@@ -1,0 +1,215 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+from repro.storage.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+
+
+class TestColumn:
+    def test_defaults_to_nullable_text(self):
+        col = Column("title")
+        assert col.type == "text"
+        assert col.nullable
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad name")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Column("x", "varchar")
+
+    def test_validate_none_on_nullable(self):
+        Column("x", "int", nullable=True).validate_value(None)
+
+    def test_validate_none_on_not_nullable(self):
+        with pytest.raises(SchemaError):
+            Column("x", "int", nullable=False).validate_value(None)
+
+    def test_validate_int(self):
+        Column("x", "int").validate_value(5)
+        with pytest.raises(SchemaError):
+            Column("x", "int").validate_value("5")
+
+    def test_validate_float_accepts_int(self):
+        Column("x", "float").validate_value(5)
+        Column("x", "float").validate_value(5.5)
+
+    def test_validate_float_rejects_str(self):
+        with pytest.raises(SchemaError):
+            Column("x", "float").validate_value("5.5")
+
+    def test_validate_text(self):
+        Column("x", "text").validate_value("hello")
+        with pytest.raises(SchemaError):
+            Column("x", "text").validate_value(42)
+
+
+class TestTableSchema:
+    def make(self, **kwargs):
+        defaults = dict(
+            name="papers",
+            columns=[
+                Column("pid", "int", nullable=False),
+                Column("title", "text"),
+                Column("cid", "int"),
+            ],
+            primary_key="pid",
+        )
+        defaults.update(kwargs)
+        return TableSchema(**defaults)
+
+    def test_basic_construction(self):
+        schema = self.make()
+        assert schema.column_names == ("pid", "title", "cid")
+        assert schema.primary_key == "pid"
+
+    def test_string_columns_become_text(self):
+        schema = TableSchema("t", ["a", "b"], primary_key="a")
+        assert schema.column("b").type == "text"
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ["a", "a"], primary_key="a")
+
+    def test_rejects_unknown_primary_key(self):
+        with pytest.raises(UnknownColumnError):
+            self.make(primary_key="nope")
+
+    def test_rejects_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            self.make(name="bad name")
+
+    def test_rejects_non_column_entry(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [42], primary_key="42")
+
+    def test_default_text_fields_exclude_pk(self):
+        schema = TableSchema("t", ["a", "b", "c"], primary_key="a")
+        assert set(schema.text_fields) == {"b", "c"}
+
+    def test_default_text_fields_exclude_non_text(self):
+        schema = self.make()
+        assert schema.text_fields == ("title",)
+
+    def test_explicit_text_fields_validated(self):
+        with pytest.raises(UnknownColumnError):
+            self.make(text_fields=["nope"])
+
+    def test_text_field_must_be_text_type(self):
+        with pytest.raises(SchemaError):
+            self.make(text_fields=["cid"])
+
+    def test_atomic_must_be_text_field(self):
+        with pytest.raises(SchemaError):
+            self.make(atomic_fields=["cid"])
+
+    def test_is_atomic(self):
+        schema = self.make(text_fields=["title"], atomic_fields=["title"])
+        assert schema.is_atomic("title")
+        assert not self.make().is_atomic("title")
+
+    def test_column_lookup_unknown(self):
+        with pytest.raises(UnknownColumnError):
+            self.make().column("nope")
+
+    def test_has_column(self):
+        schema = self.make()
+        assert schema.has_column("title")
+        assert not schema.has_column("nope")
+
+    def test_validate_row_ok(self):
+        self.make().validate_row({"pid": 1, "title": "x", "cid": None})
+
+    def test_validate_row_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            self.make().validate_row({"pid": 1, "bogus": "x"})
+
+    def test_validate_row_missing_pk(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row({"title": "x"})
+
+    def test_validate_row_type_error(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row({"pid": 1, "title": 99})
+
+
+class TestDatabaseSchema:
+    def make(self):
+        schema = DatabaseSchema()
+        schema.add_table(TableSchema(
+            "parent", [Column("id", "int", nullable=False)], primary_key="id",
+        ))
+        schema.add_table(TableSchema(
+            "child",
+            [Column("id", "int", nullable=False), Column("pid", "int")],
+            primary_key="id",
+        ))
+        return schema
+
+    def test_add_and_lookup(self):
+        schema = self.make()
+        assert schema.table("parent").name == "parent"
+
+    def test_duplicate_table_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.add_table(TableSchema(
+                "parent", [Column("id", "int", nullable=False)],
+                primary_key="id",
+            ))
+
+    def test_unknown_table_lookup(self):
+        with pytest.raises(UnknownTableError):
+            self.make().table("nope")
+
+    def test_add_foreign_key(self):
+        schema = self.make()
+        schema.add_foreign_key(ForeignKey("child", "pid", "parent", "id"))
+        assert len(schema.foreign_keys) == 1
+
+    def test_fk_unknown_table(self):
+        schema = self.make()
+        with pytest.raises(UnknownTableError):
+            schema.add_foreign_key(ForeignKey("nope", "pid", "parent", "id"))
+
+    def test_fk_unknown_column(self):
+        schema = self.make()
+        with pytest.raises(UnknownColumnError):
+            schema.add_foreign_key(ForeignKey("child", "nope", "parent", "id"))
+
+    def test_fk_must_reference_pk(self):
+        schema = DatabaseSchema()
+        schema.add_table(TableSchema(
+            "parent",
+            [Column("id", "int", nullable=False), Column("other", "int")],
+            primary_key="id",
+        ))
+        schema.add_table(TableSchema(
+            "child",
+            [Column("id", "int", nullable=False), Column("pid", "int")],
+            primary_key="id",
+        ))
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(
+                ForeignKey("child", "pid", "parent", "other")
+            )
+
+    def test_foreign_keys_of_and_into(self):
+        schema = self.make()
+        fk = ForeignKey("child", "pid", "parent", "id")
+        schema.add_foreign_key(fk)
+        assert schema.foreign_keys_of("child") == [fk]
+        assert schema.foreign_keys_of("parent") == []
+        assert schema.foreign_keys_into("parent") == [fk]
+        assert schema.foreign_keys_into("child") == []

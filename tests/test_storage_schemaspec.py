@@ -1,0 +1,111 @@
+"""Unit tests for repro.storage.schemaspec."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schemaspec import (
+    load_database,
+    save_database,
+    schema_from_spec,
+    schema_to_spec,
+)
+
+from tests.conftest import build_toy_database, toy_schema
+
+
+class TestSpecRoundtrip:
+    def test_schema_roundtrip(self):
+        original = toy_schema()
+        rebuilt = schema_from_spec(schema_to_spec(original))
+        assert set(rebuilt.tables) == set(original.tables)
+        assert len(rebuilt.foreign_keys) == len(original.foreign_keys)
+        papers = rebuilt.table("papers")
+        assert papers.primary_key == "pid"
+        assert papers.text_fields == ("title",)
+        assert rebuilt.table("authors").atomic_fields == ("name",)
+
+    def test_column_types_preserved(self):
+        spec = schema_to_spec(toy_schema())
+        rebuilt = schema_from_spec(spec)
+        assert rebuilt.table("papers").column("year").type == "int"
+        assert not rebuilt.table("papers").column("pid").nullable
+
+    def test_missing_tables_key(self):
+        with pytest.raises(SchemaError):
+            schema_from_spec({})
+
+    def test_missing_table_field(self):
+        with pytest.raises(SchemaError):
+            schema_from_spec({"tables": [{"name": "x"}]})
+
+    def test_missing_fk_field(self):
+        spec = schema_to_spec(toy_schema())
+        spec["foreign_keys"] = [{"table": "papers"}]
+        with pytest.raises(SchemaError):
+            schema_from_spec(spec)
+
+    def test_spec_is_json_serializable(self):
+        json.dumps(schema_to_spec(toy_schema()))
+
+
+class TestDatabaseRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        db = build_toy_database()
+        save_database(db, tmp_path / "corpus")
+        loaded = load_database(tmp_path / "corpus")
+        assert len(loaded) == len(db)
+        assert loaded.table("papers").get(0)["title"] == (
+            "probabilistic query answering"
+        )
+        loaded.check_integrity()
+
+    def test_load_missing_schema(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+    def test_load_bad_schema_json(self, tmp_path):
+        (tmp_path / "schema.json").write_text("{oops", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+    def test_load_enforces_integrity(self, tmp_path):
+        db = build_toy_database()
+        save_database(db, tmp_path / "corpus")
+        # corrupt: point a paper at a missing conference
+        csv_path = tmp_path / "corpus" / "papers.csv"
+        text = csv_path.read_text().replace(
+            "probabilistic query answering,0,", "probabilistic query answering,99,"
+        )
+        csv_path.write_text(text)
+        with pytest.raises(Exception):
+            load_database(tmp_path / "corpus")
+
+    def test_missing_table_csv_loads_empty(self, tmp_path):
+        db = build_toy_database()
+        save_database(db, tmp_path / "corpus")
+        (tmp_path / "corpus" / "writes.csv").unlink()
+        loaded = load_database(tmp_path / "corpus")
+        assert len(loaded.table("writes")) == 0
+
+    def test_loaded_database_enforces_fks(self, tmp_path):
+        from repro.errors import IntegrityError
+
+        db = build_toy_database()
+        save_database(db, tmp_path / "corpus")
+        loaded = load_database(tmp_path / "corpus")
+        with pytest.raises(IntegrityError):
+            loaded.insert(
+                "papers", {"pid": 99, "title": "x", "cid": 404, "year": 1}
+            )
+
+    def test_pipeline_over_loaded_database(self, tmp_path):
+        from repro import Reformulator, ReformulatorConfig
+
+        save_database(build_toy_database(), tmp_path / "corpus")
+        loaded = load_database(tmp_path / "corpus")
+        reformulator = Reformulator.from_database(
+            loaded, ReformulatorConfig(n_candidates=5)
+        )
+        assert reformulator.reformulate(["probabilistic", "query"], k=3)

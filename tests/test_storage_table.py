@@ -1,0 +1,116 @@
+"""Unit tests for repro.storage.table."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, IntegrityError, UnknownColumnError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    schema = TableSchema(
+        "papers",
+        [
+            Column("pid", "int", nullable=False),
+            Column("title", "text"),
+            Column("cid", "int"),
+        ],
+        primary_key="pid",
+    )
+    return Table(schema)
+
+
+@pytest.fixture()
+def filled(table: Table) -> Table:
+    table.insert_many([
+        {"pid": 1, "title": "alpha", "cid": 10},
+        {"pid": 2, "title": "beta", "cid": 10},
+        {"pid": 3, "title": "gamma", "cid": 20},
+    ])
+    return table
+
+
+class TestInsert:
+    def test_insert_returns_pk(self, table):
+        assert table.insert({"pid": 7, "title": "x", "cid": None}) == 7
+
+    def test_len_grows(self, filled):
+        assert len(filled) == 3
+
+    def test_duplicate_pk_rejected(self, filled):
+        with pytest.raises(DuplicateKeyError):
+            filled.insert({"pid": 1, "title": "dup", "cid": None})
+
+    def test_missing_columns_become_none(self, table):
+        table.insert({"pid": 1})
+        assert table.get(1)["title"] is None
+
+    def test_validation_applied(self, table):
+        with pytest.raises(Exception):
+            table.insert({"pid": "not-an-int", "title": "x"})
+
+    def test_insert_many_count(self, table):
+        n = table.insert_many([{"pid": i} for i in range(5)])
+        assert n == 5 and len(table) == 5
+
+
+class TestLookup:
+    def test_contains(self, filled):
+        assert 1 in filled
+        assert 99 not in filled
+
+    def test_get(self, filled):
+        assert filled.get(2)["title"] == "beta"
+
+    def test_get_missing_raises(self, filled):
+        with pytest.raises(IntegrityError):
+            filled.get(99)
+
+    def test_get_or_none(self, filled):
+        assert filled.get_or_none(99) is None
+        assert filled.get_or_none(1)["title"] == "alpha"
+
+    def test_get_returns_fresh_dict(self, filled):
+        row = filled.get(1)
+        row["title"] = "mutated"
+        assert filled.get(1)["title"] == "alpha"
+
+    def test_scan_order(self, filled):
+        assert [r["pid"] for r in filled.scan()] == [1, 2, 3]
+
+    def test_primary_keys(self, filled):
+        assert sorted(filled.primary_keys()) == [1, 2, 3]
+
+    def test_value_of(self, filled):
+        assert filled.value_of(3, "title") == "gamma"
+
+    def test_value_of_unknown_column(self, filled):
+        with pytest.raises(UnknownColumnError):
+            filled.value_of(3, "nope")
+
+    def test_value_of_missing_pk(self, filled):
+        with pytest.raises(IntegrityError):
+            filled.value_of(99, "title")
+
+
+class TestSecondaryIndex:
+    def test_find_by_column(self, filled):
+        rows = filled.find("cid", 10)
+        assert {r["pid"] for r in rows} == {1, 2}
+
+    def test_find_no_match(self, filled):
+        assert filled.find("cid", 999) == []
+
+    def test_find_unknown_column(self, filled):
+        with pytest.raises(UnknownColumnError):
+            filled.find("nope", 1)
+
+    def test_index_stays_fresh_after_insert(self, filled):
+        filled.find("cid", 10)  # builds the lazy index
+        filled.insert({"pid": 4, "title": "delta", "cid": 10})
+        assert {r["pid"] for r in filled.find("cid", 10)} == {1, 2, 4}
+
+    def test_find_none_value(self, table):
+        table.insert({"pid": 1, "title": None, "cid": None})
+        assert [r["pid"] for r in table.find("cid", None)] == [1]

@@ -1,0 +1,122 @@
+"""Unit tests for repro.storage.triples (RDF-style ingestion)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage.triples import Literal, TripleStore, triple_schema
+
+
+@pytest.fixture()
+def movie_store() -> TripleStore:
+    store = TripleStore()
+    store.add_many([
+        ("inception", "directed_by", "nolan"),
+        ("inception", "genre", "scifi"),
+        ("inception", "tagline", Literal("dreams within dreams heist")),
+        ("interstellar", "directed_by", "nolan"),
+        ("interstellar", "genre", "scifi"),
+        ("interstellar", "tagline", Literal("wormhole space farming epic")),
+        ("alien", "genre", "scifi"),
+        ("alien", "tagline", Literal("space horror crew nightmare")),
+    ])
+    return store
+
+
+class TestCollection:
+    def test_counts(self, movie_store):
+        assert len(movie_store) == 8
+        # entities: 3 movies + nolan + scifi
+        assert movie_store.entity_count == 5
+        assert movie_store.predicate_count == 3
+
+    def test_validation(self):
+        store = TripleStore()
+        with pytest.raises(ReproError):
+            store.add("", "p", "o")
+        with pytest.raises(ReproError):
+            store.add("s", "", "o")
+        with pytest.raises(ReproError):
+            store.add("s", "p", "")
+        with pytest.raises(ReproError):
+            store.add("s", "p", Literal(""))
+
+    def test_entities_created_on_mention(self):
+        store = TripleStore()
+        store.add("a", "knows", "b")
+        assert store.entity_count == 2
+
+
+class TestCompilation:
+    def test_schema_shape(self):
+        schema = triple_schema()
+        assert set(schema.tables) == {"entities", "predicates", "facts"}
+        assert len(schema.foreign_keys) == 3
+
+    def test_database_integrity(self, movie_store):
+        db = movie_store.to_database()
+        db.check_integrity()
+        assert len(db.table("entities")) == 5
+        assert len(db.table("facts")) == 8
+
+    def test_entity_ref(self, movie_store):
+        movie_store.to_database()
+        table, eid = movie_store.entity_ref("nolan")
+        assert table == "entities"
+
+    def test_unknown_entity_ref(self, movie_store):
+        with pytest.raises(ReproError):
+            movie_store.entity_ref("spielberg")
+
+    def test_literal_vs_entity_objects(self, movie_store):
+        db = movie_store.to_database()
+        rows = list(db.table("facts").scan())
+        entity_valued = [r for r in rows if r["object"] is not None]
+        literal_valued = [r for r in rows if r["literal"] is not None]
+        assert len(entity_valued) == 5
+        assert len(literal_valued) == 3
+
+
+class TestPipelineOverTriples:
+    def test_tat_graph_connects_shared_predicates(self, movie_store):
+        """Movies by the same director connect through entity facts."""
+        from repro.graph.tat import TATGraph
+        from repro.index.inverted import InvertedIndex
+        from repro.storage.tuplegraph import TupleGraph
+
+        db = movie_store.to_database()
+        tg = TupleGraph(db)
+        inception = movie_store.entity_ref("inception")
+        interstellar = movie_store.entity_ref("interstellar")
+        path = tg.shortest_path(inception, interstellar, max_depth=6)
+        assert path  # inception - fact - nolan - fact - interstellar
+        assert len(path) == 5
+
+    def test_reformulation_over_knowledge_graph(self, movie_store):
+        """End to end: literal vocabulary is reformulable."""
+        from repro import Reformulator, ReformulatorConfig
+
+        db = movie_store.to_database()
+        reformulator = Reformulator.from_database(
+            db, ReformulatorConfig(n_candidates=5)
+        )
+        # "wormhole" (interstellar) should suggest sibling sci-fi words
+        terms = dict(reformulator.similarity.similar_terms("wormhole", 8))
+        assert terms  # connected through tagline facts and genre entity
+
+    def test_entity_labels_are_atomic_terms(self, movie_store):
+        from repro.index.inverted import FieldTerm, InvertedIndex
+
+        db = movie_store.to_database()
+        index = InvertedIndex(db).build()
+        label = FieldTerm(("entities", "label"), "nolan")
+        assert index.df(label) == 1
+
+    def test_keyword_search_over_triples(self, movie_store):
+        from repro.index.inverted import InvertedIndex
+        from repro.search.keyword import KeywordSearchEngine
+        from repro.storage.tuplegraph import TupleGraph
+
+        db = movie_store.to_database()
+        engine = KeywordSearchEngine(TupleGraph(db), InvertedIndex(db))
+        results = engine.search(["nolan", "space"])
+        assert results.size >= 1  # interstellar joins both

@@ -1,0 +1,106 @@
+"""Unit tests for repro.storage.tuplegraph."""
+
+import networkx as nx
+import pytest
+
+from repro.storage.tuplegraph import TupleGraph
+
+from tests.conftest import build_toy_database
+
+
+@pytest.fixture()
+def graph() -> TupleGraph:
+    return TupleGraph(build_toy_database())
+
+
+class TestStructure:
+    def test_node_count(self, graph):
+        assert len(graph) == 13  # 2 + 3 + 4 + 4 tuples
+
+    def test_contains(self, graph):
+        assert ("papers", 0) in graph
+        assert ("papers", 99) not in graph
+
+    def test_edge_count(self, graph):
+        assert graph.edge_count() == 12
+
+    def test_neighbors_of_paper(self, graph):
+        nbrs = graph.neighbors(("papers", 0))
+        assert ("conferences", 0) in nbrs
+        assert ("writes", 0) in nbrs
+
+    def test_neighbors_are_symmetric(self, graph):
+        for node in graph.nodes():
+            for nbr in graph.neighbors(node):
+                assert node in graph.neighbors(nbr)
+
+    def test_degree(self, graph):
+        # conference 0 hosts papers 0 and 1
+        assert graph.degree(("conferences", 0)) == 2
+
+    def test_isolated_tuple_still_node(self):
+        db = build_toy_database()
+        db.insert("authors", {"aid": 9, "name": "loner"})
+        graph = TupleGraph(db)
+        assert ("authors", 9) in graph
+        assert graph.degree(("authors", 9)) == 0
+
+
+class TestTraversal:
+    def test_bfs_distances(self, graph):
+        dist = graph.bfs_distances(("authors", 0), max_depth=2)
+        assert dist[("authors", 0)] == 0
+        assert dist[("writes", 0)] == 1
+        assert dist[("papers", 0)] == 2
+        assert dist[("papers", 1)] == 2
+
+    def test_bfs_respects_depth(self, graph):
+        dist = graph.bfs_distances(("authors", 0), max_depth=1)
+        assert ("papers", 0) not in dist
+
+    def test_shortest_path_trivial(self, graph):
+        assert graph.shortest_path(("papers", 0), ("papers", 0)) == [
+            ("papers", 0)
+        ]
+
+    def test_shortest_path_author_to_conference(self, graph):
+        path = graph.shortest_path(("authors", 0), ("conferences", 0))
+        assert path[0] == ("authors", 0)
+        assert path[-1] == ("conferences", 0)
+        assert len(path) == 4  # author - writes - paper - conference
+
+    def test_shortest_path_unreachable_within_depth(self, graph):
+        path = graph.shortest_path(
+            ("authors", 0), ("authors", 1), max_depth=2
+        )
+        assert path == []
+
+    def test_shortest_path_cross_community(self, graph):
+        # ann (vldb) to bob (icdm) are connected only through... nothing
+        # within the toy graph's 13 nodes?  They are: no shared venue, so
+        # the only route is author-writes-paper-conf-paper-writes-author,
+        # requiring both papers at the same conference — false here, so
+        # distance is infinite between ann and bob's components?  Actually
+        # the graph is connected only through conferences; ann's papers
+        # are at vldb, bob's at icdm, and nothing joins vldb with icdm.
+        path = graph.shortest_path(("authors", 0), ("authors", 1), max_depth=8)
+        assert path == []
+
+    def test_eve_and_bob_share_icdm(self, graph):
+        path = graph.shortest_path(("authors", 1), ("authors", 2), max_depth=8)
+        assert path  # bob - writes - p2 - icdm - p3 - writes - eve
+        assert len(path) == 7
+
+
+class TestExport:
+    def test_networkx_roundtrip(self, graph):
+        g = graph.to_networkx()
+        assert isinstance(g, nx.Graph)
+        assert g.number_of_nodes() == len(graph)
+        assert g.number_of_edges() == graph.edge_count()
+
+    def test_networkx_distances_agree(self, graph):
+        g = graph.to_networkx()
+        expected = nx.shortest_path_length(g, ("authors", 0))
+        mine = graph.bfs_distances(("authors", 0), max_depth=10)
+        assert mine == {n: d for n, d in expected.items() if d <= 10}

@@ -1,0 +1,113 @@
+"""Unit tests for repro.storage.xmlio."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage.xmlio import xml_schema, xml_to_database
+
+SAMPLE = """
+<library>
+  <book year="2008">
+    <title>probabilistic databases overview</title>
+    <author>ann example</author>
+  </book>
+  <book year="2010">
+    <title>uncertain data management survey</title>
+    <author>ann example</author>
+  </book>
+  <journal>
+    <title>frequent pattern mining advances</title>
+  </journal>
+</library>
+"""
+
+
+@pytest.fixture()
+def db():
+    return xml_to_database(SAMPLE)
+
+
+class TestShredding:
+    def test_element_count(self, db):
+        # library + 2 book + 1 journal + 3 title + 2 author = 9
+        assert len(db.table("elements")) == 9
+
+    def test_attribute_count(self, db):
+        assert len(db.table("attributes")) == 2
+
+    def test_root_has_no_parent(self, db):
+        root = db.table("elements").get(0)
+        assert root["tag"] == "library"
+        assert root["parent"] is None
+
+    def test_parent_links(self, db):
+        books = db.table("elements").find("tag", "book")
+        for book in books:
+            assert book["parent"] == 0
+        titles = db.table("elements").find("tag", "title")
+        parents = {t["parent"] for t in titles}
+        assert parents <= {b["eid"] for b in db.table("elements").scan()}
+
+    def test_text_captured(self, db):
+        titles = db.table("elements").find("tag", "title")
+        texts = {t["text"] for t in titles}
+        assert "probabilistic databases overview" in texts
+
+    def test_whitespace_text_is_null(self, db):
+        root = db.table("elements").get(0)
+        assert root["text"] is None
+
+    def test_integrity(self, db):
+        db.check_integrity()
+
+    def test_parse_error(self):
+        with pytest.raises(ReproError):
+            xml_to_database("<unclosed>")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            xml_to_database(str(tmp_path / "nope.xml"))
+
+    def test_parse_from_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(SAMPLE, encoding="utf-8")
+        db = xml_to_database(str(path))
+        assert len(db.table("elements")) == 9
+
+    def test_append_second_document(self, db):
+        db2 = xml_to_database("<extra><note>more text here</note></extra>", db)
+        assert db2 is db
+        assert len(db.table("elements")) == 11
+        db.check_integrity()
+
+
+class TestPipelineOverXml:
+    def test_schema_shape(self):
+        schema = xml_schema()
+        assert set(schema.tables) == {"elements", "attributes"}
+
+    def test_reformulation_over_xml(self, db):
+        """The DBLP-style synonym effect works on shredded XML too:
+        'probabilistic' and 'uncertain' share an author subtree, never an
+        element text."""
+        from repro import Reformulator, ReformulatorConfig
+
+        reformulator = Reformulator.from_database(
+            db, ReformulatorConfig(n_candidates=6)
+        )
+        terms = {
+            t for t, _s in reformulator.similarity.similar_terms(
+                "probabilistic", 10
+            )
+        }
+        assert "uncertain" in terms
+
+    def test_keyword_search_over_xml(self, db):
+        from repro.index.inverted import InvertedIndex
+        from repro.search.keyword import KeywordSearchEngine
+        from repro.storage.tuplegraph import TupleGraph
+
+        engine = KeywordSearchEngine(TupleGraph(db), InvertedIndex(db))
+        # element text is segmented, so the author matches by word
+        results = engine.search(["probabilistic", "ann"])
+        assert results.size >= 1
