@@ -25,12 +25,13 @@ def test_offline_scalability(benchmark):
             p.n_papers, p.nodes, p.edges,
             p.index_seconds * 1000, p.graph_seconds * 1000,
             p.similarity_per_term * 1000, p.closeness_per_term * 1000,
+            p.store_per_term * 1000,
         ]
         for p in report.points
     ]
     print(format_table(
         ["papers", "nodes", "edges", "index ms", "graph ms",
-         "sim/term ms", "clos/term ms"],
+         "sim/term ms", "clos/term ms", "store/term ms"],
         rows,
     ))
 
@@ -45,3 +46,8 @@ def test_offline_scalability(benchmark):
     for point in report.points:
         assert point.similarity_per_term < 1.0
         assert point.closeness_per_term < 1.0
+        # the batched store path (direct solver + bulk BFS) is the
+        # production offline path; it must stay well under the live
+        # per-term cost at every size
+        assert point.store_terms > 0
+        assert point.store_per_term < 0.1

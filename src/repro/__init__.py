@@ -56,7 +56,8 @@ from repro.index.phrases import (
     PhraseModel,
     learn_phrases_from_database,
 )
-from repro.offline import OfflinePrecomputer, TermRelationStore
+from repro.offline import OfflinePrecomputer, PrecomputeStats, TermRelationStore
+from repro.offline_store import ShardedTermRelationStore, migrate_v1_to_v2
 from repro.search import KeywordSearchEngine, ResultRanker, ResultSizeEstimator
 from repro.storage import (
     Column,
@@ -109,7 +110,10 @@ __all__ = [
     "PhraseModel",
     "learn_phrases_from_database",
     "OfflinePrecomputer",
+    "PrecomputeStats",
     "TermRelationStore",
+    "ShardedTermRelationStore",
+    "migrate_v1_to_v2",
     "load_database",
     "save_database",
     "Literal",

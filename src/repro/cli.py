@@ -9,7 +9,10 @@ One entry point with subcommands covering the full lifecycle::
     python -m repro.cli close --data corpus/ probabilistic
     python -m repro.cli search --data corpus/ probabilistic query
     python -m repro.cli precompute --data corpus/ --out relations.json
-    python -m repro.cli reformulate --data corpus/ --relations relations.json probabilistic query
+    python -m repro.cli precompute --data corpus/ --out store/ --shards 8 --batch-size 128 --workers 2
+    python -m repro.cli store migrate --data corpus/ --src relations.json --dest store/
+    python -m repro.cli store info --data corpus/ --store store/
+    python -m repro.cli reformulate --data corpus/ --relations store/ probabilistic query
 
 ``--data`` is a directory holding ``schema.json`` + per-table CSVs (any
 schema, not just the bibliographic one); ``synth`` writes such a
@@ -72,7 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
     reformulate.add_argument("--candidates", type=int, default=15)
     reformulate.add_argument(
         "--relations", default=None,
-        help="precomputed term-relation store (JSON) to serve from",
+        help="precomputed term-relation store to serve from "
+             "(v1 JSON file or v2 shard directory)",
     )
 
     similar = sub.add_parser("similar", help="similar terms of one keyword")
@@ -94,12 +98,48 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("-n", type=int, default=5)
 
     precompute = sub.add_parser(
-        "precompute", help="materialize the offline stage to a JSON store"
+        "precompute", help="materialize the offline stage to a relation store"
     )
     add_data(precompute)
     precompute.add_argument("--out", required=True)
     precompute.add_argument("--similar", type=int, default=20)
     precompute.add_argument("--closeness-top", type=int, default=200)
+    precompute.add_argument(
+        "--batch-size", type=int, default=64,
+        help="vocabulary terms solved per batched walk (default 64)",
+    )
+    precompute.add_argument(
+        "--workers", type=int, default=1,
+        help="threads fanning the closeness BFS within a batch",
+    )
+    precompute.add_argument(
+        "--walk-method", choices=("direct", "iterative"), default="direct",
+        help="batched walk solver (direct = cached sparse LU)",
+    )
+    precompute.add_argument(
+        "--shards", type=int, default=0,
+        help="write the sharded v2 store with this many shards "
+             "(0 = single-file v1 format)",
+    )
+    precompute.add_argument(
+        "--progress-every", type=int, default=0,
+        help="print progress every N terms (0 = silent)",
+    )
+
+    store = sub.add_parser("store", help="inspect or migrate relation stores")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    migrate = store_sub.add_parser(
+        "migrate", help="convert a v1 JSON store to the sharded v2 layout"
+    )
+    add_data(migrate)
+    migrate.add_argument("--src", required=True, help="v1 store file")
+    migrate.add_argument("--dest", required=True, help="v2 store directory")
+    migrate.add_argument("--shards", type=int, default=8)
+    info = store_sub.add_parser(
+        "info", help="print a store's format, size and build metadata"
+    )
+    add_data(info)
+    info.add_argument("--store", required=True, help="store file or directory")
 
     return parser
 
@@ -209,15 +249,78 @@ def cmd_search(args, out) -> int:
 
 
 def cmd_precompute(args, out) -> int:
-    """``precompute``: materialize the offline stage to JSON."""
+    """``precompute``: run the batched offline stage and persist it."""
     database = _load(args)
     graph = TATGraph(database, InvertedIndex(database))
     precomputer = OfflinePrecomputer(
         graph, n_similar=args.similar, closeness_top=args.closeness_top
     )
-    store = precomputer.build_store()
-    store.save(args.out)
-    print(f"precomputed {len(store)} terms -> {args.out}", file=out)
+
+    last_reported = 0
+
+    def report(done: int, total: int) -> None:
+        nonlocal last_reported
+        every = args.progress_every
+        if every and done // every > last_reported // every:
+            print(f"precomputed {done}/{total} terms", file=out)
+            last_reported = done
+
+    store = precomputer.build_store(
+        batch_size=args.batch_size,
+        workers=args.workers,
+        walk_method=args.walk_method,
+        progress=report,
+    )
+    stats = precomputer.stats
+    if args.shards > 0:
+        store.save_sharded(
+            args.out,
+            n_shards=args.shards,
+            build_info={
+                "batch_size": stats.batch_size,
+                "workers": stats.workers,
+                "walk_method": stats.walk_method,
+                "terms_per_second": round(stats.terms_per_second, 1),
+                "n_similar": args.similar,
+                "closeness_top": args.closeness_top,
+            },
+        )
+        layout = f"{args.shards} shards"
+    else:
+        store.save(args.out)
+        layout = "v1 single file"
+    print(
+        f"precomputed {len(store)} terms -> {args.out} ({layout}, "
+        f"{stats.terms_per_second:.0f} terms/s, "
+        f"max residual {stats.max_residual:.2e})",
+        file=out,
+    )
+    return 0
+
+
+def cmd_store(args, out) -> int:
+    """``store``: relation-store maintenance subcommands."""
+    database = _load(args)
+    graph = TATGraph(database, InvertedIndex(database))
+    if args.store_command == "migrate":
+        from repro.offline_store import migrate_v1_to_v2
+
+        migrated = migrate_v1_to_v2(
+            args.src, args.dest, graph, n_shards=args.shards
+        )
+        print(
+            f"migrated {len(migrated)} terms: {args.src} -> "
+            f"{args.dest} ({migrated.n_shards} shards)",
+            file=out,
+        )
+        return 0
+    store = TermRelationStore.load(args.store, graph)
+    print(f"format version: {type(store).FORMAT_VERSION}", file=out)
+    print(f"terms: {len(store)}", file=out)
+    if hasattr(store, "n_shards"):
+        print(f"shards: {store.n_shards}", file=out)
+        for key, value in sorted(store.build_info().items()):
+            print(f"build.{key}: {value}", file=out)
     return 0
 
 
@@ -229,6 +332,7 @@ COMMANDS = {
     "close": cmd_close,
     "search": cmd_search,
     "precompute": cmd_precompute,
+    "store": cmd_store,
 }
 
 

@@ -8,6 +8,8 @@ corpus sizes and measures, per size:
 * TAT-graph build time;
 * mean per-term contextual-walk similarity extraction time;
 * mean per-term closeness extraction time;
+* mean per-term batched store-build time (the production offline path:
+  batched walks through the cached direct solver + bulk closeness rows);
 * graph size (nodes/edges).
 """
 
@@ -22,6 +24,7 @@ from repro.graph.closeness import ClosenessExtractor
 from repro.graph.similarity import SimilarityExtractor
 from repro.graph.tat import TATGraph
 from repro.index.inverted import InvertedIndex
+from repro.offline import OfflinePrecomputer
 from repro.experiments.common import format_table
 
 
@@ -36,6 +39,8 @@ class ScalePoint:
     graph_seconds: float
     similarity_per_term: float
     closeness_per_term: float
+    store_per_term: float
+    store_terms: int
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,13 @@ def run(
             lambda: [closeness.close_terms(t, 15) for t in term_ids]
         )
 
+        precomputer = OfflinePrecomputer(graph, n_similar=15)
+        store_seconds, store = measure(
+            lambda: precomputer.build_store(
+                fields=[title], batch_size=128, walk_method="direct"
+            )
+        )
+
         stats = graph.stats()
         points.append(ScalePoint(
             n_papers=n_papers,
@@ -96,6 +108,8 @@ def run(
             graph_seconds=graph_seconds,
             similarity_per_term=sim_seconds / max(1, len(term_ids)),
             closeness_per_term=clos_seconds / max(1, len(term_ids)),
+            store_per_term=store_seconds / max(1, len(store)),
+            store_terms=len(store),
         ))
     return ScaleReport(points=tuple(points))
 
@@ -113,13 +127,14 @@ def main() -> None:
             p.graph_seconds * 1000,
             p.similarity_per_term * 1000,
             p.closeness_per_term * 1000,
+            p.store_per_term * 1000,
         ]
         for p in report.points
     ]
     print(format_table(
         [
             "papers", "nodes", "edges", "index ms", "graph ms",
-            "sim/term ms", "clos/term ms",
+            "sim/term ms", "clos/term ms", "store/term ms",
         ],
         rows,
     ))

@@ -24,12 +24,13 @@ from each field").
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import GraphError
-from repro.graph.nodes import NodeClass, NodeKind
+from repro.graph.nodes import NodeClass
 from repro.graph.tat import TATGraph
 
 
@@ -100,6 +101,49 @@ class ContextualPreference:
         self.top_per_field = top_per_field
         self.include_self = include_self
         self.frontier_cap = frontier_cap
+        self._row_sums: Optional[np.ndarray] = None
+        self._classes: Optional[List[NodeClass]] = None
+        self._class_index: Optional[np.ndarray] = None
+        self._class_weight: Optional[np.ndarray] = None
+        self._idf_table: Optional[np.ndarray] = None
+
+    def _weighted_degrees(self) -> np.ndarray:
+        """Per-node total edge weight (the diffusion normalizer), cached."""
+        if self._row_sums is None:
+            matrix = self.graph.adjacency.matrix
+            self._row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        return self._row_sums
+
+    def _node_tables(self) -> Tuple[List[NodeClass], np.ndarray, np.ndarray, np.ndarray]:
+        """Per-node lookup tables (class index, 1/|F_i|, idf), cached.
+
+        These are the scalar :meth:`field_cardinality` / :meth:`node_idf`
+        ingredients materialized once per graph so context weighting runs
+        as array arithmetic instead of per-node python calls.
+        """
+        if self._class_index is None:
+            registry = self.graph.registry
+            n = self.graph.n_nodes
+            classes = list(registry.classes())
+            class_index = np.zeros(n, dtype=np.int64)
+            for idx, node_class in enumerate(classes):
+                for node_id in registry.ids_of_class(node_class):
+                    class_index[node_id] = idx
+            class_weight = np.array(
+                [1.0 / self.field_cardinality(c) for c in classes]
+            )
+            idf = np.log(
+                1.0 + self.graph.n_nodes / (1.0 + self._weighted_degrees())
+            )
+            for term_id in registry.term_ids():
+                idf[term_id] = self.graph.index.idf(
+                    registry.node_of(term_id).payload
+                )
+            self._classes = classes
+            self._class_index = class_index
+            self._class_weight = class_weight
+            self._idf_table = idf
+        return self._classes, self._class_index, self._class_weight, self._idf_table
 
     # ------------------------------------------------------------------ #
     # weight ingredients
@@ -119,11 +163,8 @@ class ContextualPreference:
         analogue (a hub tuple connected to everything is as uninformative
         as a stopword).
         """
-        node = self.graph.node(node_id)
-        if node.kind is NodeKind.TERM:
-            return self.graph.index.idf(node.payload)
-        degree = self.graph.adjacency.degree(node_id)
-        return math.log(1.0 + self.graph.n_nodes / (1.0 + degree))
+        _classes, _cidx, _cw, idf = self._node_tables()
+        return float(idf[node_id])
 
     # ------------------------------------------------------------------ #
     # context extraction
@@ -137,60 +178,97 @@ class ContextualPreference:
         nodes receive diffused, decayed mass.  The starting node itself is
         excluded.
         """
-        mass: Dict[int, float] = {}
-        frontier: Dict[int, float] = {node_id: 1.0}
-        visited = {node_id}
+        ids, vals = self._diffuse(node_id)
+        return {int(ctx_id): float(v) for ctx_id, v in zip(ids, vals)}
+
+    def _diffuse(self, node_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized diffusion: (reached ids, accumulated mass) arrays."""
+        matrix = self.graph.adjacency.matrix
+        n = matrix.shape[0]
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        totals = self._weighted_degrees()
+
+        visited = np.zeros(n, dtype=bool)
+        visited[node_id] = True
+        mass = np.zeros(n)
+        reached: List[np.ndarray] = []
+        frontier_ids = np.array([node_id], dtype=np.int64)
+        frontier_mass = np.array([1.0])
         for _hop in range(self.hops):
-            expand = frontier
             if (
                 self.frontier_cap is not None
-                and len(expand) > self.frontier_cap
+                and frontier_ids.size > self.frontier_cap
             ):
-                top = sorted(
-                    expand.items(), key=lambda item: (-item[1], item[0])
-                )[: self.frontier_cap]
-                expand = dict(top)
-            next_frontier: Dict[int, float] = {}
-            for node, node_mass in expand.items():
-                neighbors = list(self.graph.neighbors(node))
-                total_weight = sum(w for _n, w in neighbors)
-                if total_weight <= 0:
-                    continue
-                for nbr, weight in neighbors:
-                    if nbr in visited:
-                        continue
-                    next_frontier[nbr] = next_frontier.get(nbr, 0.0) + (
-                        node_mass * weight / total_weight
-                    )
-            if not next_frontier:
+                # top frontier_cap by (-mass, node_id), as in the paper's
+                # "fetch some top related nodes" pruning
+                order = np.lexsort((frontier_ids, -frontier_mass))
+                keep = order[: self.frontier_cap]
+                frontier_ids = frontier_ids[keep]
+                frontier_mass = frontier_mass[keep]
+            expandable = totals[frontier_ids] > 0
+            src_ids = frontier_ids[expandable]
+            src_mass = frontier_mass[expandable]
+            if not src_ids.size:
                 break
-            for node, node_mass in next_frontier.items():
-                mass[node] = mass.get(node, 0.0) + node_mass
-                visited.add(node)
+            starts = indptr[src_ids]
+            counts = indptr[src_ids + 1] - starts
+            nnz = int(counts.sum())
+            if not nnz:
+                break
+            # gather every (frontier node -> neighbor) CSR slot at once
+            slot = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            ) + np.arange(nnz)
+            neighbors = indices[slot]
+            contrib = (
+                np.repeat(src_mass / totals[src_ids], counts) * data[slot]
+            )
+            fresh = ~visited[neighbors]
+            neighbors = neighbors[fresh]
+            contrib = contrib[fresh]
+            if not neighbors.size:
+                break
+            hop_mass = np.bincount(neighbors, weights=contrib, minlength=n)
+            new_ids = np.unique(neighbors)
+            mass[new_ids] += hop_mass[new_ids]
+            visited[new_ids] = True
+            reached.append(new_ids)
             # decay before the next ring
-            frontier = {
-                node: node_mass * self.hop_decay
-                for node, node_mass in next_frontier.items()
-            }
-        return mass
+            frontier_ids = new_ids
+            frontier_mass = hop_mass[new_ids] * self.hop_decay
+        if not reached:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        all_ids = np.concatenate(reached)
+        return all_ids, mass[all_ids]
 
     def context_entries(self, node_id: int) -> List[ContextEntry]:
         """The weighted context of *node_id*, top-k per field."""
-        by_field: Dict[NodeClass, List[ContextEntry]] = {}
-        for ctx_id, ctx_mass in self.neighborhood_mass(node_id).items():
-            field = self.graph.class_of(ctx_id)
-            entry = ContextEntry(
-                node_id=ctx_id,
-                field=field,
-                field_weight=1.0 / self.field_cardinality(field),
-                node_weight=ctx_mass * self.node_idf(ctx_id),
+        ids, mass = self._diffuse(node_id)
+        if not ids.size:
+            return []
+        classes, class_index, class_weight, idf = self._node_tables()
+        fields = class_index[ids]
+        node_weight = mass * idf[ids]
+        weight = class_weight[fields] * node_weight
+        # group by field, rank by (-weight, node_id) inside each group,
+        # keep the top_per_field head of every group
+        order = np.lexsort((ids, -weight, fields))
+        sorted_fields = fields[order]
+        group_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_fields[1:] != sorted_fields[:-1]))
+        )
+        group_sizes = np.diff(np.concatenate((group_starts, [order.size])))
+        rank = np.arange(order.size) - np.repeat(group_starts, group_sizes)
+        kept = order[rank < self.top_per_field]
+        return [
+            ContextEntry(
+                node_id=int(ids[i]),
+                field=classes[fields[i]],
+                field_weight=float(class_weight[fields[i]]),
+                node_weight=float(node_weight[i]),
             )
-            by_field.setdefault(field, []).append(entry)
-        kept: List[ContextEntry] = []
-        for entries in by_field.values():
-            entries.sort(key=lambda e: (-e.weight, e.node_id))
-            kept.extend(entries[: self.top_per_field])
-        return kept
+            for i in kept
+        ]
 
     def preference_weights(self, node_id: int) -> Dict[int, float]:
         """Sparse preference vector {node_id: weight} for the walk restart.
@@ -212,3 +290,23 @@ class ContextualPreference:
             weights = {nid: w * scale for nid, w in weights.items()}
             weights[node_id] = weights.get(node_id, 0.0) + self.include_self
         return weights
+
+    def preference_matrix(self, node_ids: Sequence[int]) -> np.ndarray:
+        """Normalized preference vectors for many nodes, one per column.
+
+        This is the batch input of
+        :meth:`~repro.graph.randomwalk.RandomWalkEngine.walk_many`: the
+        offline stage builds one matrix per vocabulary batch and solves
+        all the contextual walks in it at once.
+        """
+        n = self.graph.adjacency.matrix.shape[0]
+        out = np.zeros((n, len(node_ids)))
+        for col, node_id in enumerate(node_ids):
+            weights = self.preference_weights(node_id)
+            ids = np.fromiter(weights.keys(), dtype=np.int64, count=len(weights))
+            vals = np.fromiter(weights.values(), dtype=np.float64, count=len(weights))
+            total = vals.sum()
+            if total <= 0:
+                raise GraphError(f"node {node_id} has an empty context")
+            out[ids, col] = vals / total
+        return out

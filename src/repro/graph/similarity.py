@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.context import ContextualPreference
-from repro.graph.randomwalk import RandomWalkEngine
+from repro.graph.randomwalk import BatchWalkResult, RandomWalkEngine
 from repro.graph.tat import TATGraph
 
 
@@ -134,38 +134,57 @@ class SimilarityExtractor:
             result.append((node.text or str(node), sim.score))
         return result
 
-    def precompute(self, node_ids: List[int], batch_size: int = 64) -> None:
-        """Offline stage: warm the cache for a vocabulary of nodes.
+    def batch_walk(
+        self, node_ids: List[int], method: str = "iterative"
+    ) -> Optional[BatchWalkResult]:
+        """Solve one batch of walks, fill the cache, return diagnostics.
 
-        Walks are solved in batches with one sparse matmul per iteration
-        for the whole batch (see
-        :meth:`~repro.graph.randomwalk.RandomWalkEngine.walk_many`),
-        which is substantially faster than node-by-node extraction.
+        Preference vectors are built as columns (contextual or indicator)
+        and solved together — one
+        :meth:`~repro.graph.randomwalk.RandomWalkEngine.walk_many_result`
+        call per batch.  ``method="direct"`` reuses the engine's cached
+        sparse LU factorization, which is how whole-vocabulary offline
+        extraction amortizes the solve.  Returns ``None`` when every
+        requested node is already cached.
         """
         pending = [nid for nid in node_ids if nid not in self._cache]
         if not pending:
-            return
-        n = self.graph.adjacency.n_nodes
+            return None
+        if self.contextual:
+            preferences = self.preference.preference_matrix(pending)
+        else:
+            n = self.graph.adjacency.n_nodes
+            preferences = np.zeros((n, len(pending)))
+            for col, node_id in enumerate(pending):
+                preferences[:, col] = self.engine.indicator_preference(node_id)
+        result = self.engine.walk_many_result(preferences, method=method)
+        for col, node_id in enumerate(pending):
+            self._cache[node_id] = result.scores[:, col].copy()
+        return result
+
+    def precompute(
+        self,
+        node_ids: List[int],
+        batch_size: int = 64,
+        method: str = "iterative",
+    ) -> None:
+        """Offline stage: warm the cache for a vocabulary of nodes.
+
+        Walks are solved in batches — one batched solve per *batch_size*
+        nodes (see :meth:`batch_walk`) — which is substantially faster
+        than node-by-node extraction.
+        """
+        pending = [nid for nid in node_ids if nid not in self._cache]
         for start in range(0, len(pending), batch_size):
-            batch = pending[start:start + batch_size]
-            preferences = np.zeros((n, len(batch)))
-            for col, node_id in enumerate(batch):
-                if self.contextual:
-                    weights = self.preference.preference_weights(node_id)
-                    preferences[:, col] = self.engine.weighted_preference(
-                        weights
-                    )
-                else:
-                    preferences[:, col] = self.engine.indicator_preference(
-                        node_id
-                    )
-            scores = self.engine.walk_many(preferences)
-            for col, node_id in enumerate(batch):
-                self._cache[node_id] = scores[:, col].copy()
+            self.batch_walk(pending[start:start + batch_size], method=method)
 
     def cache_size(self) -> int:
         """Number of cached walk vectors."""
         return len(self._cache)
+
+    def evict(self, node_id: int) -> None:
+        """Drop one cached walk (offline batch memory bound)."""
+        self._cache.pop(node_id, None)
 
     def clear_cache(self) -> None:
         """Drop all cached walks."""

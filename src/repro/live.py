@@ -36,6 +36,12 @@ class LiveReformulator:
         Pipeline configuration applied on every rebuild.
     analyzer:
         Analyzer for the rebuilt index.
+    relations:
+        Optional path to a precomputed term-relation store (v1 file or
+        v2 shard directory).  When set, every rebuilt pipeline serves
+        similarity/closeness from the store instead of live extractors;
+        terms inserted after the store was built simply have no stored
+        relations until the offline stage is rerun.
     """
 
     def __init__(
@@ -43,10 +49,12 @@ class LiveReformulator:
         database: Database,
         config: Optional[ReformulatorConfig] = None,
         analyzer: Optional[Analyzer] = None,
+        relations=None,
     ) -> None:
         self.database = database
         self.config = config or ReformulatorConfig()
         self.analyzer = analyzer
+        self.relations = relations
         self._pipeline: Optional[Reformulator] = None
         self._version = 0
         self._dirty = True
@@ -89,9 +97,23 @@ class LiveReformulator:
     def pipeline(self) -> Reformulator:
         """The current pipeline, rebuilt if the database changed."""
         if self._dirty or self._pipeline is None:
-            self._pipeline = Reformulator.from_database(
-                self.database, self.config, analyzer=self.analyzer
-            )
+            if self.relations is None:
+                self._pipeline = Reformulator.from_database(
+                    self.database, self.config, analyzer=self.analyzer
+                )
+            else:
+                from repro.graph.tat import TATGraph
+                from repro.index.inverted import InvertedIndex
+                from repro.offline import TermRelationStore
+
+                index = InvertedIndex(
+                    self.database, analyzer=self.analyzer
+                ).build()
+                graph = TATGraph(self.database, index)
+                store = TermRelationStore.load(self.relations, graph)
+                self._pipeline = Reformulator(
+                    graph, self.config, similarity=store, closeness=store
+                )
             self._version += 1
             self._dirty = False
         return self._pipeline

@@ -5,11 +5,16 @@ extraction over the whole vocabulary) and an online stage that only reads
 the precomputed relations.  This module is that boundary as a downstream
 user would deploy it:
 
-* :class:`OfflinePrecomputer` walks the vocabulary and materializes each
-  term's similar-term list and closeness row;
+* :class:`OfflinePrecomputer` walks the vocabulary in **batches** —
+  contextual preference vectors are built as columns and solved together
+  (one cached sparse-LU factorization amortized over the vocabulary),
+  closeness BFS rows are fanned across a thread pool — and materializes
+  each term's similar-term list and closeness row;
 * :class:`TermRelationStore` holds the materialized relations, serves
   them behind the same ``similar_nodes`` / ``closeness`` interfaces the
-  online stage consumes, and round-trips to a single JSON file.
+  online stage consumes, and round-trips to a single JSON file (format
+  version 1) or, via :meth:`TermRelationStore.save_sharded`, to the
+  sharded format-version-2 layout of :mod:`repro.offline_store`.
 
 A store-backed :class:`~repro.core.reformulator.Reformulator` never runs
 a random walk or a BFS at query time.
@@ -18,9 +23,12 @@ a random walk or a BFS at query time.
 from __future__ import annotations
 
 import json
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
 from repro.graph.closeness import ClosenessExtractor
@@ -29,17 +37,68 @@ from repro.graph.similarity import SimilarNode
 from repro.graph.tat import TATGraph
 from repro.index.inverted import FieldTerm
 
+logger = logging.getLogger(__name__)
+
 PathLike = Union[str, Path]
 
-#: Serialized term key: "table|field|text".
+#: Solver passed through to the batched walk; "direct" reuses one cached
+#: sparse-LU factorization across every batch of the vocabulary.
+DEFAULT_WALK_METHOD = "direct"
+
+
+def _escape_part(part: str) -> str:
+    return part.replace("\\", "\\\\").replace("|", "\\|")
+
+
 def _term_key(term: FieldTerm) -> str:
+    """Serialized term key ``table|field|text`` with ``\\``/``|`` escaped.
+
+    Escaping makes the key a lossless encoding for *any* term text —
+    including pipes and backslashes — where the historical raw
+    ``f"{table}|{column}|{text}"`` form was ambiguous.
+    """
     table, column = term.field
-    return f"{table}|{column}|{term.text}"
+    return "|".join(
+        _escape_part(part) for part in (table, column, term.text)
+    )
+
+
+def _split_key(key: str) -> List[str]:
+    """Split a term key on unescaped pipes, undoing the escapes."""
+    parts: List[str] = []
+    buf: List[str] = []
+    escaped = False
+    for ch in key:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == "|":
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    if escaped:  # lone trailing backslash: keep it literal
+        buf.append("\\")
+    parts.append("".join(buf))
+    return parts
 
 
 def _parse_term_key(key: str) -> FieldTerm:
-    table, column, text = key.split("|", 2)
-    return FieldTerm((table, column), text)
+    """Inverse of :func:`_term_key`, tolerant of legacy unescaped keys.
+
+    Format-version-1 files wrote the text unescaped; a legacy key whose
+    text contains pipes splits into more than three parts, and falls back
+    to the historical "split at the first two pipes" reading.
+    """
+    parts = _split_key(key)
+    if len(parts) == 3:
+        return FieldTerm((parts[0], parts[1]), parts[2])
+    pieces = key.split("|", 2)
+    if len(pieces) != 3:
+        raise ReproError(f"malformed term key {key!r}")
+    return FieldTerm((pieces[0], pieces[1]), pieces[2])
 
 
 @dataclass
@@ -57,6 +116,11 @@ class TermRelationStore:
     interface of the live extractors, so it drops into
     :class:`~repro.core.candidates.CandidateListBuilder` and
     :class:`~repro.core.hmm.ReformulationHMM` unchanged.
+
+    All reads route through the :meth:`_get` / :meth:`_keys` /
+    :meth:`_items` accessors; the sharded v2 store
+    (:class:`repro.offline_store.ShardedTermRelationStore`) overrides
+    just those to serve the same interface from lazily-loaded shards.
     """
 
     FORMAT_VERSION = 1
@@ -64,6 +128,22 @@ class TermRelationStore:
     def __init__(self, graph: TATGraph) -> None:
         self.graph = graph
         self._relations: Dict[str, TermRelations] = {}
+
+    # ------------------------------------------------------------------ #
+    # storage accessors (the override surface of the sharded store)
+    # ------------------------------------------------------------------ #
+
+    def _get(self, key: str) -> Optional[TermRelations]:
+        """Relations of one term key, or None when absent."""
+        return self._relations.get(key)
+
+    def _keys(self) -> List[str]:
+        """All stored term keys."""
+        return list(self._relations)
+
+    def _items(self) -> Iterator[Tuple[str, TermRelations]]:
+        """All (key, relations) pairs."""
+        return iter(self._relations.items())
 
     # ------------------------------------------------------------------ #
     # population
@@ -85,11 +165,11 @@ class TermRelationStore:
         return len(self._relations)
 
     def __contains__(self, term: FieldTerm) -> bool:
-        return _term_key(term) in self._relations
+        return self._get(_term_key(term)) is not None
 
     def terms(self) -> List[FieldTerm]:
         """All terms with stored relations."""
-        return [_parse_term_key(k) for k in self._relations]
+        return [_parse_term_key(k) for k in self._keys()]
 
     # ------------------------------------------------------------------ #
     # online interfaces (same surface as the live extractors)
@@ -106,7 +186,7 @@ class TermRelationStore:
         term = self._term_of_node(node_id)
         if term is None:
             return []
-        relations = self._relations.get(_term_key(term))
+        relations = self._get(_term_key(term))
         if relations is None:
             return []
         out: List[SimilarNode] = []
@@ -124,7 +204,7 @@ class TermRelationStore:
         term_b = self._term_of_node(node_b)
         if term_a is None or term_b is None:
             return 0.0
-        relations = self._relations.get(_term_key(term_a))
+        relations = self._get(_term_key(term_a))
         if relations is None:
             return 0.0
         key_b = _term_key(term_b)
@@ -148,7 +228,7 @@ class TermRelationStore:
         term_b = self._term_of_node(node_b)
         if term_a is None or term_b is None:
             return 0.0
-        relations = self._relations.get(_term_key(term_a))
+        relations = self._get(_term_key(term_a))
         if relations is None:
             return 0.0
         return relations.closeness.get(_term_key(term_b), 0.0)
@@ -161,24 +241,48 @@ class TermRelationStore:
     # ------------------------------------------------------------------ #
 
     def save(self, path: PathLike) -> None:
-        """Write the store as one JSON document."""
+        """Write the store as one JSON document (format version 1)."""
         payload = {
-            "format_version": self.FORMAT_VERSION,
+            "format_version": TermRelationStore.FORMAT_VERSION,
             "terms": {
                 key: {
                     "similar": relations.similar,
                     "closeness": relations.closeness,
                 }
-                for key, relations in self._relations.items()
+                for key, relations in self._items()
             },
         }
         Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
+    def save_sharded(
+        self,
+        path: PathLike,
+        n_shards: int = 8,
+        build_info: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Write the sharded v2 layout; see :mod:`repro.offline_store`."""
+        from repro.offline_store import write_store_v2
+
+        return write_store_v2(
+            self, path, n_shards=n_shards, build_info=build_info
+        )
+
     @classmethod
     def load(cls, path: PathLike, graph: TATGraph) -> "TermRelationStore":
-        """Load a store previously written by :meth:`save`."""
+        """Load a store written by :meth:`save` or :meth:`save_sharded`.
+
+        A directory (or a path to its ``manifest.json``) is the sharded
+        v2 layout and comes back as a lazily-loading
+        :class:`~repro.offline_store.ShardedTermRelationStore`; a plain
+        file is the single-document v1 format.
+        """
+        p = Path(path)
+        if p.is_dir() or p.name == "manifest.json":
+            from repro.offline_store import ShardedTermRelationStore
+
+            return ShardedTermRelationStore.load(p, graph)
         try:
-            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+            payload = json.loads(p.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
             raise ReproError(f"cannot load term relations from {path}: {exc}")
         if payload.get("format_version") != cls.FORMAT_VERSION:
@@ -187,14 +291,51 @@ class TermRelationStore:
                 f"{payload.get('format_version')!r}"
             )
         store = cls(graph)
+
+        def canon(key: str) -> str:
+            # canonicalize legacy raw (unescaped) v1 keys to escaped form
+            # so FieldTerm lookups find them; identity for escaped keys
+            return _term_key(_parse_term_key(key))
+
         for key, data in payload.get("terms", {}).items():
-            store._relations[key] = TermRelations(
-                similar=[(k, float(s)) for k, s in data.get("similar", [])],
+            store._relations[canon(key)] = TermRelations(
+                similar=[
+                    (canon(k), float(s)) for k, s in data.get("similar", [])
+                ],
                 closeness={
-                    k: float(c) for k, c in data.get("closeness", {}).items()
+                    canon(k): float(c)
+                    for k, c in data.get("closeness", {}).items()
                 },
             )
         return store
+
+
+@dataclass
+class PrecomputeStats:
+    """Counters of one :meth:`OfflinePrecomputer.build_store` run."""
+
+    total_terms: int = 0
+    terms_done: int = 0
+    n_batches: int = 0
+    batch_size: int = 0
+    workers: int = 0
+    walk_method: str = DEFAULT_WALK_METHOD
+    elapsed_seconds: float = 0.0
+    walk_iterations: int = 0
+    #: verified per-batch walk residuals (max over the batch's columns)
+    batch_residuals: List[float] = field(default_factory=list)
+
+    @property
+    def terms_per_second(self) -> float:
+        """Throughput of the run so far."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.terms_done / self.elapsed_seconds
+
+    @property
+    def max_residual(self) -> float:
+        """Worst verified walk residual across all batches."""
+        return max(self.batch_residuals) if self.batch_residuals else 0.0
 
 
 class OfflinePrecomputer:
@@ -233,6 +374,7 @@ class OfflinePrecomputer:
         self.closeness = closeness or ClosenessExtractor(graph)
         self.n_similar = n_similar
         self.closeness_top = closeness_top
+        self.stats = PrecomputeStats()
 
     def vocabulary(self, fields: Optional[List[Tuple[str, str]]] = None) -> List[FieldTerm]:
         """The terms to precompute: all indexed terms, or chosen fields."""
@@ -243,7 +385,7 @@ class OfflinePrecomputer:
         ]
 
     def precompute_term(self, term: FieldTerm) -> TermRelations:
-        """Materialize one term's relations (used by the store builder)."""
+        """Materialize one term's relations (the sequential unit of work)."""
         node_id = self.graph.term_node_id(term)
         similar = [
             (self.graph.node(s.node_id).payload, s.score)
@@ -260,16 +402,105 @@ class OfflinePrecomputer:
             closeness={_term_key(t): c for t, c in closeness.items()},
         )
 
+    def _close_rows(
+        self, node_ids: List[int], workers: int
+    ) -> Dict[int, List[Tuple[int, float]]]:
+        """Closeness rows for one batch, fanned across a thread pool.
+
+        Each worker's chunk touches disjoint per-source cache entries, so
+        the extractor's dict caches stay consistent under the pool.
+        """
+        if not hasattr(self.closeness, "close_rows"):
+            return {
+                nid: self.closeness.close_terms(nid, self.closeness_top)
+                for nid in node_ids
+            }
+        if workers <= 1 or len(node_ids) <= 1:
+            return self.closeness.close_rows(node_ids, self.closeness_top)
+        chunks = [c for c in (node_ids[i::workers] for i in range(workers)) if c]
+        rows: Dict[int, List[Tuple[int, float]]] = {}
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(self.closeness.close_rows, chunk, self.closeness_top)
+                for chunk in chunks
+            ]
+            for future in futures:
+                rows.update(future.result())
+        return rows
+
     def build_store(
         self,
         fields: Optional[List[Tuple[str, str]]] = None,
         progress_every: int = 0,
+        batch_size: int = 64,
+        workers: int = 1,
+        walk_method: str = DEFAULT_WALK_METHOD,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> TermRelationStore:
-        """Run the full offline stage and return the populated store."""
+        """Run the full offline stage and return the populated store.
+
+        The vocabulary is processed in batches of *batch_size* terms:
+        each batch's contextual walks are solved together (see
+        :meth:`~repro.graph.similarity.SimilarityExtractor.batch_walk`)
+        and its closeness BFS rows are fanned across *workers* threads.
+        Extractor caches are evicted as soon as a term's relations are
+        read, so memory stays O(batch), not O(vocabulary).
+
+        *progress* is called as ``progress(done, total)`` after every
+        batch; *progress_every* additionally logs every that-many terms
+        through the module logger.
+        """
+        if batch_size < 1:
+            raise ReproError("batch_size must be >= 1")
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
         store = TermRelationStore(self.graph)
         vocabulary = self.vocabulary(fields)
-        for i, term in enumerate(vocabulary, 1):
-            store._relations[_term_key(term)] = self.precompute_term(term)
-            if progress_every and i % progress_every == 0:
-                print(f"precomputed {i}/{len(vocabulary)} terms")
+        stats = PrecomputeStats(
+            total_terms=len(vocabulary),
+            batch_size=batch_size,
+            workers=workers,
+            walk_method=walk_method,
+        )
+        self.stats = stats
+        start = time.perf_counter()
+        batched = hasattr(self.similarity, "batch_walk")
+        done = 0
+        for lo in range(0, len(vocabulary), batch_size):
+            batch = vocabulary[lo:lo + batch_size]
+            node_ids = [self.graph.term_node_id(term) for term in batch]
+            if batched:
+                result = self.similarity.batch_walk(
+                    node_ids, method=walk_method
+                )
+                if result is not None:
+                    stats.batch_residuals.append(result.residual)
+                    stats.walk_iterations += result.iterations
+            close_rows = self._close_rows(node_ids, workers)
+            for term, node_id in zip(batch, node_ids):
+                similar = [
+                    (self.graph.node(s.node_id).payload, s.score)
+                    for s in self.similarity.similar_nodes(
+                        node_id, self.n_similar
+                    )
+                ]
+                closeness = {
+                    self.graph.node(other).payload: score
+                    for other, score in close_rows[node_id]
+                }
+                store.put(term, similar, closeness)
+                if hasattr(self.similarity, "evict"):
+                    self.similarity.evict(node_id)
+                if hasattr(self.closeness, "evict"):
+                    self.closeness.evict(node_id)
+                done += 1
+                if progress_every and done % progress_every == 0:
+                    logger.info(
+                        "precomputed %d/%d terms", done, len(vocabulary)
+                    )
+            stats.n_batches += 1
+            stats.terms_done = done
+            stats.elapsed_seconds = time.perf_counter() - start
+            if progress is not None:
+                progress(done, len(vocabulary))
         return store

@@ -1,0 +1,293 @@
+"""Sharded term-relation store — format version 2.
+
+Format version 1 (:meth:`repro.offline.TermRelationStore.save`) is one
+JSON document holding the whole vocabulary: loading it costs the full
+parse even when the online stage touches a handful of terms.  Version 2
+splits the vocabulary across shard files under one directory:
+
+.. code-block:: text
+
+    store/
+      manifest.json        # format_version, shard list, checksums, build info
+      shard-0000.json      # {"terms": {key: {"similar": ..., "closeness": ...}}}
+      shard-0001.json
+      ...
+
+Term keys are assigned to shards by a stable CRC32 hash, so a reader can
+locate any term's shard from the manifest alone.  The manifest carries a
+SHA-256 checksum per shard (verified on first read) plus free-form build
+metadata (batch size, workers, throughput, ...).
+
+:class:`ShardedTermRelationStore` serves the full
+:class:`~repro.offline.TermRelationStore` interface by overriding only
+its storage accessors: opening a store parses *just* the manifest, shard
+files are read lazily on first access, and an LRU of recently-used
+decoded shards bounds resident memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.graph.tat import TATGraph
+from repro.offline import PathLike, TermRelations, TermRelationStore
+
+FORMAT_VERSION = 2
+MANIFEST_NAME = "manifest.json"
+DEFAULT_SHARDS = 8
+#: Default LRU capacity: decoded shards kept in memory at once.
+DEFAULT_CACHE_SHARDS = 4
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Stable shard index of one term key (CRC32 mod shard count)."""
+    return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+def shard_filename(index: int) -> str:
+    """Canonical shard file name for one shard index."""
+    return f"shard-{index:04d}.json"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _decode_relations(data: Dict[str, object]) -> TermRelations:
+    return TermRelations(
+        similar=[(k, float(s)) for k, s in data.get("similar", [])],
+        closeness={
+            k: float(c) for k, c in data.get("closeness", {}).items()
+        },
+    )
+
+
+def write_store_v2(
+    store: TermRelationStore,
+    path: PathLike,
+    n_shards: int = DEFAULT_SHARDS,
+    build_info: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write *store* as a v2 shard directory; returns the directory path.
+
+    *build_info* is stored verbatim under the manifest's ``"build"`` key —
+    the precompute CLI records batch size, workers and throughput there.
+    """
+    if n_shards < 1:
+        raise ReproError("n_shards must be >= 1")
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    buckets: List[Dict[str, Dict[str, object]]] = [
+        {} for _ in range(n_shards)
+    ]
+    for key, relations in store._items():
+        buckets[shard_of(key, n_shards)][key] = {
+            "similar": relations.similar,
+            "closeness": relations.closeness,
+        }
+    shards = []
+    n_terms = 0
+    for index, bucket in enumerate(buckets):
+        name = shard_filename(index)
+        blob = json.dumps({"terms": bucket}).encode("utf-8")
+        (root / name).write_bytes(blob)
+        shards.append(
+            {"file": name, "n_terms": len(bucket), "sha256": _sha256(blob)}
+        )
+        n_terms += len(bucket)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "n_shards": n_shards,
+        "n_terms": n_terms,
+        "shards": shards,
+        "build": dict(build_info or {}),
+    }
+    (root / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return root
+
+
+def load_manifest(root: PathLike) -> Dict[str, object]:
+    """Parse and validate a v2 manifest (shard files are *not* read)."""
+    root = Path(root)
+    path = root / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load term relations from {root}: {exc}")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"{root}: unsupported format version {version!r}"
+        )
+    shards = manifest.get("shards")
+    n_shards = manifest.get("n_shards")
+    if not isinstance(shards, list) or not isinstance(n_shards, int):
+        raise ReproError(f"{path}: manifest is missing its shard table")
+    if len(shards) != n_shards or n_shards < 1:
+        raise ReproError(
+            f"{path}: manifest lists {len(shards) if shards else 0} shards "
+            f"but declares n_shards={n_shards!r}"
+        )
+    return manifest
+
+
+def migrate_v1_to_v2(
+    src: PathLike,
+    dest: PathLike,
+    graph: TATGraph,
+    n_shards: int = DEFAULT_SHARDS,
+    build_info: Optional[Dict[str, object]] = None,
+) -> "ShardedTermRelationStore":
+    """Convert a v1 single-file store into a v2 shard directory."""
+    src = Path(src)
+    if src.is_dir():
+        raise ReproError(f"{src}: already a sharded (v2) store directory")
+    store = TermRelationStore.load(src, graph)
+    info = {"migrated_from": str(src)}
+    info.update(build_info or {})
+    root = write_store_v2(store, dest, n_shards=n_shards, build_info=info)
+    return ShardedTermRelationStore.load(root, graph)
+
+
+class ShardedTermRelationStore(TermRelationStore):
+    """Lazily-loading v2 store with the v1 store's full online interface.
+
+    Parameters
+    ----------
+    graph:
+        The TAT graph used to resolve node ids back to terms.
+    root:
+        The shard directory.
+    manifest:
+        A parsed, validated manifest (see :func:`load_manifest`).
+    cache_shards:
+        LRU capacity — how many decoded shards stay resident; ``None``
+        keeps every shard ever read (no eviction).
+    """
+
+    FORMAT_VERSION = FORMAT_VERSION
+
+    def __init__(
+        self,
+        graph: TATGraph,
+        root: PathLike,
+        manifest: Dict[str, object],
+        cache_shards: Optional[int] = DEFAULT_CACHE_SHARDS,
+    ) -> None:
+        if cache_shards is not None and cache_shards < 1:
+            raise ReproError("cache_shards must be >= 1 or None")
+        super().__init__(graph)
+        self.root = Path(root)
+        self.manifest = manifest
+        self.n_shards: int = manifest["n_shards"]
+        self._shard_meta: List[Dict[str, object]] = manifest["shards"]
+        self.cache_shards = cache_shards
+        self._shard_cache: "OrderedDict[int, Dict[str, TermRelations]]" = (
+            OrderedDict()
+        )
+        self.shard_hits = 0
+        self.shard_misses = 0
+
+    @classmethod
+    def load(
+        cls,
+        path: PathLike,
+        graph: TATGraph,
+        cache_shards: Optional[int] = DEFAULT_CACHE_SHARDS,
+    ) -> "ShardedTermRelationStore":
+        """Open a v2 store.  Only the manifest is read here."""
+        root = Path(path)
+        if root.name == MANIFEST_NAME and not root.is_dir():
+            root = root.parent
+        manifest = load_manifest(root)
+        return cls(graph, root, manifest, cache_shards=cache_shards)
+
+    # ------------------------------------------------------------------ #
+    # lazy shard IO
+    # ------------------------------------------------------------------ #
+
+    def _load_shard(self, index: int) -> Dict[str, TermRelations]:
+        """Decoded contents of one shard, via the LRU cache."""
+        cached = self._shard_cache.get(index)
+        if cached is not None:
+            self.shard_hits += 1
+            self._shard_cache.move_to_end(index)
+            return cached
+        self.shard_misses += 1
+        meta = self._shard_meta[index]
+        path = self.root / meta["file"]
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise ReproError(f"cannot load term relations from {path}: {exc}")
+        expected = meta.get("sha256")
+        actual = _sha256(blob)
+        if expected != actual:
+            raise ReproError(
+                f"{path}: shard checksum mismatch "
+                f"(manifest {expected}, file {actual})"
+            )
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot load term relations from {path}: {exc}")
+        terms = {
+            key: _decode_relations(data)
+            for key, data in payload.get("terms", {}).items()
+        }
+        self._shard_cache[index] = terms
+        if (
+            self.cache_shards is not None
+            and len(self._shard_cache) > self.cache_shards
+        ):
+            self._shard_cache.popitem(last=False)
+        return terms
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Shard-read counters: hits, misses, currently resident shards."""
+        return {
+            "hits": self.shard_hits,
+            "misses": self.shard_misses,
+            "resident_shards": len(self._shard_cache),
+        }
+
+    def hit_rate(self) -> float:
+        """Fraction of shard lookups served from the LRU."""
+        total = self.shard_hits + self.shard_misses
+        return self.shard_hits / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    # storage accessor overrides
+    # ------------------------------------------------------------------ #
+
+    def _get(self, key: str) -> Optional[TermRelations]:
+        return self._load_shard(shard_of(key, self.n_shards)).get(key)
+
+    def _keys(self) -> List[str]:
+        return [key for key, _relations in self._items()]
+
+    def _items(self) -> Iterator[Tuple[str, TermRelations]]:
+        for index in range(self.n_shards):
+            yield from self._load_shard(index).items()
+
+    def __len__(self) -> int:
+        return self.manifest["n_terms"]
+
+    def put(self, term, similar, closeness) -> None:
+        """Sharded stores are read-only serving artifacts."""
+        raise ReproError(
+            "sharded term-relation stores are read-only; rebuild with "
+            "OfflinePrecomputer.build_store() and save_sharded()"
+        )
+
+    def build_info(self) -> Dict[str, object]:
+        """The manifest's free-form build metadata."""
+        return dict(self.manifest.get("build", {}))

@@ -14,6 +14,24 @@ from hypothesis import strategies as st
 
 from repro.core.candidates import CandidateState, StateKind
 from repro.core.hmm import ReformulationHMM
+from repro.index.inverted import FieldTerm
+
+# Adversarial alphabet for store keys: the separator, the escape
+# character, whitespace and non-ASCII text must all round-trip.
+_KEY_CHARS = st.characters(
+    codec="utf-8", exclude_categories=("Cs",)
+)
+_key_text = st.text(alphabet=_KEY_CHARS, min_size=1, max_size=12)
+
+
+@st.composite
+def field_terms(draw):
+    """An arbitrary indexed term: any table/column/text, incl. '|' and '\\'."""
+    nasty = st.sampled_from(
+        ["|", "\\", "a|b", "a\\|b", "x\\\\", "τέρμα|", "名前", " ", "||"]
+    )
+    part = st.one_of(_key_text, nasty)
+    return FieldTerm((draw(part), draw(part)), draw(part))
 
 
 @st.composite

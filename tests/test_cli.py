@@ -131,6 +131,69 @@ class TestPrecompute:
         assert code == 0
         assert "probabilistic" in text
 
+    def test_precompute_sharded_then_serve(self, toy_dir, tmp_path):
+        store_dir = tmp_path / "store"
+        code, text = run([
+            "precompute", "--data", str(toy_dir),
+            "--out", str(store_dir), "--shards", "4",
+            "--batch-size", "8", "--workers", "2",
+            "--progress-every", "5",
+        ])
+        assert code == 0
+        assert "4 shards" in text
+        assert "terms/s" in text
+        assert "precomputed 8/15 terms" in text  # per-batch progress
+        assert (store_dir / "manifest.json").exists()
+        code, text = run([
+            "reformulate", "--data", str(toy_dir),
+            "--relations", str(store_dir),
+            "probabilistic", "query", "-k", "3", "--candidates", "5",
+        ])
+        assert code == 0
+        assert "probabilistic" in text
+
+    def test_store_info(self, toy_dir, tmp_path):
+        store_dir = tmp_path / "store"
+        code, _ = run([
+            "precompute", "--data", str(toy_dir),
+            "--out", str(store_dir), "--shards", "3",
+        ])
+        assert code == 0
+        code, text = run([
+            "store", "info", "--data", str(toy_dir),
+            "--store", str(store_dir),
+        ])
+        assert code == 0
+        assert "format version: 2" in text
+        assert "shards: 3" in text
+        assert "build.batch_size: 64" in text
+
+    def test_store_migrate(self, toy_dir, tmp_path):
+        v1 = tmp_path / "relations.json"
+        code, _ = run([
+            "precompute", "--data", str(toy_dir), "--out", str(v1),
+        ])
+        assert code == 0
+        dest = tmp_path / "v2"
+        code, text = run([
+            "store", "migrate", "--data", str(toy_dir),
+            "--src", str(v1), "--dest", str(dest), "--shards", "2",
+        ])
+        assert code == 0
+        assert "migrated" in text and "2 shards" in text
+        code, text = run([
+            "store", "info", "--data", str(toy_dir), "--store", str(dest),
+        ])
+        assert code == 0
+        assert "build.migrated_from" in text
+
+    def test_store_info_missing_is_error(self, toy_dir, tmp_path):
+        code = main([
+            "store", "info", "--data", str(toy_dir),
+            "--store", str(tmp_path / "nope.json"),
+        ], out=io.StringIO())
+        assert code == 1
+
 
 class TestParser:
     def test_requires_subcommand(self):

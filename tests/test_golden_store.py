@@ -1,0 +1,190 @@
+"""Golden regression tests for the relation store formats.
+
+``tests/golden/relations_v1.json`` is a checked-in format-version-1 store
+built from the toy corpus (plus one legacy raw-piped key, the
+pre-escaping v1 idiom); ``expected_topk.json`` pins the store-backed
+top-k suggestions for ten queries.  Together they freeze
+
+* the v1 on-disk format and its back-compat load path,
+* the store-backed reformulation output end to end, and
+* the :class:`ReproError` messages of every load failure mode.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.errors import ReproError
+from repro.graph.closeness import ClosenessExtractor
+from repro.index.inverted import FieldTerm
+from repro.offline import OfflinePrecomputer, TermRelationStore
+from repro.offline_store import migrate_v1_to_v2
+
+GOLDEN = Path(__file__).parent / "golden"
+V1_FIXTURE = GOLDEN / "relations_v1.json"
+EXPECTED = json.loads((GOLDEN / "expected_topk.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_store(toy_graph):
+    return TermRelationStore.load(V1_FIXTURE, toy_graph)
+
+
+@pytest.fixture(scope="module")
+def golden_reformulator(toy_graph, golden_store):
+    return Reformulator(
+        toy_graph,
+        ReformulatorConfig(n_candidates=5),
+        similarity=golden_store,
+        closeness=golden_store,
+    )
+
+
+class TestV1BackCompat:
+    def test_loads(self, golden_store, toy_index):
+        # vocabulary terms + the injected legacy key
+        assert len(golden_store) == toy_index.vocabulary_size() + 1
+
+    def test_legacy_raw_piped_key_parses(self, golden_store):
+        legacy = FieldTerm(("papers", "title"), "odd|piped term")
+        assert legacy in golden_store
+        assert any(t == legacy for t in golden_store.terms())
+
+    def test_migrates_to_v2(self, toy_graph, tmp_path):
+        migrated = migrate_v1_to_v2(
+            V1_FIXTURE, tmp_path / "v2", toy_graph, n_shards=4
+        )
+        assert len(migrated) == len(
+            TermRelationStore.load(V1_FIXTURE, toy_graph)
+        )
+        assert migrated.build_info()["migrated_from"] == str(V1_FIXTURE)
+
+
+class TestGoldenTopK:
+    @pytest.mark.parametrize("query", sorted(EXPECTED), ids=str)
+    def test_fixture_backed_topk(self, golden_reformulator, query):
+        got = [
+            (s.text, s.score)
+            for s in golden_reformulator.reformulate(query.split(), k=5)
+        ]
+        expected = EXPECTED[query]
+        assert [t for t, _ in got] == [t for t, _ in expected]
+        for (_, a), (_, b) in zip(got, expected):
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_freshly_built_store_matches_golden(self, toy_graph):
+        """The current batched pipeline reproduces the pinned output."""
+        precomputer = OfflinePrecomputer(
+            toy_graph,
+            closeness=ClosenessExtractor(toy_graph, beam_width=None),
+            n_similar=8,
+            closeness_top=30,
+        )
+        store = precomputer.build_store(batch_size=16)
+        reformulator = Reformulator(
+            toy_graph,
+            ReformulatorConfig(n_candidates=5),
+            similarity=store,
+            closeness=store,
+        )
+        for query, expected in EXPECTED.items():
+            got = [s.text for s in reformulator.reformulate(query.split(), k=5)]
+            assert got == [t for t, _ in expected], query
+
+
+class TestErrorMessages:
+    """The load failure modes keep their actionable messages."""
+
+    def test_missing_file(self, toy_graph, tmp_path):
+        with pytest.raises(ReproError, match="cannot load term relations"):
+            TermRelationStore.load(tmp_path / "nope.json", toy_graph)
+
+    def test_missing_manifest(self, toy_graph, tmp_path):
+        empty = tmp_path / "empty-store"
+        empty.mkdir()
+        with pytest.raises(ReproError, match="cannot load term relations"):
+            TermRelationStore.load(empty, toy_graph)
+
+    def test_unsupported_version(self, toy_graph, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({"format_version": 99, "terms": {}}))
+        with pytest.raises(
+            ReproError, match="unsupported format version 99"
+        ):
+            TermRelationStore.load(path, toy_graph)
+
+    def test_manifest_missing_shard_table(self, toy_graph, tmp_path):
+        root = tmp_path / "broken"
+        root.mkdir()
+        (root / "manifest.json").write_text(
+            json.dumps({"format_version": 2, "n_terms": 0})
+        )
+        with pytest.raises(ReproError, match="shard table"):
+            TermRelationStore.load(root, toy_graph)
+
+    def test_shard_checksum_mismatch(self, toy_graph, tmp_path):
+        migrated = migrate_v1_to_v2(
+            V1_FIXTURE, tmp_path / "v2", toy_graph, n_shards=2
+        )
+        shard = migrated.root / migrated._shard_meta[0]["file"]
+        shard.write_bytes(shard.read_bytes() + b" ")
+        fresh = TermRelationStore.load(migrated.root, toy_graph)
+        with pytest.raises(ReproError, match="checksum mismatch"):
+            fresh._load_shard(0)
+
+    def test_missing_shard_file(self, toy_graph, tmp_path):
+        migrated = migrate_v1_to_v2(
+            V1_FIXTURE, tmp_path / "v2", toy_graph, n_shards=2
+        )
+        (migrated.root / migrated._shard_meta[1]["file"]).unlink()
+        fresh = TermRelationStore.load(migrated.root, toy_graph)
+        # the intact shard still serves; only the missing one raises
+        assert fresh._load_shard(0)
+        with pytest.raises(ReproError, match="cannot load term relations"):
+            fresh._load_shard(1)
+
+    def test_sharded_store_is_read_only(self, toy_graph, tmp_path):
+        migrated = migrate_v1_to_v2(
+            V1_FIXTURE, tmp_path / "v2", toy_graph, n_shards=2
+        )
+        with pytest.raises(ReproError, match="read-only"):
+            migrated.put(FieldTerm(("papers", "title"), "x"), [], {})
+
+
+class TestLaziness:
+    """Opening a v2 store must not read any shard file."""
+
+    def test_open_reads_manifest_only(self, toy_graph, tmp_path):
+        migrated = migrate_v1_to_v2(
+            V1_FIXTURE, tmp_path / "v2", toy_graph, n_shards=4
+        )
+        # reopen fresh, then delete every shard: the manifest alone
+        # must be enough to open and size the store
+        root = tmp_path / "copy"
+        shutil.copytree(migrated.root, root)
+        for meta in migrated._shard_meta:
+            (root / meta["file"]).unlink()
+        store = TermRelationStore.load(root, toy_graph)
+        assert len(store) == len(migrated)
+        assert store.cache_stats() == {
+            "hits": 0, "misses": 0, "resident_shards": 0
+        }
+
+    def test_lru_eviction_and_counters(self, toy_graph, tmp_path):
+        from repro.offline_store import ShardedTermRelationStore
+
+        migrate_v1_to_v2(V1_FIXTURE, tmp_path / "v2", toy_graph, n_shards=4)
+        store = ShardedTermRelationStore.load(
+            tmp_path / "v2", toy_graph, cache_shards=2
+        )
+        for index in (0, 1, 2, 3, 0):
+            store._load_shard(index)
+        stats = store.cache_stats()
+        assert stats["resident_shards"] == 2
+        assert stats["misses"] == 5  # shard 0 was evicted before its reuse
+        store._load_shard(3)
+        assert store.shard_hits == 1
+        assert 0 < store.hit_rate() < 1

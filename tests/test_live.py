@@ -89,3 +89,49 @@ class TestFreshness:
     def test_best_delegates(self, live):
         best = live.best(["probabilistic", "query"])
         assert best.score > 0
+
+
+class TestStoreBackedServing:
+    def test_relations_path_serves_from_store(self, tmp_path):
+        from repro.graph.tat import TATGraph
+        from repro.index.inverted import InvertedIndex
+        from repro.offline import OfflinePrecomputer, TermRelationStore
+
+        database = build_toy_database()
+        graph = TATGraph(database, InvertedIndex(database).build())
+        store = OfflinePrecomputer(graph, n_similar=8).build_store()
+        root = store.save_sharded(tmp_path / "v2", n_shards=4)
+
+        live = LiveReformulator(
+            database,
+            ReformulatorConfig(n_candidates=5),
+            relations=root,
+        )
+        backend = live.pipeline().similarity
+        assert isinstance(backend, TermRelationStore)
+        out = live.reformulate(["probabilistic", "query"], k=3)
+        assert out and all(s.score > 0 for s in out)
+
+    def test_rebuild_keeps_store_for_known_terms(self, tmp_path):
+        from repro.graph.tat import TATGraph
+        from repro.index.inverted import InvertedIndex
+        from repro.offline import OfflinePrecomputer
+
+        database = build_toy_database()
+        graph = TATGraph(database, InvertedIndex(database).build())
+        store = OfflinePrecomputer(graph, n_similar=8).build_store()
+        root = store.save_sharded(tmp_path / "v2", n_shards=4)
+
+        live = LiveReformulator(
+            database, ReformulatorConfig(n_candidates=5), relations=root
+        )
+        before = live.reformulate(["probabilistic", "query"], k=3)
+        version = live.version
+        live.insert("papers", {
+            "pid": 80, "title": "probabilistic stream processing",
+            "cid": 0, "year": 2013,
+        })
+        after = live.reformulate(["probabilistic", "query"], k=3)
+        assert live.version == version + 1  # pipeline rebuilt...
+        # ...but stored relations for the old vocabulary still serve
+        assert [s.text for s in after] == [s.text for s in before]

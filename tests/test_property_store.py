@@ -1,0 +1,154 @@
+"""Property-based tests for term keys and the relation stores.
+
+Hypothesis drives arbitrary term keys — pipes, backslashes, unicode —
+through the key codec and both serialization formats, and checks the
+structural invariants of the stored relation lists (truncation length,
+descending order).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.graph.closeness import ClosenessExtractor
+from repro.offline import (
+    OfflinePrecomputer,
+    TermRelationStore,
+    _parse_term_key,
+    _term_key,
+)
+from repro.offline_store import ShardedTermRelationStore, shard_of
+
+from tests.strategies import field_terms
+
+store_settings = settings(
+    deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+
+class TestTermKeyCodec:
+    @given(term=field_terms())
+    @store_settings
+    def test_roundtrip_any_term(self, term):
+        assert _parse_term_key(_term_key(term)) == term
+
+    @given(a=field_terms(), b=field_terms())
+    @store_settings
+    def test_injective(self, a, b):
+        # distinct terms never collide on their serialized key
+        if a != b:
+            assert _term_key(a) != _term_key(b)
+
+    def test_legacy_unescaped_key_still_parses(self):
+        # v1 files wrote text raw; the historical split-at-first-two-pipes
+        # reading must survive for them
+        parsed = _parse_term_key("papers|title|a|b|c")
+        assert parsed.field == ("papers", "title")
+        assert parsed.text == "a|b|c"
+
+    def test_malformed_key_raises(self):
+        with pytest.raises(ReproError):
+            _parse_term_key("just-one-part")
+
+
+class TestShardAssignment:
+    @given(term=field_terms(), n=st.integers(min_value=1, max_value=64))
+    @store_settings
+    def test_in_range_and_stable(self, term, n):
+        key = _term_key(term)
+        index = shard_of(key, n)
+        assert 0 <= index < n
+        assert shard_of(key, n) == index
+
+
+@st.composite
+def relation_stores(draw):
+    """(terms, similar lists, closeness rows) for an arbitrary store."""
+    terms = draw(
+        st.lists(field_terms(), min_size=1, max_size=6, unique=True)
+    )
+    score = st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+    )
+    rows = []
+    for term in terms:
+        others = draw(
+            st.lists(field_terms(), min_size=0, max_size=4, unique=True)
+        )
+        similar = [(other, draw(score)) for other in others]
+        closeness = {other: draw(score) for other in others}
+        rows.append((term, similar, closeness))
+    return rows
+
+
+def _populate(graph, rows):
+    store = TermRelationStore(graph)
+    for term, similar, closeness in rows:
+        store.put(term, similar, closeness)
+    return store
+
+
+class TestStoreRoundtrip:
+    @given(rows=relation_stores())
+    @store_settings
+    def test_v1_roundtrip_identity(self, toy_graph, tmp_path_factory, rows):
+        store = _populate(toy_graph, rows)
+        path = tmp_path_factory.mktemp("prop") / "store.json"
+        store.save(path)
+        loaded = TermRelationStore.load(path, toy_graph)
+        assert loaded._relations == store._relations
+
+    @given(rows=relation_stores(), n_shards=st.integers(min_value=1, max_value=9))
+    @store_settings
+    def test_v2_roundtrip_identity(
+        self, toy_graph, tmp_path_factory, rows, n_shards
+    ):
+        store = _populate(toy_graph, rows)
+        root = store.save_sharded(
+            tmp_path_factory.mktemp("prop") / "v2", n_shards=n_shards
+        )
+        loaded = TermRelationStore.load(root, toy_graph)
+        assert isinstance(loaded, ShardedTermRelationStore)
+        assert len(loaded) == len(store)
+        assert dict(loaded._items()) == store._relations
+        # every term resolves through the lazy single-shard path too
+        for term, _similar, _closeness in rows:
+            assert term in loaded
+
+    @given(rows=relation_stores())
+    @store_settings
+    def test_terms_survive_both_formats(
+        self, toy_graph, tmp_path_factory, rows
+    ):
+        store = _populate(toy_graph, rows)
+        tmp = tmp_path_factory.mktemp("prop")
+        store.save(tmp / "v1.json")
+        store.save_sharded(tmp / "v2", n_shards=4)
+        expected = sorted(map(repr, store.terms()))
+        v1 = TermRelationStore.load(tmp / "v1.json", toy_graph)
+        v2 = TermRelationStore.load(tmp / "v2", toy_graph)
+        assert sorted(map(repr, v1.terms())) == expected
+        assert sorted(map(repr, v2.terms())) == expected
+
+
+class TestTruncationInvariants:
+    @pytest.mark.parametrize("n_similar,closeness_top", [(1, 1), (3, 5), (50, 500)])
+    def test_lists_truncated_and_descending(
+        self, toy_graph, n_similar, closeness_top
+    ):
+        precomputer = OfflinePrecomputer(
+            toy_graph,
+            closeness=ClosenessExtractor(toy_graph, beam_width=None),
+            n_similar=n_similar,
+            closeness_top=closeness_top,
+        )
+        store = precomputer.build_store(batch_size=16)
+        assert len(store) > 0
+        for key in store._keys():
+            relations = store._get(key)
+            scores = [s for _, s in relations.similar]
+            assert len(scores) <= n_similar
+            assert scores == sorted(scores, reverse=True)
+            assert len(relations.closeness) <= closeness_top
+            assert all(v > 0 for v in relations.closeness.values())
