@@ -13,6 +13,12 @@ synthetic DBLP corpus, with equivalent stored relations.
 
 Measured on the 1-core container (400-paper corpus): seed ~8.8 ms/term,
 batched ~1.8 ms/term — about 4.8x.  Numbers recorded in EXPERIMENTS.md.
+
+Script mode (used by the CI smoke job) runs just the batched build with
+tracing enabled and dumps the observability registry as JSON::
+
+    PYTHONPATH=src python benchmarks/bench_batch_precompute.py \
+        --smoke --metrics-out BENCH_precompute_metrics.json
 """
 
 import time
@@ -117,3 +123,71 @@ def test_batched_precompute_speedup(benchmark, small_context):
     assert stats.max_residual < 1e-10
     # the acceptance bar of the rework
     assert speedup >= 3.0
+
+
+def run_smoke(metrics_out: str, scale: str = "small") -> int:
+    """Batched build with tracing on; metrics JSON written to *metrics_out*.
+
+    The CI smoke job runs this to prove the instrumented offline stage
+    end to end (spans + repro_offline_* series) and uploads the JSON
+    export as a workflow artifact.
+    """
+    from repro import obs
+    from repro.experiments import build_context
+    from repro.obs.export import registry_to_json, render_span_tree
+
+    obs.reset()
+    with obs.enabled():
+        graph = build_context(scale=scale, seed=7).graph
+        start = time.perf_counter()
+        store, stats = _batched_build(graph)
+        seconds = time.perf_counter() - start
+        root = obs.tracer().last_root()
+
+    print(f"smoke: {len(store)} terms in {seconds:.2f} s "
+          f"({stats.terms_per_second:.0f} terms/s, "
+          f"max residual {stats.max_residual:.2e})")
+    if root is not None:
+        print(render_span_tree(root))
+    with open(metrics_out, "w", encoding="utf-8") as handle:
+        handle.write(registry_to_json(obs.registry()))
+    print(f"wrote metrics export to {metrics_out}")
+
+    registry = obs.registry()
+    ok = (
+        registry.get("repro_offline_terms_total") is not None
+        and registry.get("repro_offline_terms_total").value == len(store)
+        and registry.get("repro_offline_batches_total").value
+        == stats.n_batches
+        and root is not None
+        and root.name == "precompute.build_store"
+    )
+    obs.reset()
+    return 0 if ok else 1
+
+
+def main() -> int:
+    """Script entry point: ``--smoke`` plus export/scale knobs."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the traced batched build only (no seed comparison)",
+    )
+    parser.add_argument(
+        "--metrics-out", default="BENCH_precompute_metrics.json",
+        help="where to write the JSON metrics export",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=("small", "medium", "large"),
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("script mode currently only implements --smoke; "
+                     "run the full comparison through pytest")
+    return run_smoke(args.metrics_out, scale=args.scale)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

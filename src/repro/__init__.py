@@ -23,11 +23,15 @@ Quickstart::
         print(f"{query.score:.2e}  {query.text}")
 """
 
+from repro import obs
 from repro.core import (
+    ExplainResult,
+    PositionBreakdown,
     Reformulator,
     ReformulatorConfig,
     ReformulationHMM,
     ScoredQuery,
+    SuggestionExplanation,
     astar_topk,
     brute_force_topk,
     viterbi_top1,
@@ -73,10 +77,14 @@ from repro.storage.triples import Literal, TripleStore
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Reformulator",
     "ReformulatorConfig",
     "ReformulationHMM",
     "ScoredQuery",
+    "ExplainResult",
+    "PositionBreakdown",
+    "SuggestionExplanation",
     "astar_topk",
     "brute_force_topk",
     "viterbi_top1",

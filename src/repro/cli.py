@@ -13,18 +13,30 @@ One entry point with subcommands covering the full lifecycle::
     python -m repro.cli store migrate --data corpus/ --src relations.json --dest store/
     python -m repro.cli store info --data corpus/ --store store/
     python -m repro.cli reformulate --data corpus/ --relations store/ probabilistic query
+    python -m repro.cli explain --data corpus/ probabilistic query
+    python -m repro.cli --verbose precompute --data corpus/ --out store/ --trace
+    python -m repro.cli stats --format prometheus
 
 ``--data`` is a directory holding ``schema.json`` + per-table CSVs (any
 schema, not just the bibliographic one); ``synth`` writes such a
 directory from the generator.
+
+Result payloads (suggestions, search trees, exports) are printed to the
+*out* stream; progress and bookkeeping diagnostics go through
+:mod:`logging` (logger ``repro.*``) with a handler on the same stream,
+so ``--quiet`` silences them and ``--verbose`` adds debug detail without
+disturbing anything that parses the payload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core.reformulator import Reformulator, ReformulatorConfig
 from repro.data.dblp_synth import SynthConfig, synthesize_dblp
 from repro.errors import ReproError
@@ -37,6 +49,11 @@ from repro.storage.database import Database
 from repro.storage.schemaspec import load_database, save_database
 from repro.storage.tuplegraph import TupleGraph
 
+# Fixed name (not __name__): under ``python -m repro.cli`` this module is
+# "__main__", which would fall outside the "repro" logger that main()
+# attaches the diagnostics handler to.
+logger = logging.getLogger("repro.cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with every subcommand."""
@@ -44,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Keyword query reformulation on structured data "
                     "(ICDE 2012 reproduction)",
+    )
+    volume = parser.add_mutually_exclusive_group()
+    volume.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show debug-level diagnostics",
+    )
+    volume.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress and bookkeeping diagnostics",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -77,6 +103,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--relations", default=None,
         help="precomputed term-relation store to serve from "
              "(v1 JSON file or v2 shard directory)",
+    )
+    reformulate.add_argument(
+        "--trace", action="store_true",
+        help="record spans/metrics for this run and print the span tree",
+    )
+    reformulate.add_argument(
+        "--metrics-out", default=None,
+        help="write a JSON metrics-registry export to this file",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="reformulate plus a span trace and per-position score "
+             "decomposition of every suggestion",
+    )
+    add_data(explain)
+    explain.add_argument("keywords", nargs="+")
+    explain.add_argument("-k", type=int, default=5)
+    explain.add_argument(
+        "--method", choices=("tat", "cooccurrence", "rank"), default="tat"
+    )
+    explain.add_argument(
+        "--algorithm", choices=("astar", "viterbi_topk", "brute_force"),
+        default="astar",
+    )
+    explain.add_argument("--candidates", type=int, default=15)
+    explain.add_argument(
+        "--relations", default=None,
+        help="precomputed term-relation store to serve from",
     )
 
     similar = sub.add_parser("similar", help="similar terms of one keyword")
@@ -125,6 +180,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress-every", type=int, default=0,
         help="print progress every N terms (0 = silent)",
     )
+    precompute.add_argument(
+        "--trace", action="store_true",
+        help="print the offline stage's span tree after the run",
+    )
+    precompute.add_argument(
+        "--metrics-out", default=None,
+        help="write a JSON metrics-registry export to this file",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="export the in-process observability metrics"
+    )
+    stats.add_argument(
+        "--format", choices=("json", "prometheus"), default="json"
+    )
+    stats.add_argument(
+        "--from-json", default=None,
+        help="re-export a JSON snapshot written by --metrics-out instead "
+             "of the live in-process registry",
+    )
 
     store = sub.add_parser("store", help="inspect or migrate relation stores")
     store_sub = store.add_subparsers(dest="store_command", required=True)
@@ -152,6 +227,20 @@ def _load(args) -> Database:
     return load_database(args.data)
 
 
+def _print_trace(out) -> None:
+    """Render the most recent root span to *out* (no-op without one)."""
+    root = obs.tracer().last_root()
+    if root is not None:
+        print(obs.export.render_span_tree(root).rstrip("\n"), file=out)
+
+
+def _write_metrics(path: str) -> None:
+    """Dump the global metrics registry as JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(obs.export.registry_to_json(obs.registry()))
+    logger.info("wrote metrics export to %s", path)
+
+
 def cmd_synth(args, out) -> int:
     """``synth``: generate a corpus and write schema.json + CSVs."""
     corpus = synthesize_dblp(SynthConfig(
@@ -161,7 +250,7 @@ def cmd_synth(args, out) -> int:
         seed=args.seed,
     ))
     save_database(corpus.database, args.out)
-    print(f"wrote corpus to {args.out}", file=out)
+    logger.info("wrote corpus to %s", args.out)
     print(corpus.database.describe(), file=out)
     return 0
 
@@ -176,30 +265,63 @@ def cmd_describe(args, out) -> int:
     return 0
 
 
-def cmd_reformulate(args, out) -> int:
-    """``reformulate``: print top-k substitutive queries."""
-    database = _load(args)
+def _build_reformulator(args, database: Database) -> Reformulator:
+    """Shared pipeline construction for reformulate/explain."""
     graph = TATGraph(database, InvertedIndex(database))
     config = ReformulatorConfig(
         method=args.method, n_candidates=args.candidates
     )
     if args.relations:
         store = TermRelationStore.load(args.relations, graph)
-        reformulator = Reformulator(
-            graph, config, similarity=store, closeness=store
-        )
-    else:
-        reformulator = Reformulator(graph, config)
+        return Reformulator(graph, config, similarity=store, closeness=store)
+    return Reformulator(graph, config)
+
+
+def cmd_reformulate(args, out) -> int:
+    """``reformulate``: print top-k substitutive queries."""
+    reformulator = _build_reformulator(args, _load(args))
     # Segment against the corpus vocabulary so multi-word names survive:
     # `reformulate --data d christian s. jensen spatial` is one name +
     # one word, not four keywords.
     raw_query = " ".join(args.keywords).lower()
     parsed = reformulator.parser.parse(raw_query)
     print(f"input: {' | '.join(parsed.keywords)}", file=out)
-    for suggestion in reformulator.reformulate(
-        list(parsed.keywords), k=args.k
-    ):
-        print(f"  {suggestion.score:.3e}  {suggestion.text}", file=out)
+    with obs.enabled(args.trace or obs.is_enabled()):
+        for suggestion in reformulator.reformulate(
+            list(parsed.keywords), k=args.k
+        ):
+            print(f"  {suggestion.score:.3e}  {suggestion.text}", file=out)
+        if args.trace:
+            _print_trace(out)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    """``explain``: trace one reformulation and decompose every score."""
+    reformulator = _build_reformulator(args, _load(args))
+    result = reformulator.explain(
+        " ".join(args.keywords).lower(), k=args.k, algorithm=args.algorithm
+    )
+    print(result.render(), file=out)
+    return 0
+
+
+def cmd_stats(args, out) -> int:
+    """``stats``: export metrics as JSON or Prometheus text format."""
+    if args.from_json:
+        try:
+            with open(args.from_json, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read snapshot {args.from_json}: {exc}")
+    else:
+        snapshot = obs.export.registry_to_dict(obs.registry())
+    if args.format == "prometheus":
+        print(obs.export.prometheus_from_dict(snapshot).rstrip("\n"), file=out)
+    else:
+        print(json.dumps(snapshot, indent=2), file=out)
     return 0
 
 
@@ -262,15 +384,18 @@ def cmd_precompute(args, out) -> int:
         nonlocal last_reported
         every = args.progress_every
         if every and done // every > last_reported // every:
-            print(f"precomputed {done}/{total} terms", file=out)
+            logger.info("precomputed %d/%d terms", done, total)
             last_reported = done
 
-    store = precomputer.build_store(
-        batch_size=args.batch_size,
-        workers=args.workers,
-        walk_method=args.walk_method,
-        progress=report,
-    )
+    with obs.enabled(args.trace or obs.is_enabled()):
+        store = precomputer.build_store(
+            batch_size=args.batch_size,
+            workers=args.workers,
+            walk_method=args.walk_method,
+            progress=report,
+        )
+        if args.trace:
+            _print_trace(out)
     stats = precomputer.stats
     if args.shards > 0:
         store.save_sharded(
@@ -289,12 +414,13 @@ def cmd_precompute(args, out) -> int:
     else:
         store.save(args.out)
         layout = "v1 single file"
-    print(
-        f"precomputed {len(store)} terms -> {args.out} ({layout}, "
-        f"{stats.terms_per_second:.0f} terms/s, "
-        f"max residual {stats.max_residual:.2e})",
-        file=out,
+    logger.info(
+        "precomputed %d terms -> %s (%s, %.0f terms/s, max residual %.2e)",
+        len(store), args.out, layout,
+        stats.terms_per_second, stats.max_residual,
     )
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     return 0
 
 
@@ -308,10 +434,9 @@ def cmd_store(args, out) -> int:
         migrated = migrate_v1_to_v2(
             args.src, args.dest, graph, n_shards=args.shards
         )
-        print(
-            f"migrated {len(migrated)} terms: {args.src} -> "
-            f"{args.dest} ({migrated.n_shards} shards)",
-            file=out,
+        logger.info(
+            "migrated %d terms: %s -> %s (%d shards)",
+            len(migrated), args.src, args.dest, migrated.n_shards,
         )
         return 0
     store = TermRelationStore.load(args.store, graph)
@@ -328,24 +453,50 @@ COMMANDS = {
     "synth": cmd_synth,
     "describe": cmd_describe,
     "reformulate": cmd_reformulate,
+    "explain": cmd_explain,
     "similar": cmd_similar,
     "close": cmd_close,
     "search": cmd_search,
     "precompute": cmd_precompute,
+    "stats": cmd_stats,
     "store": cmd_store,
 }
 
 
+def _diagnostics_level(args) -> int:
+    """Logging threshold implied by --verbose/--quiet."""
+    if args.quiet:
+        return logging.WARNING
+    if args.verbose:
+        return logging.DEBUG
+    return logging.INFO
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Diagnostics from any ``repro.*`` logger are routed to the same *out*
+    stream as the result payload for the duration of the call (and only
+    for the duration — the handler and previous level are restored on
+    exit, so embedding callers keep their own logging configuration).
+    """
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    package_logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(out)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    previous_level = package_logger.level
+    package_logger.addHandler(handler)
+    package_logger.setLevel(_diagnostics_level(args))
     try:
         return COMMANDS[args.command](args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        package_logger.removeHandler(handler)
+        package_logger.setLevel(previous_level)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,13 @@ from repro.core.diversify import (
     mmr_diversify,
 )
 from repro.core.enumeration import RankBasedReformulator, brute_force_topk
+from repro.core.explain import (
+    ExplainResult,
+    PositionBreakdown,
+    SuggestionExplanation,
+    explain_hmm_path,
+    explain_rank_path,
+)
 from repro.core.queryparse import ParsedQuery, QueryParser
 from repro.core.hmm import IndexFrequency, ReformulationHMM
 from repro.core.reformulator import (
@@ -48,6 +55,11 @@ __all__ = [
     "QueryParser",
     "RankBasedReformulator",
     "brute_force_topk",
+    "ExplainResult",
+    "PositionBreakdown",
+    "SuggestionExplanation",
+    "explain_hmm_path",
+    "explain_rank_path",
     "IndexFrequency",
     "ReformulationHMM",
     "ALGORITHMS",

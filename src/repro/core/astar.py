@@ -43,6 +43,8 @@ class AStarOutcome:
     viterbi_seconds: float
     astar_seconds: float
     expanded: int  # number of partial paths popped from IP
+    pushed: int = 0  # partial paths ever pushed onto IP
+    pruned: int = 0  # zero-potential extensions dropped without a push
 
     @property
     def total_seconds(self) -> float:
@@ -76,10 +78,13 @@ def astar_topk(hmm: ReformulationHMM, k: int) -> AStarOutcome:
     # away from the path tuples.
     counter = itertools.count()
     ip: List[Tuple[float, int, float, Tuple[int, ...]]] = []
+    pushed = 0
+    pruned = 0
     for i in range(hmm.n_states(0)):
         g = float(hmm.pi[i] * hmm.emissions[0][i])
         priority = g * float(h[0][i])
         heapq.heappush(ip, (-priority, next(counter), g, (i,)))
+        pushed += 1
 
     complete: List[ScoredQuery] = []
     expanded = 0
@@ -103,8 +108,10 @@ def astar_topk(hmm: ReformulationHMM, k: int) -> AStarOutcome:
             if priority <= 0 and len(complete) + len(ip) >= k:
                 # zero-potential extensions can never beat anything; keep
                 # them only if we might otherwise run out of paths.
+                pruned += 1
                 continue
             heapq.heappush(ip, (-priority, next(counter), g_next, path + (j,)))
+            pushed += 1
     t2 = time.perf_counter()
 
     complete.sort(key=lambda q: (-q.score, q.state_path))
@@ -113,4 +120,6 @@ def astar_topk(hmm: ReformulationHMM, k: int) -> AStarOutcome:
         viterbi_seconds=t1 - t0,
         astar_seconds=t2 - t1,
         expanded=expanded,
+        pushed=pushed,
+        pruned=pruned,
     )

@@ -24,16 +24,24 @@ experimental arms:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.core.astar import AStarOutcome, astar_topk
 from repro.core.candidates import CandidateListBuilder, CandidateState
 from repro.core.enumeration import RankBasedReformulator, brute_force_topk
+from repro.core.explain import (
+    ExplainResult,
+    explain_hmm_path,
+    explain_rank_path,
+)
 from repro.core.hmm import IndexFrequency, ReformulationHMM
 from repro.core.scoring import ScoredQuery
 from repro.core.viterbi import viterbi_top1, viterbi_topk
 from repro.errors import ReformulationError
+from repro.obs.trace import Tracer
 from repro.graph.closeness import ClosenessExtractor
 from repro.graph.cooccurrence import CooccurrenceSimilarity
 from repro.graph.similarity import SimilarityExtractor
@@ -161,26 +169,186 @@ class Reformulator:
         keywords: Sequence[str],
         k: int = 10,
         algorithm: str = "astar",
+        explain: bool = False,
+    ) -> Union[List[ScoredQuery], ExplainResult]:
+        """Top-k reformulated queries for *keywords*, best first.
+
+        With ``explain=True`` the return value is an
+        :class:`~repro.core.explain.ExplainResult`: the same suggestions
+        plus a per-position score decomposition (Eq 7-10 factors) and
+        the request's span tree, recorded regardless of the global
+        observability switch.
+        """
+        if explain:
+            return self.explain(keywords, k=k, algorithm=algorithm)
+        enabled = obs.is_enabled()
+        start = time.perf_counter() if enabled else 0.0
+        with obs.span(
+            "reformulate",
+            method=self.config.method,
+            algorithm=algorithm,
+            k=k,
+        ) as root:
+            out = self._run(list(keywords), k, algorithm, obs.span, None)
+            root.set_attribute("n_suggestions", len(out))
+        if enabled:
+            registry = obs.registry()
+            registry.counter(
+                "repro_reformulate_requests_total",
+                "Reformulation requests served",
+                method=self.config.method,
+                algorithm=algorithm,
+            ).inc()
+            registry.histogram(
+                "repro_reformulate_seconds",
+                "End-to-end reformulate latency",
+            ).observe(time.perf_counter() - start)
+        return out
+
+    def explain(
+        self,
+        query: Union[str, Sequence[str]],
+        k: int = 10,
+        algorithm: str = "astar",
+    ) -> ExplainResult:
+        """Reformulate with a full trace and score decomposition.
+
+        *query* may be a raw string (segmented against the corpus
+        vocabulary, like :meth:`reformulate_text`) or a pre-tokenized
+        keyword sequence.  A dedicated tracer records the span tree even
+        when the global observability switch is off, so explain mode is
+        always available as a paper-reproduction debugging tool.
+        """
+        tracer = Tracer()
+        detail: Dict[str, object] = {}
+        with tracer.span(
+            "reformulate",
+            method=self.config.method,
+            algorithm=algorithm,
+            k=k,
+            explain=True,
+        ) as root:
+            with tracer.span("parse") as sp:
+                if isinstance(query, str):
+                    parsed = self.parser.parse(query)
+                    keywords = list(parsed.keywords)
+                    sp.set_attribute("raw", query)
+                else:
+                    keywords = list(query)
+                    sp.set_attribute("pre_tokenized", True)
+                sp.set_attribute("keywords", list(keywords))
+            if not keywords:
+                raise ReformulationError(f"query {query!r} has no keywords")
+            suggestions = self._run(
+                keywords, k, algorithm, tracer.span, detail
+            )
+            root.set_attribute("n_suggestions", len(suggestions))
+        if "hmm" in detail:
+            hmm: ReformulationHMM = detail["hmm"]  # type: ignore[assignment]
+            explanations = [
+                explain_hmm_path(hmm, suggestion)
+                for suggestion in suggestions
+            ]
+        else:
+            ranker: RankBasedReformulator = detail["rank"]  # type: ignore[assignment]
+            explanations = [
+                explain_rank_path(ranker.sorted_states, keywords, suggestion)
+                for suggestion in suggestions
+            ]
+        return ExplainResult(
+            query=tuple(keywords),
+            suggestions=suggestions,
+            explanations=explanations,
+            trace=root,
+            algorithm=algorithm if self.config.method != "rank" else "rank",
+            method=self.config.method,
+        )
+
+    def _run(
+        self,
+        keywords: List[str],
+        k: int,
+        algorithm: str,
+        span_fn,
+        detail: Optional[Dict[str, object]],
     ) -> List[ScoredQuery]:
-        """Top-k reformulated queries for *keywords*, best first."""
+        """Shared instrumented pipeline behind reformulate/explain.
+
+        *span_fn* is either the gated :func:`repro.obs.span` (normal
+        serving: no-ops when the switch is off) or a dedicated tracer's
+        ``span`` (explain mode: always recording).  *detail*, when given,
+        receives the HMM (or rank combiner) for score decomposition.
+        """
         if algorithm not in ALGORITHMS:
             raise ReformulationError(
                 f"unknown algorithm {algorithm!r}, expected one of {ALGORITHMS}"
             )
-        if self.config.method == "rank":
-            states = self.candidates.build(list(keywords))
-            raw = RankBasedReformulator(states).topk(k + self._slack(keywords))
-            return self._postprocess(keywords, raw, k)
+        enabled = obs.is_enabled()
+        with span_fn("candidates", n=self.config.n_candidates) as sp:
+            states = self.candidates.build(keywords)
+            sizes = [len(lst) for lst in states]
+            sp.set_attribute("sizes", sizes)
+        if enabled:
+            size_hist = obs.registry().histogram(
+                "repro_candidates_per_position",
+                "Candidate-list length per query position",
+                buckets=[1, 2, 4, 8, 16, 32, 64, 128],
+            )
+            for size in sizes:
+                size_hist.observe(size)
 
-        hmm = self.build_hmm(keywords)
         want = k + self._slack(keywords)
-        if algorithm == "astar":
-            raw = astar_topk(hmm, want).queries
-        elif algorithm == "viterbi_topk":
-            raw = viterbi_topk(hmm, want)
+        if self.config.method == "rank":
+            with span_fn("decode", algorithm="rank") as sp:
+                ranker = RankBasedReformulator(states)
+                raw = ranker.topk(want)
+                sp.set_attribute("raw_results", len(raw))
+            if detail is not None:
+                detail["rank"] = ranker
         else:
-            raw = brute_force_topk(hmm, want)
-        return self._postprocess(keywords, raw, k)
+            with span_fn("hmm_build") as sp:
+                hmm = ReformulationHMM.build(
+                    query=keywords,
+                    states=states,
+                    closeness=self.closeness,
+                    frequency=self.frequency,
+                    smoothing_lambda=self.config.smoothing_lambda,
+                )
+                sp.set_attribute("length", hmm.length)
+                sp.set_attribute("search_space", hmm.search_space)
+            with span_fn("decode", algorithm=algorithm) as sp:
+                if algorithm == "astar":
+                    outcome = astar_topk(hmm, want)
+                    raw = outcome.queries
+                    sp.set_attribute("expanded", outcome.expanded)
+                    sp.set_attribute("pushed", outcome.pushed)
+                    sp.set_attribute("pruned", outcome.pruned)
+                    if enabled:
+                        registry = obs.registry()
+                        registry.counter(
+                            "repro_astar_expanded_total",
+                            "A* partial paths popped from IP",
+                        ).inc(outcome.expanded)
+                        registry.counter(
+                            "repro_astar_pushed_total",
+                            "A* partial paths pushed onto IP",
+                        ).inc(outcome.pushed)
+                        registry.counter(
+                            "repro_astar_pruned_total",
+                            "A* zero-potential extensions dropped",
+                        ).inc(outcome.pruned)
+                elif algorithm == "viterbi_topk":
+                    raw = viterbi_topk(hmm, want)
+                else:
+                    raw = brute_force_topk(hmm, want)
+                sp.set_attribute("raw_results", len(raw))
+            if detail is not None:
+                detail["hmm"] = hmm
+
+        with span_fn("postprocess") as sp:
+            out = self._postprocess(keywords, raw, k)
+            sp.set_attribute("kept", len(out))
+        return out
 
     def reformulate_text(
         self, raw_query: str, k: int = 10, algorithm: str = "astar"
@@ -192,7 +360,10 @@ class Reformulator:
         keywords — "spatio temporal christian s. jensen" parses into
         ["spatio", "temporal", "christian s. jensen"].
         """
-        parsed = self.parser.parse(raw_query)
+        with obs.span("parse") as sp:
+            parsed = self.parser.parse(raw_query)
+            sp.set_attribute("raw", raw_query)
+            sp.set_attribute("keywords", list(parsed.keywords))
         if not parsed.keywords:
             raise ReformulationError(f"query {raw_query!r} has no keywords")
         return self.reformulate(list(parsed.keywords), k=k, algorithm=algorithm)

@@ -16,27 +16,48 @@ from repro.errors import ReproError
 T = TypeVar("T")
 
 
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of an ascending-sorted sample list."""
+    if not 0.0 <= q <= 1.0:
+        raise ReproError("quantile must be within [0, 1]")
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
 @dataclass(frozen=True)
 class TimingStats:
-    """Summary statistics of one measured group (seconds)."""
+    """Summary statistics of one measured group (seconds).
+
+    ``median`` and ``p95`` are linear-interpolated quantiles of the
+    sample list — with few repeats p95 leans on the slowest sample, which
+    is the honest reading for tail-latency reporting.
+    """
 
     count: int
     mean: float
     minimum: float
     maximum: float
     total: float
+    median: float = 0.0
+    p95: float = 0.0
 
     @staticmethod
     def from_samples(samples: Sequence[float]) -> "TimingStats":
         """Summarize a non-empty list of second-samples."""
         if not samples:
             raise ReproError("no timing samples")
+        ordered = sorted(samples)
         return TimingStats(
             count=len(samples),
             mean=sum(samples) / len(samples),
-            minimum=min(samples),
-            maximum=max(samples),
+            minimum=ordered[0],
+            maximum=ordered[-1],
             total=sum(samples),
+            median=_quantile(ordered, 0.5),
+            p95=_quantile(ordered, 0.95),
         )
 
 

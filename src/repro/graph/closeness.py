@@ -34,9 +34,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphError
 from repro.graph.nodes import NodeKind
 from repro.graph.tat import TATGraph
+
+#: Bucket bounds for the frontier-size histogram — frontiers range from a
+#: handful of nodes at depth 1 to beam_width (default 2000) after pruning.
+_FRONTIER_BUCKETS = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0]
 
 PATH_WEIGHTINGS = ("degree", "count")
 
@@ -124,7 +129,18 @@ class ClosenessExtractor:
         levels: List[Tuple[np.ndarray, int, np.ndarray]] = []
         frontier_ids = np.array([source], dtype=np.int64)
         frontier_mass = np.array([1.0])
+        frontier_hist = (
+            obs.registry().histogram(
+                "repro_closeness_frontier_size",
+                "BFS frontier size per depth level in ClosenessExtractor",
+                buckets=_FRONTIER_BUCKETS,
+            )
+            if obs.is_enabled()
+            else None
+        )
         for depth in range(1, self.max_depth + 1):
+            if frontier_hist is not None:
+                frontier_hist.observe(frontier_ids.size)
             if (
                 self.beam_width is not None
                 and frontier_ids.size > self.beam_width

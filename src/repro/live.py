@@ -14,8 +14,10 @@ happened.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core.reformulator import Reformulator, ReformulatorConfig
 from repro.core.scoring import ScoredQuery
 from repro.errors import ReproError
@@ -58,6 +60,12 @@ class LiveReformulator:
         self._pipeline: Optional[Reformulator] = None
         self._version = 0
         self._dirty = True
+        # Relation stores loaded from disk, keyed on path: the store data
+        # is keyed on term strings and independent of any one graph, so a
+        # rebuild only needs to rebind the store to the fresh graph rather
+        # than re-reading (and re-checksumming) the files.
+        self._store_cache: Dict[str, "TermRelationStore"] = {}
+        self._mutations_since_build = 0
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -67,6 +75,7 @@ class LiveReformulator:
         """Insert a row and mark the derived structures stale."""
         ref = self.database.insert(table_name, row)
         self._dirty = True
+        self._mutations_since_build += 1
         return ref
 
     def insert_many(self, table_name: str, rows: List[Row]) -> int:
@@ -74,10 +83,22 @@ class LiveReformulator:
         count = self.database.insert_many(table_name, rows)
         if count:
             self._dirty = True
+            self._mutations_since_build += count
         return count
 
     def invalidate(self) -> None:
         """Mark stale after out-of-band database mutations."""
+        self._dirty = True
+        self._mutations_since_build += 1
+
+    def reload_relations(self) -> None:
+        """Drop the cached relation store so the next rebuild re-reads it.
+
+        Use after the offline stage rewrote the store files in place —
+        the path-keyed cache in :meth:`pipeline` would otherwise keep
+        serving the previously loaded contents.
+        """
+        self._store_cache.clear()
         self._dirty = True
 
     # ------------------------------------------------------------------ #
@@ -97,25 +118,50 @@ class LiveReformulator:
     def pipeline(self) -> Reformulator:
         """The current pipeline, rebuilt if the database changed."""
         if self._dirty or self._pipeline is None:
-            if self.relations is None:
-                self._pipeline = Reformulator.from_database(
-                    self.database, self.config, analyzer=self.analyzer
-                )
-            else:
-                from repro.graph.tat import TATGraph
-                from repro.index.inverted import InvertedIndex
-                from repro.offline import TermRelationStore
+            start = time.perf_counter()
+            with obs.span(
+                "live.rebuild",
+                version=self._version + 1,
+                mutations=self._mutations_since_build,
+            ):
+                if self.relations is None:
+                    self._pipeline = Reformulator.from_database(
+                        self.database, self.config, analyzer=self.analyzer
+                    )
+                else:
+                    from repro.graph.tat import TATGraph
+                    from repro.index.inverted import InvertedIndex
+                    from repro.offline import TermRelationStore
 
-                index = InvertedIndex(
-                    self.database, analyzer=self.analyzer
-                ).build()
-                graph = TATGraph(self.database, index)
-                store = TermRelationStore.load(self.relations, graph)
-                self._pipeline = Reformulator(
-                    graph, self.config, similarity=store, closeness=store
-                )
+                    index = InvertedIndex(
+                        self.database, analyzer=self.analyzer
+                    ).build()
+                    graph = TATGraph(self.database, index)
+                    key = str(self.relations)
+                    store = self._store_cache.get(key)
+                    if store is None:
+                        store = TermRelationStore.load(self.relations, graph)
+                        self._store_cache[key] = store
+                    else:
+                        # store contents are term-keyed and graph-agnostic;
+                        # only the node-id resolver needs the fresh graph
+                        store.graph = graph
+                    self._pipeline = Reformulator(
+                        graph, self.config, similarity=store, closeness=store
+                    )
             self._version += 1
             self._dirty = False
+            self._mutations_since_build = 0
+            if obs.is_enabled():
+                registry = obs.registry()
+                registry.counter(
+                    "repro_live_rebuilds_total",
+                    "LiveReformulator pipeline rebuilds",
+                ).inc()
+                registry.histogram(
+                    "repro_live_rebuild_seconds",
+                    "Wall-clock seconds per pipeline rebuild",
+                ).observe(time.perf_counter() - start)
         return self._pipeline
 
     # ------------------------------------------------------------------ #
@@ -126,6 +172,11 @@ class LiveReformulator:
         self, keywords: Sequence[str], k: int = 10, algorithm: str = "astar"
     ) -> List[ScoredQuery]:
         """Top-k suggestions over the (possibly rebuilt) pipeline."""
+        if obs.is_enabled():
+            obs.registry().gauge(
+                "repro_live_staleness_at_query",
+                "Mutations pending against the pipeline when a query arrived",
+            ).set(self._mutations_since_build)
         return self.pipeline().reformulate(keywords, k=k, algorithm=algorithm)
 
     def similar_terms(self, text: str, top_n: int = 10):

@@ -1,0 +1,157 @@
+"""Pipeline-wide observability: metrics, spans, exporters, one switch.
+
+The subsystem has three parts:
+
+* :mod:`repro.obs.metrics` — counters, gauges, exponential-bucket
+  histograms, and the :class:`MetricsRegistry` that owns them;
+* :mod:`repro.obs.trace` — nestable context-manager :class:`Span`\\ s
+  with attributes and ``perf_counter`` timing, handed out by a
+  thread-local :class:`Tracer`;
+* :mod:`repro.obs.export` — JSON, Prometheus text format, and
+  human-readable span-tree renderings.
+
+Everything hangs off one **module-level switch**.  Instrumented hot
+paths call the gated accessors below (:func:`span`, :func:`counter`,
+:func:`gauge`, :func:`histogram`); while the switch is off those return
+shared no-op objects, so a disabled pipeline pays a single boolean check
+per instrumentation point::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("reformulate", k=5) as sp:
+        sp.set_attribute("n_suggestions", 5)
+    print(obs.export.registry_to_prometheus(obs.registry()))
+
+The *offline* stage records through :func:`registry` unconditionally —
+a whole-vocabulary precompute runs for seconds, so its per-batch counter
+updates are free, and keeping them always-on is what lets
+:class:`~repro.offline.PrecomputeStats` stay a plain snapshot of the
+same numbers the registry exports.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import export
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_METRIC,
+    NoopMetric,
+    exponential_buckets,
+)
+from repro.obs.trace import NOOP_SPAN, NoopSpan, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetric",
+    "NOOP_METRIC",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "DEFAULT_SECONDS_BUCKETS",
+    "exponential_buckets",
+    "export",
+    "is_enabled",
+    "set_enabled",
+    "enable",
+    "disable",
+    "enabled",
+    "registry",
+    "tracer",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "reset",
+]
+
+_ENABLED: bool = False
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+
+def is_enabled() -> bool:
+    """True when instrumentation is recording."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Flip the global switch on or off."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def enable() -> None:
+    """Turn instrumentation on."""
+    set_enabled(True)
+
+
+def disable() -> None:
+    """Turn instrumentation off (the default)."""
+    set_enabled(False)
+
+
+@contextmanager
+def enabled(flag: bool = True) -> Iterator[None]:
+    """Temporarily set the switch; restores the previous state."""
+    previous = _ENABLED
+    set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry (always live, never gated)."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer behind :func:`span`."""
+    return _TRACER
+
+
+def span(name: str, **attributes):
+    """A recording span when enabled, the shared no-op span otherwise."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _TRACER.span(name, **attributes)
+
+
+def counter(name: str, help: str = "", **labels):
+    """Registry counter when enabled, the shared no-op metric otherwise."""
+    if not _ENABLED:
+        return NOOP_METRIC
+    return _REGISTRY.counter(name, help, **labels)
+
+
+def gauge(name: str, help: str = "", **labels):
+    """Registry gauge when enabled, the shared no-op metric otherwise."""
+    if not _ENABLED:
+        return NOOP_METRIC
+    return _REGISTRY.gauge(name, help, **labels)
+
+
+def histogram(name: str, help: str = "", buckets=None, **labels):
+    """Registry histogram when enabled, the no-op metric otherwise."""
+    if not _ENABLED:
+        return NOOP_METRIC
+    return _REGISTRY.histogram(name, help, buckets=buckets, **labels)
+
+
+def reset() -> None:
+    """Clear the registry and retained spans (the switch is untouched)."""
+    _REGISTRY.reset()
+    _TRACER.reset()

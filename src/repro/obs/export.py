@@ -1,0 +1,191 @@
+"""Exporters: registry → JSON / Prometheus text, span → tree / dict.
+
+Three consumers, three formats:
+
+* **JSON** (:func:`registry_to_dict` / :func:`registry_to_json`) — the
+  machine-readable dump written by ``repro stats``, the CLI's
+  ``--metrics-out``, and the CI benchmark artifact;
+* **Prometheus text format** (:func:`registry_to_prometheus`) — the
+  scrape endpoint payload, with ``# HELP`` / ``# TYPE`` headers,
+  escaped help text and label values, and cumulative ``_bucket``
+  series ending in ``le="+Inf"``;
+* **human-readable span trees** (:func:`render_span_tree`) — the
+  ``--trace`` / ``repro explain`` view of one request.
+
+``prometheus_from_dict`` re-serializes a previously dumped JSON export,
+so metrics captured in one process (a benchmark run, a cron job) can be
+re-emitted for scraping by another.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span
+
+# --------------------------------------------------------------------- #
+# registry → dict / JSON
+# --------------------------------------------------------------------- #
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """JSON-able snapshot of every metric in *registry*.
+
+    Histogram bucket bounds are ``(le, cumulative_count)`` pairs with
+    the final ``+Inf`` bound spelled ``"+Inf"`` (JSON has no infinity).
+    """
+    metrics: List[Dict[str, Any]] = []
+    for metric in registry.collect():
+        entry: Dict[str, Any] = {
+            "name": metric.name,
+            "type": metric.kind,
+            "help": metric.help,
+            "labels": dict(metric.labels),
+        }
+        if isinstance(metric, Histogram):
+            entry["sum"] = metric.sum
+            entry["count"] = metric.count
+            entry["buckets"] = [
+                ["+Inf" if math.isinf(le) else le, count]
+                for le, count in metric.cumulative_buckets()
+            ]
+        elif isinstance(metric, (Counter, Gauge)):
+            entry["value"] = metric.value
+        metrics.append(entry)
+    return {"metrics": metrics}
+
+
+def registry_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The :func:`registry_to_dict` snapshot as a JSON document."""
+    return json.dumps(registry_to_dict(registry), indent=indent)
+
+
+# --------------------------------------------------------------------- #
+# registry / dict → Prometheus text format
+# --------------------------------------------------------------------- #
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value: backslash, double quote, newline."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_value(value: float) -> str:
+    """Render one sample value (``+Inf`` aware, integers unpadded)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_block(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_from_dict(snapshot: Dict[str, Any]) -> str:
+    """Prometheus text format from a :func:`registry_to_dict` snapshot."""
+    lines: List[str] = []
+    seen_headers = set()
+    for entry in snapshot.get("metrics", []):
+        name = entry["name"]
+        kind = entry["type"]
+        labels = {str(k): str(v) for k, v in entry.get("labels", {}).items()}
+        if name not in seen_headers:
+            help_text = entry.get("help") or ""
+            if help_text:
+                lines.append(f"# HELP {name} {escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+            seen_headers.add(name)
+        if kind == "histogram":
+            for le, count in entry.get("buckets", []):
+                bound = "+Inf" if le == "+Inf" else format_value(float(le))
+                lines.append(
+                    f"{name}_bucket{_label_block(labels, {'le': bound})} "
+                    f"{format_value(float(count))}"
+                )
+            lines.append(
+                f"{name}_sum{_label_block(labels)} "
+                f"{format_value(float(entry.get('sum', 0.0)))}"
+            )
+            lines.append(
+                f"{name}_count{_label_block(labels)} "
+                f"{format_value(float(entry.get('count', 0)))}"
+            )
+        else:
+            lines.append(
+                f"{name}{_label_block(labels)} "
+                f"{format_value(float(entry.get('value', 0.0)))}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Serialize *registry* in the Prometheus text exposition format."""
+    return prometheus_from_dict(registry_to_dict(registry))
+
+
+# --------------------------------------------------------------------- #
+# span → tree / dict
+# --------------------------------------------------------------------- #
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}µs"
+
+
+def _format_attributes(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    inner = ", ".join(
+        f"{key}={value!r}" for key, value in attributes.items()
+    )
+    return f"  [{inner}]"
+
+
+def render_span_tree(span: Span, indent: int = 0) -> str:
+    """Indented human-readable rendering of one span tree."""
+    pad = "  " * indent
+    lines = [
+        f"{pad}{span.name}  {_format_duration(span.duration)}"
+        f"{_format_attributes(span.attributes)}"
+    ]
+    for child in span.children:
+        lines.append(render_span_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """JSON-able snapshot of one span tree."""
+    return {
+        "name": span.name,
+        "duration_seconds": span.duration,
+        "attributes": dict(span.attributes),
+        "children": [span_to_dict(child) for child in span.children],
+    }

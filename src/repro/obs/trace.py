@@ -1,0 +1,145 @@
+"""Nestable wall-clock spans and the thread-local tracer.
+
+A :class:`Span` records a name, free-form attributes, and
+``time.perf_counter`` start/end stamps.  :class:`Tracer` hands them out
+as context managers and maintains a *per-thread* stack so nesting falls
+out of lexical structure::
+
+    tracer = Tracer()
+    with tracer.span("reformulate", k=5) as root:
+        with tracer.span("candidates") as sp:
+            sp.set_attribute("sizes", [7, 7])
+
+Completed **root** spans are retained on a bounded ring
+(:attr:`Tracer.keep_roots`) so the CLI's ``--trace`` flag can render the
+last request after the fact.  When the global switch in
+:mod:`repro.obs` is off, instrumented code receives :data:`NOOP_SPAN`
+instead and pays only the dispatch check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed operation: name, attributes, children, timing."""
+
+    __slots__ = ("name", "attributes", "children", "start_time", "end_time")
+
+    def __init__(
+        self, name: str, attributes: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        self.start_time = time.perf_counter()
+        self.end_time: Optional[float] = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def finish(self) -> None:
+        """Stamp the end time (idempotent)."""
+        if self.end_time is None:
+            self.end_time = time.perf_counter()
+
+    @property
+    def is_finished(self) -> bool:
+        """True once :meth:`finish` ran."""
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now while the span is still open)."""
+        end = self.end_time if self.end_time is not None else time.perf_counter()
+        return end - self.start_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class NoopSpan:
+    """Do-nothing span: the disabled-instrumentation fast path."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard the attribute."""
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+#: Shared no-op span; ``with NOOP_SPAN:`` costs two trivial calls.
+NOOP_SPAN = NoopSpan()
+
+
+class Tracer:
+    """Hands out nested spans; keeps the last *keep_roots* root spans.
+
+    The span stack is thread-local, so concurrent requests on different
+    threads build independent trees; the finished-roots ring is shared
+    (and lock-protected).
+    """
+
+    def __init__(self, keep_roots: int = 64) -> None:
+        self.keep_roots = keep_roots
+        self._local = threading.local()
+        self._roots: Deque[Span] = deque(maxlen=keep_roots)
+        self._roots_lock = threading.Lock()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child of the current span (or a new root) as a CM."""
+        span = Span(name, attributes)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.finish()
+            stack.pop()
+            if not stack:
+                with self._roots_lock:
+                    self._roots.append(span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def roots(self) -> List[Span]:
+        """Completed root spans, oldest first."""
+        with self._roots_lock:
+            return list(self._roots)
+
+    def last_root(self) -> Optional[Span]:
+        """The most recently completed root span, or None."""
+        with self._roots_lock:
+            return self._roots[-1] if self._roots else None
+
+    def reset(self) -> None:
+        """Drop retained root spans (open spans are unaffected)."""
+        with self._roots_lock:
+            self._roots.clear()

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.errors import ReproError
 from repro.graph.closeness import ClosenessExtractor
 from repro.graph.nodes import Node
@@ -312,7 +313,14 @@ class TermRelationStore:
 
 @dataclass
 class PrecomputeStats:
-    """Counters of one :meth:`OfflinePrecomputer.build_store` run."""
+    """Per-run snapshot of one :meth:`OfflinePrecomputer.build_store` run.
+
+    The same numbers are recorded into the :mod:`repro.obs` metrics
+    registry as the run progresses (``repro_offline_*`` series — see
+    ``docs/observability.md``); this dataclass is the cumulative view of
+    one run, kept for programmatic access and CLI summaries.  Both are
+    written from a single update site in :meth:`~OfflinePrecomputer.build_store`.
+    """
 
     total_terms: int = 0
     terms_done: int = 0
@@ -463,44 +471,97 @@ class OfflinePrecomputer:
             walk_method=walk_method,
         )
         self.stats = stats
+
+        # The registry mirror of this run's counters: the offline stage
+        # always records (it runs for seconds; the updates are per-batch,
+        # not per-term), so `repro stats` sees precompute activity even
+        # without the tracing switch.
+        registry = obs.registry()
+        terms_counter = registry.counter(
+            "repro_offline_terms_total", "Vocabulary terms precomputed"
+        )
+        batches_counter = registry.counter(
+            "repro_offline_batches_total", "Precompute batches processed"
+        )
+        iterations_counter = registry.counter(
+            "repro_offline_walk_iterations_total",
+            "Batched-walk solver iterations",
+        )
+        residual_hist = registry.histogram(
+            "repro_offline_walk_residual",
+            "Verified max walk residual per batch",
+            buckets=[10.0 ** e for e in range(-16, -2)],
+        )
+        batch_seconds_hist = registry.histogram(
+            "repro_offline_batch_seconds",
+            "Wall-clock seconds per precompute batch",
+        )
+
         start = time.perf_counter()
         batched = hasattr(self.similarity, "batch_walk")
         done = 0
-        for lo in range(0, len(vocabulary), batch_size):
-            batch = vocabulary[lo:lo + batch_size]
-            node_ids = [self.graph.term_node_id(term) for term in batch]
-            if batched:
-                result = self.similarity.batch_walk(
-                    node_ids, method=walk_method
+        with obs.span(
+            "precompute.build_store",
+            terms=len(vocabulary),
+            batch_size=batch_size,
+            workers=workers,
+            walk_method=walk_method,
+        ):
+            for lo in range(0, len(vocabulary), batch_size):
+                batch = vocabulary[lo:lo + batch_size]
+                batch_start = time.perf_counter()
+                with obs.span(
+                    "precompute.batch", index=stats.n_batches, size=len(batch)
+                ) as batch_span:
+                    node_ids = [
+                        self.graph.term_node_id(term) for term in batch
+                    ]
+                    if batched:
+                        result = self.similarity.batch_walk(
+                            node_ids, method=walk_method
+                        )
+                        if result is not None:
+                            stats.batch_residuals.append(result.residual)
+                            stats.walk_iterations += result.iterations
+                            iterations_counter.inc(result.iterations)
+                            residual_hist.observe(result.residual)
+                            batch_span.set_attribute(
+                                "residual", result.residual
+                            )
+                            batch_span.set_attribute(
+                                "iterations", result.iterations
+                            )
+                    close_rows = self._close_rows(node_ids, workers)
+                    for term, node_id in zip(batch, node_ids):
+                        similar = [
+                            (self.graph.node(s.node_id).payload, s.score)
+                            for s in self.similarity.similar_nodes(
+                                node_id, self.n_similar
+                            )
+                        ]
+                        closeness = {
+                            self.graph.node(other).payload: score
+                            for other, score in close_rows[node_id]
+                        }
+                        store.put(term, similar, closeness)
+                        if hasattr(self.similarity, "evict"):
+                            self.similarity.evict(node_id)
+                        if hasattr(self.closeness, "evict"):
+                            self.closeness.evict(node_id)
+                        done += 1
+                        if progress_every and done % progress_every == 0:
+                            logger.info(
+                                "precomputed %d/%d terms",
+                                done, len(vocabulary),
+                            )
+                stats.n_batches += 1
+                stats.terms_done = done
+                stats.elapsed_seconds = time.perf_counter() - start
+                terms_counter.inc(len(batch))
+                batches_counter.inc()
+                batch_seconds_hist.observe(
+                    time.perf_counter() - batch_start
                 )
-                if result is not None:
-                    stats.batch_residuals.append(result.residual)
-                    stats.walk_iterations += result.iterations
-            close_rows = self._close_rows(node_ids, workers)
-            for term, node_id in zip(batch, node_ids):
-                similar = [
-                    (self.graph.node(s.node_id).payload, s.score)
-                    for s in self.similarity.similar_nodes(
-                        node_id, self.n_similar
-                    )
-                ]
-                closeness = {
-                    self.graph.node(other).payload: score
-                    for other, score in close_rows[node_id]
-                }
-                store.put(term, similar, closeness)
-                if hasattr(self.similarity, "evict"):
-                    self.similarity.evict(node_id)
-                if hasattr(self.closeness, "evict"):
-                    self.closeness.evict(node_id)
-                done += 1
-                if progress_every and done % progress_every == 0:
-                    logger.info(
-                        "precomputed %d/%d terms", done, len(vocabulary)
-                    )
-            stats.n_batches += 1
-            stats.terms_done = done
-            stats.elapsed_seconds = time.perf_counter() - start
-            if progress is not None:
-                progress(done, len(vocabulary))
+                if progress is not None:
+                    progress(done, len(vocabulary))
         return store

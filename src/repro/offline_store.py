@@ -34,6 +34,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import ReproError
 from repro.graph.tat import TATGraph
 from repro.offline import PathLike, TermRelations, TermRelationStore
@@ -91,12 +92,17 @@ def write_store_v2(
             "similar": relations.similar,
             "closeness": relations.closeness,
         }
+    bytes_written = obs.registry().counter(
+        "repro_offline_store_bytes_written_total",
+        "Bytes of shard data written by write_store_v2",
+    )
     shards = []
     n_terms = 0
     for index, bucket in enumerate(buckets):
         name = shard_filename(index)
         blob = json.dumps({"terms": bucket}).encode("utf-8")
         (root / name).write_bytes(blob)
+        bytes_written.inc(len(blob))
         shards.append(
             {"file": name, "n_terms": len(bucket), "sha256": _sha256(blob)}
         )
@@ -219,15 +225,29 @@ class ShardedTermRelationStore(TermRelationStore):
         cached = self._shard_cache.get(index)
         if cached is not None:
             self.shard_hits += 1
+            obs.counter(
+                "repro_offline_store_shard_lookups_total",
+                "Shard lookups through the LRU cache",
+                outcome="hit",
+            ).inc()
             self._shard_cache.move_to_end(index)
             return cached
         self.shard_misses += 1
+        obs.counter(
+            "repro_offline_store_shard_lookups_total",
+            "Shard lookups through the LRU cache",
+            outcome="miss",
+        ).inc()
         meta = self._shard_meta[index]
         path = self.root / meta["file"]
         try:
             blob = path.read_bytes()
         except OSError as exc:
             raise ReproError(f"cannot load term relations from {path}: {exc}")
+        obs.counter(
+            "repro_offline_store_bytes_read_total",
+            "Bytes of shard data read on LRU misses",
+        ).inc(len(blob))
         expected = meta.get("sha256")
         actual = _sha256(blob)
         if expected != actual:

@@ -195,6 +195,164 @@ class TestPrecompute:
         assert code == 1
 
 
+class TestExplain:
+    def test_explain_emits_trace_and_decomposition(self, toy_dir):
+        code, text = run([
+            "explain", "--data", str(toy_dir),
+            "probabilistic", "query", "-k", "2", "--candidates", "5",
+        ])
+        assert code == 0
+        # span tree covering the pipeline stages...
+        assert "trace:" in text
+        for stage in ("reformulate", "parse", "candidates", "hmm_build",
+                      "decode", "postprocess"):
+            assert stage in text
+        # ...plus the per-position factor table for each suggestion
+        assert "[1]" in text
+        assert "emission" in text and "transition" in text
+        assert "recombined" in text
+
+    def test_explain_rank_method(self, toy_dir):
+        code, text = run([
+            "explain", "--data", str(toy_dir),
+            "probabilistic", "query", "--method", "rank",
+            "-k", "2", "--candidates", "5",
+        ])
+        assert code == 0
+        assert "suggestions (rank/rank):" in text
+
+
+class TestStats:
+    def test_stats_json_after_precompute(self, toy_dir, tmp_path):
+        # Same process: the precompute run records into the global
+        # registry, which `stats` then exports.
+        import json
+
+        from repro import obs
+
+        obs.reset()
+        code, _ = run([
+            "precompute", "--data", str(toy_dir),
+            "--out", str(tmp_path / "relations.json"),
+        ])
+        assert code == 0
+        code, text = run(["stats", "--format", "json"])
+        assert code == 0
+        snapshot = json.loads(text)
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "repro_offline_terms_total" in names
+        assert "repro_offline_batches_total" in names
+        obs.reset()
+
+    def test_stats_prometheus_format(self, toy_dir, tmp_path):
+        from repro import obs
+
+        obs.reset()
+        code, _ = run([
+            "precompute", "--data", str(toy_dir),
+            "--out", str(tmp_path / "relations.json"),
+        ])
+        assert code == 0
+        code, text = run(["stats", "--format", "prometheus"])
+        assert code == 0
+        assert "# TYPE repro_offline_terms_total counter" in text
+        assert "# HELP repro_offline_terms_total" in text
+        assert 'repro_offline_walk_residual_bucket{le="+Inf"}' in text
+        obs.reset()
+
+    def test_metrics_out_roundtrip(self, toy_dir, tmp_path):
+        from repro import obs
+
+        obs.reset()
+        metrics_file = tmp_path / "metrics.json"
+        code, _ = run([
+            "precompute", "--data", str(toy_dir),
+            "--out", str(tmp_path / "relations.json"),
+            "--metrics-out", str(metrics_file),
+        ])
+        assert code == 0
+        assert metrics_file.exists()
+        code, text = run([
+            "stats", "--from-json", str(metrics_file),
+            "--format", "prometheus",
+        ])
+        assert code == 0
+        assert "repro_offline_terms_total 15" in text
+        obs.reset()
+
+    def test_stats_missing_snapshot_is_error(self, tmp_path):
+        code = main(
+            ["stats", "--from-json", str(tmp_path / "nope.json")],
+            out=io.StringIO(),
+        )
+        assert code == 1
+
+
+class TestTraceFlag:
+    def test_reformulate_trace_prints_span_tree(self, toy_dir):
+        from repro import obs
+
+        obs.reset()
+        code, text = run([
+            "reformulate", "--data", str(toy_dir),
+            "probabilistic", "query", "-k", "2", "--candidates", "5",
+            "--trace",
+        ])
+        assert code == 0
+        assert "input: probabilistic | query" in text
+        assert "reformulate" in text and "decode" in text
+        assert not obs.is_enabled()  # switch restored after the command
+        obs.reset()
+
+    def test_precompute_trace_prints_batches(self, toy_dir, tmp_path):
+        from repro import obs
+
+        obs.reset()
+        code, text = run([
+            "precompute", "--data", str(toy_dir),
+            "--out", str(tmp_path / "relations.json"),
+            "--batch-size", "8", "--trace",
+        ])
+        assert code == 0
+        assert "precompute.build_store" in text
+        assert "precompute.batch" in text
+        assert not obs.is_enabled()
+        obs.reset()
+
+
+class TestVerbosity:
+    def test_quiet_suppresses_diagnostics_keeps_payload(self, toy_dir):
+        code, text = run([
+            "--quiet", "reformulate", "--data", str(toy_dir),
+            "probabilistic", "query", "-k", "2", "--candidates", "5",
+        ])
+        assert code == 0
+        assert "input: probabilistic | query" in text
+
+    def test_quiet_precompute_drops_progress(self, toy_dir, tmp_path):
+        code, text = run([
+            "--quiet", "precompute", "--data", str(toy_dir),
+            "--out", str(tmp_path / "relations.json"),
+            "--batch-size", "8", "--progress-every", "5",
+        ])
+        assert code == 0
+        assert "precomputed" not in text
+
+    def test_verbose_and_quiet_are_exclusive(self, toy_dir):
+        with pytest.raises(SystemExit):
+            main(
+                ["--verbose", "--quiet", "describe", "--data", str(toy_dir)],
+                out=io.StringIO(),
+            )
+
+    def test_logging_handler_removed_after_main(self, toy_dir):
+        import logging
+
+        before = list(logging.getLogger("repro").handlers)
+        run(["describe", "--data", str(toy_dir)])
+        assert logging.getLogger("repro").handlers == before
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

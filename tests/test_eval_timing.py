@@ -21,10 +21,38 @@ class TestTimingStats:
         assert stats.minimum == 1.0
         assert stats.maximum == 3.0
         assert stats.total == 6.0
+        assert stats.median == 2.0
 
     def test_empty_rejected(self):
         with pytest.raises(ReproError):
             TimingStats.from_samples([])
+
+    def test_median_even_count_interpolates(self):
+        stats = TimingStats.from_samples([1.0, 2.0, 3.0, 10.0])
+        assert stats.median == 2.5
+
+    def test_median_unsorted_input(self):
+        stats = TimingStats.from_samples([3.0, 1.0, 2.0])
+        assert stats.median == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_p95_single_sample(self):
+        stats = TimingStats.from_samples([4.2])
+        assert stats.median == 4.2
+        assert stats.p95 == 4.2
+        assert stats.maximum == 4.2
+
+    def test_p95_interpolates_toward_tail(self):
+        samples = [float(i) for i in range(1, 21)]  # 1..20
+        stats = TimingStats.from_samples(samples)
+        # position 0.95 * 19 = 18.05 -> between samples 19 and 20
+        assert stats.p95 == pytest.approx(19.05)
+        assert stats.median == pytest.approx(10.5)
+
+    def test_p95_bounded_by_extremes(self):
+        stats = TimingStats.from_samples([0.5, 0.1, 0.9, 0.2, 0.7])
+        assert stats.minimum <= stats.median <= stats.p95 <= stats.maximum
 
 
 class TestMeasure:

@@ -1,0 +1,158 @@
+"""Tests for explain mode: span coverage and score decomposition.
+
+The load-bearing property is Eq 10 recombination: the per-position
+factors (π, emission, transition) must multiply back to each
+suggestion's score, so the decomposition is an audit of the actual
+ranking rather than a parallel reimplementation of it.
+"""
+
+import math
+
+import pytest
+
+from repro.core.explain import (
+    ExplainResult,
+    explain_hmm_path,
+)
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+from repro.errors import ReformulationError
+from repro.obs.export import span_to_dict
+
+
+@pytest.fixture(scope="module")
+def reformulator(toy_graph):
+    return Reformulator(toy_graph, ReformulatorConfig(n_candidates=6))
+
+
+def span_names(root):
+    names = []
+
+    def walk(payload):
+        names.append(payload["name"])
+        for child in payload["children"]:
+            walk(child)
+
+    walk(span_to_dict(root))
+    return names
+
+
+class TestScoreDecomposition:
+    @pytest.mark.parametrize(
+        "algorithm", ["astar", "viterbi_topk", "brute_force"]
+    )
+    def test_recombines_to_score(self, reformulator, algorithm):
+        result = reformulator.explain(
+            ["probabilistic", "query"], k=5, algorithm=algorithm
+        )
+        assert len(result) >= 1
+        for explanation in result.explanations:
+            assert math.isclose(
+                explanation.recombined_score,
+                explanation.suggestion.score,
+                rel_tol=1e-9,
+            )
+
+    def test_position_factor_conventions(self, reformulator):
+        result = reformulator.explain(["probabilistic", "query"], k=3)
+        for explanation in result.explanations:
+            positions = explanation.positions
+            assert [pb.position for pb in positions] == [0, 1]
+            # π applies only at position 0, transitions only beyond it
+            assert positions[1].pi == 1.0
+            assert positions[0].transition == 1.0
+            assert positions[0].keyword == "probabilistic"
+            assert positions[1].keyword == "query"
+
+    def test_rank_method_decomposes_to_similarities(self, toy_graph):
+        reformulator = Reformulator(
+            toy_graph,
+            ReformulatorConfig(method="rank", n_candidates=6),
+        )
+        result = reformulator.explain(["probabilistic", "query"], k=3)
+        assert result.algorithm == "rank"
+        for explanation in result.explanations:
+            for pb in explanation.positions:
+                assert pb.pi == 1.0
+                assert pb.transition == 1.0
+            assert math.isclose(
+                explanation.recombined_score,
+                explanation.suggestion.score,
+                rel_tol=1e-9,
+            )
+
+    def test_path_length_mismatch_rejected(self, reformulator):
+        hmm = reformulator.build_hmm(["probabilistic", "query"])
+        suggestion = reformulator.explain(
+            ["probabilistic", "query"], k=1
+        ).suggestions[0]
+        bad = type(suggestion)(
+            terms=suggestion.terms[:1],
+            score=suggestion.score,
+            state_path=suggestion.state_path[:1],
+        )
+        with pytest.raises(ReformulationError):
+            explain_hmm_path(hmm, bad)
+
+
+class TestExplainTrace:
+    def test_span_tree_covers_pipeline_stages(self, reformulator):
+        result = reformulator.explain(["probabilistic", "query"], k=3)
+        names = span_names(result.trace)
+        assert names[0] == "reformulate"
+        for stage in ("parse", "candidates", "hmm_build", "decode",
+                      "postprocess"):
+            assert stage in names
+
+    def test_trace_recorded_with_switch_off(self, reformulator):
+        from repro import obs
+
+        assert not obs.is_enabled()
+        result = reformulator.explain(["probabilistic", "query"], k=2)
+        assert result.trace is not None
+        assert result.trace.is_finished
+
+    def test_raw_string_query_is_parsed(self, reformulator):
+        result = reformulator.explain("Probabilistic QUERY", k=2)
+        assert result.query == ("probabilistic", "query")
+        root = span_to_dict(result.trace)
+        parse = next(
+            c for c in root["children"] if c["name"] == "parse"
+        )
+        assert parse["attributes"]["raw"] == "Probabilistic QUERY"
+
+    def test_empty_query_rejected(self, reformulator):
+        with pytest.raises(ReformulationError):
+            reformulator.explain("", k=2)
+
+    def test_decode_span_has_astar_counters(self, reformulator):
+        result = reformulator.explain(["probabilistic", "query"], k=3)
+        root = span_to_dict(result.trace)
+        decode = next(
+            c for c in root["children"] if c["name"] == "decode"
+        )
+        assert decode["attributes"]["algorithm"] == "astar"
+        assert decode["attributes"]["expanded"] >= 1
+        assert decode["attributes"]["pushed"] >= decode["attributes"]["expanded"]
+
+
+class TestExplainEntryPoints:
+    def test_reformulate_explain_flag_delegates(self, reformulator):
+        result = reformulator.reformulate(
+            ["probabilistic", "query"], k=3, explain=True
+        )
+        assert isinstance(result, ExplainResult)
+        plain = reformulator.reformulate(["probabilistic", "query"], k=3)
+        assert [s.text for s in result.suggestions] == [
+            q.text for q in plain
+        ]
+        assert [s.score for s in result.suggestions] == [
+            q.score for q in plain
+        ]
+
+    def test_render_mentions_every_suggestion(self, reformulator):
+        result = reformulator.explain(["probabilistic", "query"], k=3)
+        text = result.render()
+        assert text.startswith("trace:")
+        for rank, suggestion in enumerate(result.suggestions, 1):
+            assert f"[{rank}] {suggestion.text}" in text
+        assert "emission" in text and "transition" in text

@@ -135,3 +135,86 @@ class TestStoreBackedServing:
         assert live.version == version + 1  # pipeline rebuilt...
         # ...but stored relations for the old vocabulary still serve
         assert [s.text for s in after] == [s.text for s in before]
+
+
+def _build_sharded_live(tmp_path, n_candidates=5):
+    from repro.graph.tat import TATGraph
+    from repro.index.inverted import InvertedIndex
+    from repro.offline import OfflinePrecomputer
+
+    database = build_toy_database()
+    graph = TATGraph(database, InvertedIndex(database).build())
+    store = OfflinePrecomputer(graph, n_similar=8).build_store()
+    root = store.save_sharded(tmp_path / "v2", n_shards=4)
+    return LiveReformulator(
+        database, ReformulatorConfig(n_candidates=n_candidates),
+        relations=root,
+    )
+
+
+class TestStoreCache:
+    def test_store_loaded_once_across_rebuilds(self, tmp_path):
+        """Rebuilds reuse the loaded store (rebound to the new graph)
+        instead of re-reading shard files from disk every time."""
+        live = _build_sharded_live(tmp_path)
+        live.reformulate(["probabilistic", "query"], k=2)
+        store_before = live.pipeline().similarity
+        live.insert("papers", {
+            "pid": 90, "title": "probabilistic stream processing",
+            "cid": 0, "year": 2013,
+        })
+        live.reformulate(["probabilistic", "query"], k=2)
+        store_after = live.pipeline().similarity
+        assert store_after is store_before
+        assert store_after.graph is live.pipeline().graph
+
+    def test_reload_relations_rereads_from_disk(self, tmp_path):
+        live = _build_sharded_live(tmp_path)
+        live.reformulate(["probabilistic", "query"], k=2)
+        store_before = live.pipeline().similarity
+        version = live.version
+        live.reload_relations()
+        assert live.is_stale
+        live.reformulate(["probabilistic", "query"], k=2)
+        assert live.version == version + 1
+        assert live.pipeline().similarity is not store_before
+
+    def test_cached_store_still_serves_correctly(self, tmp_path):
+        live = _build_sharded_live(tmp_path)
+        before = live.reformulate(["probabilistic", "query"], k=3)
+        live.invalidate()
+        after = live.reformulate(["probabilistic", "query"], k=3)
+        assert [s.text for s in after] == [s.text for s in before]
+        assert [s.score for s in after] == [s.score for s in before]
+
+
+class TestServingMetrics:
+    def test_rebuild_and_staleness_metrics(self, tmp_path):
+        from repro import obs
+
+        live = _build_sharded_live(tmp_path)
+        obs.reset()
+        with obs.enabled():
+            live.reformulate(["probabilistic", "query"], k=2)
+            live.insert("papers", {
+                "pid": 91, "title": "probabilistic stream processing",
+                "cid": 0, "year": 2013,
+            })
+            live.invalidate()
+            live.reformulate(["probabilistic", "query"], k=2)
+        registry = obs.registry()
+        assert registry.get("repro_live_rebuilds_total").value == 2.0
+        assert registry.get("repro_live_rebuild_seconds").count == 2
+        # second query arrived with two pending mutations
+        assert registry.get("repro_live_staleness_at_query").value == 2.0
+        obs.reset()
+
+    def test_no_metrics_recorded_when_disabled(self, tmp_path):
+        from repro import obs
+
+        live = _build_sharded_live(tmp_path)
+        obs.reset()
+        assert not obs.is_enabled()
+        live.reformulate(["probabilistic", "query"], k=2)
+        assert obs.registry().get("repro_live_rebuilds_total") is None
+        obs.reset()

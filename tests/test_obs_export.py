@@ -1,0 +1,145 @@
+"""Unit tests for repro.obs.export (JSON, Prometheus text, span trees)."""
+
+import json
+
+from repro.obs.export import (
+    escape_help,
+    escape_label_value,
+    format_value,
+    prometheus_from_dict,
+    registry_to_dict,
+    registry_to_json,
+    registry_to_prometheus,
+    render_span_tree,
+    span_to_dict,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("events_total", "Events seen").inc(7)
+    registry.gauge("staleness", "Pending mutations").set(2.5)
+    hist = registry.histogram("latency_seconds", "Latency", buckets=[0.1, 1.0])
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(10.0)
+    return registry
+
+
+class TestJsonExport:
+    def test_snapshot_shape(self):
+        snapshot = registry_to_dict(build_registry())
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        assert by_name["events_total"]["type"] == "counter"
+        assert by_name["events_total"]["value"] == 7.0
+        assert by_name["staleness"]["value"] == 2.5
+        hist = by_name["latency_seconds"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 10.55
+        assert hist["buckets"] == [[0.1, 1], [1.0, 2], ["+Inf", 3]]
+
+    def test_json_roundtrips(self):
+        text = registry_to_json(build_registry())
+        snapshot = json.loads(text)
+        assert {m["name"] for m in snapshot["metrics"]} == {
+            "events_total", "staleness", "latency_seconds",
+        }
+
+
+class TestEscaping:
+    def test_help_escapes_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_escapes_quote_too(self):
+        assert escape_label_value('say "hi"\\\n') == 'say \\"hi\\"\\\\\\n'
+
+    def test_format_value_integers_unpadded(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.5) == "3.5"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+
+
+class TestPrometheusText:
+    def test_headers_and_series(self):
+        text = registry_to_prometheus(build_registry())
+        lines = text.splitlines()
+        assert "# HELP events_total Events seen" in lines
+        assert "# TYPE events_total counter" in lines
+        assert "events_total 7" in lines
+        assert "# TYPE staleness gauge" in lines
+        assert "staleness 2.5" in lines
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        lines = registry_to_prometheus(build_registry()).splitlines()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="1"} 2' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+        assert "latency_seconds_sum 10.55" in lines
+        assert "latency_seconds_count 3" in lines
+
+    def test_labeled_series_share_one_header(self):
+        registry = MetricsRegistry()
+        registry.counter("lookups_total", "Lookups", outcome="hit").inc(2)
+        registry.counter("lookups_total", "Lookups", outcome="miss").inc()
+        text = registry_to_prometheus(registry)
+        assert text.count("# TYPE lookups_total counter") == 1
+        assert 'lookups_total{outcome="hit"} 2' in text
+        assert 'lookups_total{outcome="miss"} 1' in text
+
+    def test_label_values_escaped_in_output(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", path='a"b\\c').inc()
+        text = registry_to_prometheus(registry)
+        assert 'c_total{path="a\\"b\\\\c"} 1' in text
+
+    def test_help_newline_escaped_in_output(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline two").inc()
+        text = registry_to_prometheus(registry)
+        assert "# HELP c_total line one\\nline two" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert registry_to_prometheus(MetricsRegistry()) == ""
+
+    def test_from_dict_roundtrip_through_json(self):
+        # What `repro stats --from-json` does: dump, reload, re-emit.
+        direct = registry_to_prometheus(build_registry())
+        reloaded = prometheus_from_dict(
+            json.loads(registry_to_json(build_registry()))
+        )
+        assert direct == reloaded
+
+    def test_ends_with_newline_when_nonempty(self):
+        assert registry_to_prometheus(build_registry()).endswith("\n")
+
+
+class TestSpanRendering:
+    def build_tree(self):
+        tracer = Tracer()
+        with tracer.span("root", k=5) as root:
+            with tracer.span("child") as child:
+                child.set_attribute("n", 2)
+        return root
+
+    def test_render_indents_children(self):
+        text = render_span_tree(self.build_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "[k=5]" in lines[0]
+        assert "[n=2]" in lines[1]
+
+    def test_render_honors_initial_indent(self):
+        text = render_span_tree(self.build_tree(), indent=1)
+        assert text.splitlines()[0].startswith("  root")
+
+    def test_span_to_dict(self):
+        payload = span_to_dict(self.build_tree())
+        assert payload["name"] == "root"
+        assert payload["attributes"] == {"k": 5}
+        assert payload["duration_seconds"] >= 0.0
+        assert payload["children"][0]["name"] == "child"
+        json.dumps(payload)  # must be JSON-able

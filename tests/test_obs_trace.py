@@ -1,0 +1,152 @@
+"""Unit tests for repro.obs.trace and the module-level switch."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
+
+
+class TestSpan:
+    def test_attributes_from_kwargs_and_set(self):
+        span = Span("op", {"k": 5})
+        span.set_attribute("result", "ok")
+        assert span.attributes == {"k": 5, "result": "ok"}
+
+    def test_finish_is_idempotent(self):
+        span = Span("op")
+        span.finish()
+        first_end = span.end_time
+        span.finish()
+        assert span.end_time == first_end
+
+    def test_duration_while_open_and_after_finish(self):
+        span = Span("op")
+        assert not span.is_finished
+        assert span.duration >= 0.0
+        span.finish()
+        assert span.is_finished
+        frozen = span.duration
+        assert span.duration == frozen
+
+
+class TestTracer:
+    def test_nesting_follows_lexical_structure(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-a") as a:
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in a.children] == ["grandchild"]
+        assert root.is_finished
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("root") as root:
+            assert tracer.current() is root
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is root
+        assert tracer.current() is None
+
+    def test_only_roots_retained(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["root"]
+        assert tracer.last_root().name == "root"
+
+    def test_root_ring_is_bounded(self):
+        tracer = Tracer(keep_roots=3)
+        for i in range(5):
+            with tracer.span(f"op-{i}"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["op-2", "op-3", "op-4"]
+
+    def test_span_finished_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        root = tracer.last_root()
+        assert root.name == "boom"
+        assert root.is_finished
+        assert tracer.current() is None
+
+    def test_threads_build_independent_trees(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(tag):
+            with tracer.span(f"root-{tag}"):
+                seen[tag] = tracer.current().name
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {0: "root-0", 1: "root-1", 2: "root-2"}
+        assert len(tracer.roots()) == 3
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+        assert tracer.last_root() is None
+
+
+class TestModuleSwitch:
+    def test_disabled_returns_noops(self):
+        obs.disable()
+        assert obs.span("x") is NOOP_SPAN
+        assert obs.counter("c_total") is obs.NOOP_METRIC
+        assert obs.gauge("g") is obs.NOOP_METRIC
+        assert obs.histogram("h") is obs.NOOP_METRIC
+
+    def test_noop_span_is_inert_context_manager(self):
+        with NOOP_SPAN as span:
+            span.set_attribute("ignored", 1)
+
+    def test_enabled_records(self):
+        obs.reset()
+        with obs.enabled():
+            with obs.span("op", k=1) as span:
+                span.set_attribute("done", True)
+            obs.counter("c_total", "help").inc(3)
+        assert not obs.is_enabled()
+        root = obs.tracer().last_root()
+        assert root.name == "op"
+        assert root.attributes == {"k": 1, "done": True}
+        assert obs.registry().get("c_total").value == 3.0
+        obs.reset()
+
+    def test_enabled_restores_previous_state(self):
+        obs.enable()
+        try:
+            with obs.enabled(False):
+                assert not obs.is_enabled()
+            assert obs.is_enabled()
+        finally:
+            obs.disable()
+
+    def test_reset_clears_registry_and_spans_not_switch(self):
+        with obs.enabled():
+            obs.counter("c_total").inc()
+            with obs.span("op"):
+                pass
+            obs.reset()
+            assert obs.is_enabled()
+            assert len(obs.registry()) == 0
+            assert obs.tracer().last_root() is None
+        obs.reset()
