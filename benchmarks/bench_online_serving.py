@@ -1,0 +1,271 @@
+"""Bench: online serving fast path vs the uncached per-query path.
+
+The serving rework memoizes what consecutive queries share — per-term
+candidate/frequency/similarity blocks and per-pair smoothed closeness
+matrices in the :class:`~repro.serving.plan_cache.PlanCache`, complete
+suggestion lists in the version-aware result LRU — and adds the batched
+``reformulate_many`` API that warms every distinct term once and dedupes
+textually identical queries.
+
+Acceptance bars (asserted below):
+
+* **>= 3x QPS** serving a realistic query log (distinct queries with
+  Zipf-ish repetition) through the warm batched fast path vs the
+  uncached query-at-a-time reference path;
+* **>= 2x warm p50** for a repeated single query on the serving path
+  (LiveReformulator: plan cache + result LRU) vs the uncached path;
+* **bit-identical suggestions** — every fast-path result equals the
+  uncached reference, compared on ``(text, score, state_path)``.
+
+Both lanes get a warmup pass first so extractor-internal caches (which
+predate this rework and benefit both paths equally) are excluded from
+the comparison: the measured delta is the plan cache, the result LRU and
+batch dedup, not cold-start effects.
+
+Script mode (used by the CI smoke job) serves a tiny log with tracing on
+and dumps the observability registry as JSON::
+
+    PYTHONPATH=src python benchmarks/bench_online_serving.py \
+        --smoke --metrics-out BENCH_online_serving.json
+"""
+
+import time
+
+import pytest
+
+from repro.core.reformulator import Reformulator, ReformulatorConfig
+
+K = 5
+N_CANDIDATES = 15
+N_DISTINCT = 24
+QUERY_LENGTH = 3
+WORKERS = 4
+
+
+def _config(plan_cache: bool) -> ReformulatorConfig:
+    return ReformulatorConfig(
+        n_candidates=N_CANDIDATES, enable_plan_cache=plan_cache
+    )
+
+
+def _distinct_queries(context, n=N_DISTINCT, length=QUERY_LENGTH):
+    """Distinct keyword queries drawn from the synthetic workload."""
+    out = []
+    seen = set()
+    for wq in context.workloads.queries_of_length(length, 2 * n):
+        key = tuple(wq.keywords)
+        if key not in seen:
+            seen.add(key)
+            out.append(list(wq.keywords))
+        if len(out) == n:
+            break
+    return out
+
+
+def _serving_log(distinct):
+    """A query log with Zipf-ish repetition: head queries recur often.
+
+    The first third of the distinct set appears 4x, the next third 2x,
+    the tail once — the shape of a real serving log, and the regime the
+    result LRU and batch dedup are built for.
+    """
+    log = []
+    third = max(1, len(distinct) // 3)
+    for i, query in enumerate(distinct):
+        repeats = 4 if i < third else (2 if i < 2 * third else 1)
+        log.extend([query] * repeats)
+    return log
+
+
+def _signature(results):
+    """Exact comparison key of one suggestion list."""
+    return [(q.text, q.score, q.state_path) for q in results]
+
+
+def _p50(samples):
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_online_serving_speedup(benchmark, small_context):
+    from repro.live import LiveReformulator
+
+    graph = small_context.graph
+    distinct = _distinct_queries(small_context)
+    log = _serving_log(distinct)
+
+    def run():
+        uncached = Reformulator(graph, _config(plan_cache=False))
+        cached = Reformulator(graph, _config(plan_cache=True))
+
+        # Warmup: extractor-internal caches on both lanes, plan cache on
+        # the fast lane.  Neither lane pays cold-start in the timings.
+        for query in distinct:
+            uncached.reformulate(query, k=K)
+        cached.reformulate_many(distinct, k=K, workers=1)
+
+        # Reference lane: the seed serving loop, one query at a time.
+        start = time.perf_counter()
+        reference = [uncached.reformulate(q, k=K) for q in log]
+        uncached_seconds = time.perf_counter() - start
+
+        # Fast lane: batched API over the warm plan cache.
+        start = time.perf_counter()
+        fast = cached.reformulate_many(log, k=K, workers=WORKERS)
+        batched_seconds = time.perf_counter() - start
+
+        for ref, got in zip(reference, fast):
+            assert _signature(ref) == _signature(got)
+
+        # Warm single-query p50: the full serving path (plan cache +
+        # result LRU) vs the uncached path, same repeated query.
+        query = distinct[0]
+        live = LiveReformulator(small_context.database, _config(True))
+        live._pipeline = cached          # reuse the built pipeline
+        live._dirty = False
+        live._version = 1
+        assert _signature(live.reformulate(query, k=K)) == _signature(
+            uncached.reformulate(query, k=K)
+        )
+        uncached_lat, warm_lat = [], []
+        for _ in range(30):
+            start = time.perf_counter()
+            uncached.reformulate(query, k=K)
+            uncached_lat.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            live.reformulate(query, k=K)
+            warm_lat.append(time.perf_counter() - start)
+        return uncached_seconds, batched_seconds, uncached_lat, warm_lat
+
+    uncached_s, batched_s, uncached_lat, warm_lat = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    qps_ref = len(log) / uncached_s
+    qps_fast = len(log) / batched_s
+    qps_speedup = qps_fast / qps_ref
+    p50_ref, p50_warm = _p50(uncached_lat), _p50(warm_lat)
+    p50_speedup = p50_ref / p50_warm
+    print("\n" + "=" * 60)
+    print(f"Serving log: {len(log)} queries ({len(distinct)} distinct)")
+    print(f"  uncached per-query : {uncached_s:7.2f} s  ({qps_ref:7.1f} QPS)")
+    print(f"  warm batched       : {batched_s:7.2f} s  ({qps_fast:7.1f} QPS)")
+    print(f"  QPS speedup        : {qps_speedup:7.1f}x")
+    print(f"  single-query p50   : {p50_ref * 1e3:.2f} ms uncached, "
+          f"{p50_warm * 1e3:.3f} ms warm ({p50_speedup:.0f}x)")
+
+    assert qps_speedup >= 3.0
+    assert p50_speedup >= 2.0
+
+
+def test_plan_cache_alone_is_faster(benchmark, small_context):
+    """Secondary bar: the plan cache helps even without repeats/dedup.
+
+    Serving the *distinct* set (no duplicate queries, so batch dedup and
+    the result LRU contribute nothing) through the warm plan cache must
+    not be slower than the uncached path — the cached HMM assembly is
+    pure savings.
+    """
+    graph = small_context.graph
+    distinct = _distinct_queries(small_context)
+
+    def run():
+        uncached = Reformulator(graph, _config(plan_cache=False))
+        cached = Reformulator(graph, _config(plan_cache=True))
+        for query in distinct:  # warm both lanes
+            uncached.reformulate(query, k=K)
+            cached.reformulate(query, k=K)
+        start = time.perf_counter()
+        reference = [uncached.reformulate(q, k=K) for q in distinct]
+        uncached_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        fast = [cached.reformulate(q, k=K) for q in distinct]
+        cached_seconds = time.perf_counter() - start
+        for ref, got in zip(reference, fast):
+            assert _signature(ref) == _signature(got)
+        return uncached_seconds, cached_seconds
+
+    uncached_s, cached_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ndistinct-only serving: uncached {uncached_s:.2f} s, "
+          f"plan-cached {cached_s:.2f} s "
+          f"({uncached_s / cached_s:.2f}x)")
+    assert cached_s <= uncached_s * 1.10  # never a regression
+
+
+def run_smoke(metrics_out: str, scale: str = "small") -> int:
+    """Traced fast-path serving; metrics JSON written to *metrics_out*.
+
+    The CI smoke job runs this to prove the serving path end to end —
+    plan-cache and result-cache counters, batch series, span tree — and
+    uploads the JSON export as a workflow artifact.
+    """
+    from repro import obs
+    from repro.experiments import build_context
+    from repro.live import LiveReformulator
+    from repro.obs.export import registry_to_json, render_span_tree
+
+    obs.reset()
+    with obs.enabled():
+        context = build_context(scale=scale, seed=7)
+        distinct = _distinct_queries(context, n=6)
+        log = _serving_log(distinct)
+        live = LiveReformulator(context.database, _config(True))
+        start = time.perf_counter()
+        batches = live.reformulate_many(log, k=K, workers=2)
+        repeated = live.reformulate(distinct[0], k=K)
+        repeated_again = live.reformulate(distinct[0], k=K)
+        seconds = time.perf_counter() - start
+        root = obs.tracer().last_root()
+
+    assert _signature(repeated) == _signature(repeated_again)
+    plan_stats = live.pipeline().plan_cache.stats()
+    result_stats = live.result_cache.stats()
+    print(f"smoke: {len(batches)} queries ({len(distinct)} distinct) "
+          f"in {seconds:.2f} s")
+    print(f"  plan cache  : {plan_stats}")
+    print(f"  result cache: {result_stats}")
+    if root is not None:
+        print(render_span_tree(root))
+    with open(metrics_out, "w", encoding="utf-8") as handle:
+        handle.write(registry_to_json(obs.registry()))
+    print(f"wrote metrics export to {metrics_out}")
+
+    registry = obs.registry()
+    ok = (
+        plan_stats.term_hits > 0
+        and plan_stats.pair_hits > 0
+        and result_stats.hits >= 1
+        and registry.get("repro_batch_queries_total") is not None
+        and registry.get("repro_batch_queries_total").value == len(log)
+        and registry.get("repro_plan_cache_hits_total", layer="term")
+        is not None
+        and registry.get("repro_result_cache_hits_total") is not None
+    )
+    obs.reset()
+    return 0 if ok else 1
+
+
+def main() -> int:
+    """Script entry point: ``--smoke`` plus export/scale knobs."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the traced fast-path serving only (no lane comparison)",
+    )
+    parser.add_argument(
+        "--metrics-out", default="BENCH_online_serving.json",
+        help="where to write the JSON metrics export",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=("small", "medium", "large"),
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("script mode currently only implements --smoke; "
+                     "run the full comparison through pytest")
+    return run_smoke(args.metrics_out, scale=args.scale)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

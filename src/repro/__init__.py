@@ -63,6 +63,7 @@ from repro.index.phrases import (
 from repro.offline import OfflinePrecomputer, PrecomputeStats, TermRelationStore
 from repro.offline_store import ShardedTermRelationStore, migrate_v1_to_v2
 from repro.search import KeywordSearchEngine, ResultRanker, ResultSizeEstimator
+from repro.serving import PlanCache, ResultCache
 from repro.storage import (
     Column,
     Database,
@@ -126,6 +127,8 @@ __all__ = [
     "save_database",
     "Literal",
     "TripleStore",
+    "PlanCache",
+    "ResultCache",
     "LiveReformulator",
     "__version__",
 ]

@@ -13,6 +13,7 @@ One entry point with subcommands covering the full lifecycle::
     python -m repro.cli store migrate --data corpus/ --src relations.json --dest store/
     python -m repro.cli store info --data corpus/ --store store/
     python -m repro.cli reformulate --data corpus/ --relations store/ probabilistic query
+    python -m repro.cli reformulate --data corpus/ --batch queries.txt --workers 4
     python -m repro.cli explain --data corpus/ probabilistic query
     python -m repro.cli --verbose precompute --data corpus/ --out store/ --trace
     python -m repro.cli stats --format prometheus
@@ -93,12 +94,31 @@ def build_parser() -> argparse.ArgumentParser:
         "reformulate", help="suggest substitutive queries"
     )
     add_data(reformulate)
-    reformulate.add_argument("keywords", nargs="+")
+    reformulate.add_argument("keywords", nargs="*")
     reformulate.add_argument("-k", type=int, default=10)
     reformulate.add_argument(
         "--method", choices=("tat", "cooccurrence", "rank"), default="tat"
     )
+    reformulate.add_argument(
+        "--algorithm",
+        choices=("astar", "viterbi_topk", "brute_force",
+                 "astar_log", "viterbi_topk_log"),
+        default="astar",
+    )
     reformulate.add_argument("--candidates", type=int, default=15)
+    reformulate.add_argument(
+        "--batch", default=None, metavar="FILE",
+        help="serve every query in FILE (one per line) through the "
+             "batched fast path instead of the positional keywords",
+    )
+    reformulate.add_argument(
+        "--workers", type=int, default=1,
+        help="threads fanning batched decode (only with --batch)",
+    )
+    reformulate.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="disable the per-term plan cache (uncached reference path)",
+    )
     reformulate.add_argument(
         "--relations", default=None,
         help="precomputed term-relation store to serve from "
@@ -125,7 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("tat", "cooccurrence", "rank"), default="tat"
     )
     explain.add_argument(
-        "--algorithm", choices=("astar", "viterbi_topk", "brute_force"),
+        "--algorithm",
+        choices=("astar", "viterbi_topk", "brute_force",
+                 "astar_log", "viterbi_topk_log"),
         default="astar",
     )
     explain.add_argument("--candidates", type=int, default=15)
@@ -269,7 +291,9 @@ def _build_reformulator(args, database: Database) -> Reformulator:
     """Shared pipeline construction for reformulate/explain."""
     graph = TATGraph(database, InvertedIndex(database))
     config = ReformulatorConfig(
-        method=args.method, n_candidates=args.candidates
+        method=args.method,
+        n_candidates=args.candidates,
+        enable_plan_cache=not getattr(args, "no_plan_cache", False),
     )
     if args.relations:
         store = TermRelationStore.load(args.relations, graph)
@@ -277,20 +301,55 @@ def _build_reformulator(args, database: Database) -> Reformulator:
     return Reformulator(graph, config)
 
 
+def _read_batch_file(path: str) -> List[str]:
+    """Non-empty lines of a batch query file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return [line.strip() for line in handle if line.strip()]
+    except OSError as exc:
+        raise ReproError(f"cannot read batch file {path}: {exc}")
+
+
 def cmd_reformulate(args, out) -> int:
-    """``reformulate``: print top-k substitutive queries."""
+    """``reformulate``: print top-k substitutive queries.
+
+    With ``--batch FILE`` every line of FILE is one query; the whole set
+    is served through ``reformulate_many`` (shared-term plan warmup +
+    optional thread fan-out) and results are printed per query.
+    """
+    if bool(args.batch) == bool(args.keywords):
+        raise ReproError(
+            "provide either positional keywords or --batch FILE (not both)"
+        )
     reformulator = _build_reformulator(args, _load(args))
     # Segment against the corpus vocabulary so multi-word names survive:
     # `reformulate --data d christian s. jensen spatial` is one name +
     # one word, not four keywords.
-    raw_query = " ".join(args.keywords).lower()
-    parsed = reformulator.parser.parse(raw_query)
-    print(f"input: {' | '.join(parsed.keywords)}", file=out)
     with obs.enabled(args.trace or obs.is_enabled()):
-        for suggestion in reformulator.reformulate(
-            list(parsed.keywords), k=args.k
-        ):
-            print(f"  {suggestion.score:.3e}  {suggestion.text}", file=out)
+        if args.batch:
+            parsed_queries = [
+                list(reformulator.parser.parse(line.lower()).keywords)
+                for line in _read_batch_file(args.batch)
+            ]
+            batches = reformulator.reformulate_many(
+                parsed_queries, k=args.k,
+                algorithm=args.algorithm, workers=args.workers,
+            )
+            for keywords, suggestions in zip(parsed_queries, batches):
+                print(f"input: {' | '.join(keywords)}", file=out)
+                for suggestion in suggestions:
+                    print(
+                        f"  {suggestion.score:.3e}  {suggestion.text}",
+                        file=out,
+                    )
+        else:
+            raw_query = " ".join(args.keywords).lower()
+            parsed = reformulator.parser.parse(raw_query)
+            print(f"input: {' | '.join(parsed.keywords)}", file=out)
+            for suggestion in reformulator.reformulate(
+                list(parsed.keywords), k=args.k, algorithm=args.algorithm
+            ):
+                print(f"  {suggestion.score:.3e}  {suggestion.text}", file=out)
         if args.trace:
             _print_trace(out)
     if args.metrics_out:

@@ -1,6 +1,12 @@
 """Online query-reformulation core: HMM, Viterbi, A*, baselines."""
 
-from repro.core.astar import AStarOutcome, astar_topk, backward_heuristic
+from repro.core.astar import (
+    AStarOutcome,
+    astar_topk,
+    astar_topk_log,
+    backward_heuristic,
+    backward_heuristic_log,
+)
 from repro.core.candidates import (
     CandidateListBuilder,
     CandidateState,
@@ -37,14 +43,19 @@ from repro.core.scoring import (
 from repro.core.viterbi import (
     ViterbiTable,
     viterbi_table,
+    viterbi_table_log,
     viterbi_top1,
+    viterbi_top1_log,
     viterbi_topk,
+    viterbi_topk_log,
 )
 
 __all__ = [
     "AStarOutcome",
     "astar_topk",
+    "astar_topk_log",
     "backward_heuristic",
+    "backward_heuristic_log",
     "CandidateListBuilder",
     "CandidateState",
     "StateKind",
@@ -73,6 +84,9 @@ __all__ = [
     "smooth_rows",
     "ViterbiTable",
     "viterbi_table",
+    "viterbi_table_log",
     "viterbi_top1",
+    "viterbi_top1_log",
     "viterbi_topk",
+    "viterbi_topk_log",
 ]

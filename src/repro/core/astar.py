@@ -18,6 +18,13 @@ return the same queries.
 
 The two stage timings are surfaced separately because Figure 8 of the
 paper reports them separately.
+
+:func:`astar_topk_log` is the same search in log space: potentials are
+sums of ``log``-matrices instead of products, so deep queries cannot
+underflow the priority to an indistinguishable 0 and the per-extension
+multiplications become additions over matrices that were logged once
+(cached in the HMM's log lane, pre-seeded by the serving plan cache).
+Returned queries are re-scored with Eq 10 in probability space.
 """
 
 from __future__ import annotations
@@ -108,6 +115,83 @@ def astar_topk(hmm: ReformulationHMM, k: int) -> AStarOutcome:
             if priority <= 0 and len(complete) + len(ip) >= k:
                 # zero-potential extensions can never beat anything; keep
                 # them only if we might otherwise run out of paths.
+                pruned += 1
+                continue
+            heapq.heappush(ip, (-priority, next(counter), g_next, path + (j,)))
+            pushed += 1
+    t2 = time.perf_counter()
+
+    complete.sort(key=lambda q: (-q.score, q.state_path))
+    return AStarOutcome(
+        queries=complete,
+        viterbi_seconds=t1 - t0,
+        astar_seconds=t2 - t1,
+        expanded=expanded,
+        pushed=pushed,
+        pruned=pruned,
+    )
+
+
+def backward_heuristic_log(hmm: ReformulationHMM) -> List[np.ndarray]:
+    """Log-space twin of :func:`backward_heuristic`: max achievable
+    log-score of the suffix starting at each (step, state)."""
+    h: List[np.ndarray] = [
+        np.zeros(hmm.n_states(c)) for c in range(hmm.length)
+    ]
+    for step in range(hmm.length - 2, -1, -1):
+        trans = hmm.log_transitions[step]      # (n_step, n_{step+1})
+        emis = hmm.log_emissions[step + 1]
+        future = trans + (emis + h[step + 1])[None, :]
+        h[step] = future.max(axis=1)
+    return h
+
+
+def astar_topk_log(hmm: ReformulationHMM, k: int) -> AStarOutcome:
+    """Algorithm 3 over summed log-probabilities (no underflow possible).
+
+    Mirrors :func:`astar_topk` exactly: identical expansion order up to
+    floating-point rounding of ``log``, identical pruning rule (a
+    ``-inf`` potential is the log-space image of zero potential), and
+    the returned queries carry probability-space Eq 10 scores.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+
+    t0 = time.perf_counter()
+    h = backward_heuristic_log(hmm)
+    t1 = time.perf_counter()
+
+    log_pi = hmm.log_pi
+    log_emis0 = hmm.log_emissions[0]
+    counter = itertools.count()
+    ip: List[Tuple[float, int, float, Tuple[int, ...]]] = []
+    pushed = 0
+    pruned = 0
+    for i in range(hmm.n_states(0)):
+        g = float(log_pi[i] + log_emis0[i])
+        priority = g + float(h[0][i])
+        heapq.heappush(ip, (-priority, next(counter), g, (i,)))
+        pushed += 1
+
+    complete: List[ScoredQuery] = []
+    expanded = 0
+    m = hmm.length
+    while ip and len(complete) < k:
+        neg_priority, _tick, g, path = heapq.heappop(ip)
+        expanded += 1
+        step = len(path)
+        if step == m:
+            complete.append(hmm.scored_query(path))
+            continue
+        trans = hmm.log_transitions[step - 1] if step >= 1 else None
+        last = path[-1]
+        emis = hmm.log_emissions[step]
+        for j in range(hmm.n_states(step)):
+            g_next = g + float(trans[last, j]) + float(emis[j])
+            priority = g_next + float(h[step][j])
+            if priority == float("-inf") and len(complete) + len(ip) >= k:
+                # -inf potential == zero probability: can never beat
+                # anything; keep only if we might run out of paths.
                 pruned += 1
                 continue
             heapq.heappush(ip, (-priority, next(counter), g_next, path + (j,)))

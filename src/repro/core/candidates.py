@@ -149,10 +149,21 @@ class CandidateListBuilder:
         return states
 
     def build(self, keywords: Sequence[str]) -> List[List[CandidateState]]:
-        """Candidate lists for every position of a query."""
+        """Candidate lists for every position of a query.
+
+        Repeated keywords share one computed list: candidate resolution
+        hits the similarity backend once per *distinct* term, and the
+        positions of a duplicated term reference the same list object.
+        """
         if not keywords:
             raise ReformulationError("empty query")
-        return [self.candidates_for(kw) for kw in keywords]
+        memo: dict = {}
+        lists: List[List[CandidateState]] = []
+        for kw in keywords:
+            if kw not in memo:
+                memo[kw] = self.candidates_for(kw)
+            lists.append(memo[kw])
+        return lists
 
     def _void_state(self) -> CandidateState:
         return CandidateState(StateKind.VOID, None, None, self.void_sim)

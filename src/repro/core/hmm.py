@@ -18,7 +18,7 @@ normalized into the matrices (see :mod:`repro.core.scoring`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -49,17 +49,30 @@ class FrequencyBackend(Protocol):
 
 
 class IndexFrequency:
-    """Collection term frequency from the TAT graph's inverted index."""
+    """Collection term frequency from the TAT graph's inverted index.
+
+    Lookups are memoized per node id: a node's collection tf is immutable
+    for the lifetime of the graph, and every π build (Eq 7) re-reads the
+    same handful of first-position candidates, so the graph-node walk and
+    postings aggregation run at most once per node.
+    """
 
     def __init__(self, graph) -> None:
         self.graph = graph
+        self._cache: Dict[int, float] = {}
 
     def frequency(self, node_id: int) -> float:
         """Collection tf of a term node; 1.0 for non-terms."""
+        cached = self._cache.get(node_id)
+        if cached is not None:
+            return cached
         node = self.graph.node(node_id)
         if node.text is None:
-            return 1.0
-        return float(self.graph.index.total_tf(node.payload))
+            value = 1.0
+        else:
+            value = float(self.graph.index.total_tf(node.payload))
+        self._cache[node_id] = value
+        return value
 
 
 @dataclass
@@ -71,6 +84,13 @@ class ReformulationHMM:
     pi: np.ndarray                    # shape (n_0,)
     emissions: List[np.ndarray]       # emissions[i] shape (n_i,)
     transitions: List[np.ndarray]     # transitions[i] shape (n_{i-1}, n_i), i>=1
+
+    def __post_init__(self) -> None:
+        # Lazy log-space lane (zeros map to -inf); the plan cache may
+        # pre-seed _log_transitions with matrices logged once per pair.
+        self._log_pi: Optional[np.ndarray] = None
+        self._log_emissions: Optional[List[np.ndarray]] = None
+        self._log_transitions: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -112,20 +132,64 @@ class ReformulationHMM:
         if not states or any(not lst for lst in states):
             raise ReformulationError("every position needs at least one state")
 
-        # π — Eq 7 (frequency-proportional over the first candidate list)
-        freqs = np.array(
-            [
-                frequency.frequency(s.node_id) if s.node_id is not None else 1.0
-                for s in states[0]
-            ],
-            dtype=np.float64,
-        )
-        pi = normalize_distribution(freqs)
+        # π numerators — Eq 7 (over the first candidate list only)
+        freqs = term_frequencies(states[0], frequency)
 
-        # B — Eq 9 with the Eq 5 smoothing applied to the raw sims first.
+        # raw per-position similarity columns (Eq 9 numerators, pre-smoothing)
         raw_sims = [
             np.array([s.sim for s in lst], dtype=np.float64) for lst in states
         ]
+
+        # A — Eq 8 with Eq 6 smoothing (row-mean global indication).
+        transitions = [
+            smooth_rows(
+                pair_closeness_matrix(
+                    states[i - 1], states[i], closeness, void_closeness
+                ),
+                smoothing_lambda,
+            )
+            for i in range(1, len(states))
+        ]
+
+        return cls.assemble(
+            query=query,
+            states=states,
+            freqs=freqs,
+            raw_sims=raw_sims,
+            transitions=transitions,
+            smoothing_lambda=smoothing_lambda,
+        )
+
+    @classmethod
+    def assemble(
+        cls,
+        query: Tuple[str, ...],
+        states: List[List[CandidateState]],
+        freqs: np.ndarray,
+        raw_sims: List[np.ndarray],
+        transitions: List[np.ndarray],
+        smoothing_lambda: float,
+        log_transitions: Optional[List[np.ndarray]] = None,
+    ) -> "ReformulationHMM":
+        """Finish parameterization from precomputed raw blocks.
+
+        This is the single code path behind both :meth:`build` (which
+        computes the blocks fresh) and the serving plan cache (which
+        replays memoized per-term/per-pair blocks), so cached and
+        uncached construction are bit-identical by construction: the
+        final normalization and Eq 5 smoothing run the same floating
+        point operations on the same values either way.
+
+        *transitions* are the already row-smoothed Eq 8 matrices;
+        *log_transitions*, when given, seeds the lazy log-space lane with
+        matrices that were log-transformed once at plan-cache fill time.
+        """
+        # π — Eq 7 (frequency-proportional over the first candidate list)
+        pi = normalize_distribution(freqs)
+
+        # B — Eq 9 with the Eq 5 smoothing applied to the raw sims first.
+        # The global indication spans every position of *this query*, so
+        # it is recomputed per assembly (it cannot live in a term plan).
         global_sim = np.concatenate(raw_sims)
         global_mean = float(global_sim.mean()) if global_sim.size else 0.0
         emissions: List[np.ndarray] = []
@@ -136,26 +200,16 @@ class ReformulationHMM:
                 blended = raw
             emissions.append(normalize_distribution(blended))
 
-        # A — Eq 8 with Eq 6 smoothing (row-mean global indication).
-        transitions: List[np.ndarray] = []
-        for i in range(1, len(states)):
-            prev, curr = states[i - 1], states[i]
-            raw = np.zeros((len(prev), len(curr)), dtype=np.float64)
-            for a_idx, a in enumerate(prev):
-                for b_idx, b in enumerate(curr):
-                    raw[a_idx, b_idx] = _state_closeness(
-                        a, b, closeness, void_closeness
-                    )
-            smoothed = smooth_rows(raw, smoothing_lambda)
-            transitions.append(smoothed)
-
-        return cls(
+        hmm = cls(
             query=query,
             states=states,
             pi=pi,
             emissions=emissions,
             transitions=transitions,
         )
+        if log_transitions is not None:
+            hmm._log_transitions = list(log_transitions)
+        return hmm
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -177,6 +231,35 @@ class ReformulationHMM:
         for lst in self.states:
             total *= len(lst)
         return total
+
+    # ------------------------------------------------------------------ #
+    # log-space lane
+    # ------------------------------------------------------------------ #
+
+    @property
+    def log_pi(self) -> np.ndarray:
+        """``log π`` with zeros mapped to ``-inf`` (computed once)."""
+        if self._log_pi is None:
+            self._log_pi = log_matrix(self.pi)
+        return self._log_pi
+
+    @property
+    def log_emissions(self) -> List[np.ndarray]:
+        """Per-position ``log B`` columns (computed once)."""
+        if self._log_emissions is None:
+            self._log_emissions = [log_matrix(e) for e in self.emissions]
+        return self._log_emissions
+
+    @property
+    def log_transitions(self) -> List[np.ndarray]:
+        """Per-step ``log A`` matrices.
+
+        Pre-seeded by the serving plan cache (logged once per cached
+        term pair); computed lazily otherwise.
+        """
+        if self._log_transitions is None:
+            self._log_transitions = [log_matrix(t) for t in self.transitions]
+        return self._log_transitions
 
     # ------------------------------------------------------------------ #
     # scoring
@@ -211,6 +294,44 @@ class ReformulationHMM:
             self.states[i][s].text == self.query[i]
             for i, s in enumerate(path)
         )
+
+
+def term_frequencies(
+    states: Sequence[CandidateState], frequency: FrequencyBackend
+) -> np.ndarray:
+    """Eq 7 numerators for one candidate list (void/unknown count as 1)."""
+    return np.array(
+        [
+            frequency.frequency(s.node_id) if s.node_id is not None else 1.0
+            for s in states
+        ],
+        dtype=np.float64,
+    )
+
+
+def pair_closeness_matrix(
+    prev: Sequence[CandidateState],
+    curr: Sequence[CandidateState],
+    closeness: ClosenessBackend,
+    void_closeness: float = 1e-4,
+) -> np.ndarray:
+    """Raw Eq 8 sub-matrix between two adjacent candidate lists.
+
+    This is the ``O(n²)`` closeness-lookup loop of the HMM build, pulled
+    out so the serving plan cache can memoize one matrix per adjacent
+    term pair instead of re-running the loop on every query.
+    """
+    raw = np.zeros((len(prev), len(curr)), dtype=np.float64)
+    for a_idx, a in enumerate(prev):
+        for b_idx, b in enumerate(curr):
+            raw[a_idx, b_idx] = _state_closeness(a, b, closeness, void_closeness)
+    return raw
+
+
+def log_matrix(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``log`` with zeros mapped to ``-inf`` (no warnings)."""
+    with np.errstate(divide="ignore"):
+        return np.log(values)
 
 
 def _state_closeness(

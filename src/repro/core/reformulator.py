@@ -25,11 +25,12 @@ experimental arms:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
-from repro.core.astar import AStarOutcome, astar_topk
+from repro.core.astar import AStarOutcome, astar_topk, astar_topk_log
 from repro.core.candidates import CandidateListBuilder, CandidateState
 from repro.core.enumeration import RankBasedReformulator, brute_force_topk
 from repro.core.explain import (
@@ -39,7 +40,7 @@ from repro.core.explain import (
 )
 from repro.core.hmm import IndexFrequency, ReformulationHMM
 from repro.core.scoring import ScoredQuery
-from repro.core.viterbi import viterbi_top1, viterbi_topk
+from repro.core.viterbi import viterbi_top1, viterbi_topk, viterbi_topk_log
 from repro.errors import ReformulationError
 from repro.obs.trace import Tracer
 from repro.graph.closeness import ClosenessExtractor
@@ -51,7 +52,11 @@ from repro.index.inverted import InvertedIndex
 from repro.storage.database import Database
 
 METHODS = ("tat", "cooccurrence", "rank")
-ALGORITHMS = ("astar", "viterbi_topk", "brute_force")
+#: ``*_log`` variants decode in log space (sums over matrices logged
+#: once, cached in the HMM/plan-cache) — same results, no underflow.
+ALGORITHMS = (
+    "astar", "viterbi_topk", "brute_force", "astar_log", "viterbi_topk_log",
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,16 @@ class ReformulatorConfig:
     #: When set (0 < λ ≤ 1), re-rank suggestions with MMR diversification
     #: at this relevance/diversity trade-off; None keeps pure score order.
     diversify_trade_off: Optional[float] = None
+    #: Serving fast path: memoize per-term candidate/frequency/similarity
+    #: blocks and per-pair closeness sub-matrices across queries.  Cached
+    #: and uncached pipelines return bit-identical suggestions.
+    enable_plan_cache: bool = True
+    #: LRU capacities of the plan cache's two layers.
+    plan_cache_terms: int = 512
+    plan_cache_pairs: int = 2048
+    #: Capacity of the query-level result LRU kept by LiveReformulator
+    #: (0 disables result caching; plain Reformulator has no result LRU).
+    result_cache_size: int = 1024
 
     def validate(self) -> None:
         """Raise on out-of-range configuration values."""
@@ -83,6 +98,23 @@ class ReformulatorConfig:
             )
         if self.n_candidates < 1:
             raise ReformulationError("n_candidates must be >= 1")
+        if self.enable_plan_cache and (
+            self.plan_cache_terms < 1 or self.plan_cache_pairs < 1
+        ):
+            raise ReformulationError("plan cache capacities must be >= 1")
+        if self.result_cache_size < 0:
+            raise ReformulationError("result_cache_size must be >= 0")
+
+    def plan_knobs(self) -> Tuple:
+        """Fingerprint of every config value the cached plan blocks
+        depend on (part of each plan-cache key)."""
+        return (
+            self.method,
+            self.n_candidates,
+            self.include_original,
+            self.include_void,
+            self.smoothing_lambda,
+        )
 
 
 class Reformulator:
@@ -131,6 +163,20 @@ class Reformulator:
             include_void=self.config.include_void,
         )
         self.frequency = IndexFrequency(graph)
+        if self.config.enable_plan_cache:
+            from repro.serving.plan_cache import PlanCache
+
+            self.plan_cache: Optional[PlanCache] = PlanCache(
+                candidates=self.candidates,
+                closeness=self.closeness,
+                frequency=self.frequency,
+                smoothing_lambda=self.config.smoothing_lambda,
+                max_terms=self.config.plan_cache_terms,
+                max_pairs=self.config.plan_cache_pairs,
+                knobs=self.config.plan_knobs(),
+            )
+        else:
+            self.plan_cache = None
         self._parser = None
 
     # ------------------------------------------------------------------ #
@@ -154,8 +200,15 @@ class Reformulator:
     # ------------------------------------------------------------------ #
 
     def build_hmm(self, keywords: Sequence[str]) -> ReformulationHMM:
-        """Candidate extraction + HMM parameterization for one query."""
-        states = self.candidates.build(list(keywords))
+        """Candidate extraction + HMM parameterization for one query.
+
+        With the plan cache enabled the HMM is assembled from memoized
+        per-term/per-pair blocks (bit-identical to the fresh build).
+        """
+        keywords = list(keywords)
+        if self.plan_cache is not None:
+            return self.plan_cache.build_hmm(keywords)
+        states = self.candidates.build(keywords)
         return ReformulationHMM.build(
             query=keywords,
             states=states,
@@ -204,6 +257,79 @@ class Reformulator:
                 "End-to-end reformulate latency",
             ).observe(time.perf_counter() - start)
         return out
+
+    def reformulate_many(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: int = 10,
+        algorithm: str = "astar",
+        workers: int = 1,
+    ) -> List[List[ScoredQuery]]:
+        """Batched reformulation over a query set (serving fast path).
+
+        Three batch-level optimizations on top of per-query serving:
+
+        * **query dedup** — textually identical queries are decoded once
+          and the result is fanned back to every occurrence;
+        * **shared-term warmup** — every distinct term (and adjacent
+          term pair) across the batch gets its plan-cache entry built
+          exactly once, before any decode starts;
+        * **decode fan-out** — with ``workers > 1`` the per-query decode
+          runs on a thread pool.  The warmed plan cache makes the fanned
+          work read-only, so this is safe; without a plan cache the
+          batch falls back to sequential decode (the live extractors'
+          internal caches are not thread-safe).
+
+        Returns one suggestion list per input query, aligned with
+        *queries*.  Results are identical to calling
+        :meth:`reformulate` per query.
+        """
+        query_tuples = [tuple(q) for q in queries]
+        unique = list(dict.fromkeys(query_tuples))
+        enabled = obs.is_enabled()
+        start = time.perf_counter() if enabled else 0.0
+        with obs.span(
+            "reformulate_many",
+            queries=len(query_tuples),
+            unique=len(unique),
+            workers=workers,
+        ) as root:
+            if self.plan_cache is not None:
+                with obs.span("plan_warm") as sp:
+                    n_terms = self.plan_cache.warm(unique)
+                    sp.set_attribute("distinct_terms", n_terms)
+            else:
+                workers = 1
+
+            def solve(query: Tuple[str, ...]) -> List[ScoredQuery]:
+                return self.reformulate(list(query), k=k, algorithm=algorithm)
+
+            if workers > 1 and len(unique) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(solve, unique))
+            else:
+                results = [solve(query) for query in unique]
+            root.set_attribute("n_results", len(results))
+        by_query = dict(zip(unique, results))
+        if enabled:
+            registry = obs.registry()
+            registry.counter(
+                "repro_batch_requests_total",
+                "reformulate_many invocations",
+            ).inc()
+            registry.counter(
+                "repro_batch_queries_total",
+                "Queries received through the batch API",
+            ).inc(len(query_tuples))
+            registry.counter(
+                "repro_batch_unique_queries_total",
+                "Distinct queries decoded by the batch API",
+            ).inc(len(unique))
+            registry.histogram(
+                "repro_batch_seconds",
+                "End-to-end reformulate_many latency",
+            ).observe(time.perf_counter() - start)
+        return [list(by_query[query]) for query in query_tuples]
 
     def explain(
         self,
@@ -285,7 +411,13 @@ class Reformulator:
             )
         enabled = obs.is_enabled()
         with span_fn("candidates", n=self.config.n_candidates) as sp:
-            states = self.candidates.build(keywords)
+            if self.plan_cache is not None:
+                plans = [self.plan_cache.term_plan(kw) for kw in keywords]
+                states = [plan.state_list for plan in plans]
+                sp.set_attribute("plan_cache", True)
+            else:
+                plans = None
+                states = self.candidates.build(keywords)
             sizes = [len(lst) for lst in states]
             sp.set_attribute("sizes", sizes)
         if enabled:
@@ -307,18 +439,22 @@ class Reformulator:
                 detail["rank"] = ranker
         else:
             with span_fn("hmm_build") as sp:
-                hmm = ReformulationHMM.build(
-                    query=keywords,
-                    states=states,
-                    closeness=self.closeness,
-                    frequency=self.frequency,
-                    smoothing_lambda=self.config.smoothing_lambda,
-                )
+                if self.plan_cache is not None:
+                    hmm = self.plan_cache.build_hmm(keywords, plans=plans)
+                else:
+                    hmm = ReformulationHMM.build(
+                        query=keywords,
+                        states=states,
+                        closeness=self.closeness,
+                        frequency=self.frequency,
+                        smoothing_lambda=self.config.smoothing_lambda,
+                    )
                 sp.set_attribute("length", hmm.length)
                 sp.set_attribute("search_space", hmm.search_space)
             with span_fn("decode", algorithm=algorithm) as sp:
-                if algorithm == "astar":
-                    outcome = astar_topk(hmm, want)
+                if algorithm in ("astar", "astar_log"):
+                    search = astar_topk if algorithm == "astar" else astar_topk_log
+                    outcome = search(hmm, want)
                     raw = outcome.queries
                     sp.set_attribute("expanded", outcome.expanded)
                     sp.set_attribute("pushed", outcome.pushed)
@@ -339,6 +475,8 @@ class Reformulator:
                         ).inc(outcome.pruned)
                 elif algorithm == "viterbi_topk":
                     raw = viterbi_topk(hmm, want)
+                elif algorithm == "viterbi_topk_log":
+                    raw = viterbi_topk_log(hmm, want)
                 else:
                     raw = brute_force_topk(hmm, want)
                 sp.set_attribute("raw_results", len(raw))

@@ -4,6 +4,15 @@ The standard Viterbi recursion finds the single best hidden-state
 sequence in ``O(m n²)``.  Algorithm 2 of the paper extends the per-state
 memo from one best prefix to the *k* best prefixes ending in each state,
 which is ``k log k`` slower: ``O(m n² k log k)``.
+
+Each algorithm has a **log-space lane** (``*_log``): the recursion adds
+``log π / log B / log A`` instead of multiplying probabilities, so long
+queries cannot underflow to an all-zero table and no per-query rescaling
+is ever needed.  The log matrices come from the HMM's cached lane
+(:attr:`~repro.core.hmm.ReformulationHMM.log_transitions` is pre-seeded
+by the serving plan cache), and returned queries are re-scored with
+Eq 10 in probability space, so both lanes emit identical
+:class:`ScoredQuery` values.
 """
 
 from __future__ import annotations
@@ -96,6 +105,82 @@ def viterbi_topk(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
     # Deterministic tie-break: score desc, then path lexicographic.
     top.sort(key=lambda sp: (-sp[0], sp[1]))
     return [hmm.scored_query(path) for _score, path in top]
+
+
+def viterbi_table_log(hmm: ReformulationHMM) -> ViterbiTable:
+    """Log-space forward max-sum recursion (scores are log-probabilities).
+
+    Zero-probability entries enter as ``-inf`` and stay ``-inf`` through
+    the additions, so impossible prefixes never need special-casing.
+    """
+    scores: List[np.ndarray] = []
+    backpointers: List[np.ndarray] = []
+
+    first = hmm.log_pi + hmm.log_emissions[0]
+    scores.append(first)
+    backpointers.append(np.full(first.shape, -1, dtype=np.int64))
+
+    for step in range(1, hmm.length):
+        trans = hmm.log_transitions[step - 1]
+        prev = scores[-1]
+        # combined[i, j] = prev[i] + trans[i, j]
+        combined = prev[:, None] + trans
+        best_prev = combined.argmax(axis=0)
+        best_score = combined[best_prev, np.arange(trans.shape[1])]
+        scores.append(best_score + hmm.log_emissions[step])
+        backpointers.append(best_prev)
+    return ViterbiTable(scores, backpointers)
+
+
+def viterbi_top1_log(hmm: ReformulationHMM) -> ScoredQuery:
+    """Log-space Viterbi; the returned score is Eq 10 in probability space."""
+    table = viterbi_table_log(hmm)
+    last = int(table.scores[-1].argmax())
+    path = [last]
+    for step in range(hmm.length - 1, 0, -1):
+        path.append(int(table.backpointers[step][path[-1]]))
+    path.reverse()
+    return hmm.scored_query(path)
+
+
+def viterbi_topk_log(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
+    """Algorithm 2 in log space: top-k prefixes per state via max-sum.
+
+    Selection happens on summed log-probabilities; the final list is
+    re-scored and re-sorted with the probability-space Eq 10 score, so
+    the output ordering matches :func:`viterbi_topk` exactly.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+
+    log_pi = hmm.log_pi
+    log_emis0 = hmm.log_emissions[0]
+    lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
+    for i in range(hmm.n_states(0)):
+        score = float(log_pi[i] + log_emis0[i])
+        lists.append([(score, (i,))])
+
+    for step in range(1, hmm.length):
+        trans = hmm.log_transitions[step - 1]
+        emis = hmm.log_emissions[step]
+        new_lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
+        for j in range(hmm.n_states(step)):
+            extensions = (
+                (score + float(trans[i, j]) + float(emis[j]), path + (j,))
+                for i, prefix_list in enumerate(lists)
+                for score, path in prefix_list
+            )
+            best = heapq.nlargest(k, extensions, key=lambda sp: sp[0])
+            new_lists.append(best)
+        lists = new_lists
+
+    complete = [sp for state_list in lists for sp in state_list]
+    top = heapq.nlargest(k, complete, key=lambda sp: sp[0])
+    out = [hmm.scored_query(path) for _score, path in top]
+    # Deterministic tie-break on the probability-space score, matching
+    # the linear-space lane bit for bit.
+    out.sort(key=lambda q: (-q.score, q.state_path))
+    return out
 
 
 def path_scores_consistent(

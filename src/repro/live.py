@@ -22,6 +22,7 @@ from repro.core.reformulator import Reformulator, ReformulatorConfig
 from repro.core.scoring import ScoredQuery
 from repro.errors import ReproError
 from repro.index.analyzer import Analyzer
+from repro.serving.result_cache import ResultCache
 from repro.storage.database import Database, TupleRef
 from repro.storage.table import Row
 
@@ -66,6 +67,15 @@ class LiveReformulator:
         # than re-reading (and re-checksumming) the files.
         self._store_cache: Dict[str, "TermRelationStore"] = {}
         self._mutations_since_build = 0
+        # Query-level result LRU: entries are tagged with the pipeline
+        # version, so every rebuild makes the resident set unreachable
+        # (and pipeline() sweeps it).  Size 0 disables the layer.
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(self.config.result_cache_size)
+            if self.config.result_cache_size > 0
+            else None
+        )
+        self._cache_bypasses = 0
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -152,6 +162,8 @@ class LiveReformulator:
             self._version += 1
             self._dirty = False
             self._mutations_since_build = 0
+            if self.result_cache is not None:
+                self.result_cache.evict_stale(self._version)
             if obs.is_enabled():
                 registry = obs.registry()
                 registry.counter(
@@ -168,16 +180,58 @@ class LiveReformulator:
     # delegation
     # ------------------------------------------------------------------ #
 
+    @property
+    def cache_bypasses(self) -> int:
+        """Queries that arrived while stale and so bypassed the result LRU."""
+        return self._cache_bypasses
+
     def reformulate(
         self, keywords: Sequence[str], k: int = 10, algorithm: str = "astar"
     ) -> List[ScoredQuery]:
-        """Top-k suggestions over the (possibly rebuilt) pipeline."""
+        """Top-k suggestions over the (possibly rebuilt) pipeline.
+
+        Served from the version-aware result LRU when an identical
+        ``(keywords, k, algorithm)`` request already ran against the
+        current pipeline.  A query arriving while :attr:`is_stale` cannot
+        hit — the resident entries predate the pending mutations — so it
+        bypasses the lookup (counted in
+        ``repro_live_result_cache_bypass_total``), triggers the rebuild,
+        and repopulates the cache at the new version.
+        """
         if obs.is_enabled():
             obs.registry().gauge(
                 "repro_live_staleness_at_query",
                 "Mutations pending against the pipeline when a query arrived",
             ).set(self._mutations_since_build)
-        return self.pipeline().reformulate(keywords, k=k, algorithm=algorithm)
+        stale = self.is_stale
+        if stale:
+            self._cache_bypasses += 1
+            obs.counter(
+                "repro_live_result_cache_bypass_total",
+                "Queries that bypassed the result cache due to staleness",
+            ).inc()
+        key = ResultCache.key(keywords, k, algorithm)
+        pipeline = self.pipeline()  # may rebuild and bump the version
+        if self.result_cache is not None and not stale:
+            cached = self.result_cache.get(key, self._version)
+            if cached is not None:
+                return cached
+        results = pipeline.reformulate(keywords, k=k, algorithm=algorithm)
+        if self.result_cache is not None:
+            self.result_cache.put(key, self._version, results)
+        return results
+
+    def reformulate_many(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: int = 10,
+        algorithm: str = "astar",
+        workers: int = 1,
+    ) -> List[List[ScoredQuery]]:
+        """Batched suggestions over the (possibly rebuilt) pipeline."""
+        return self.pipeline().reformulate_many(
+            queries, k=k, algorithm=algorithm, workers=workers
+        )
 
     def similar_terms(self, text: str, top_n: int = 10):
         """Similar terms over the (possibly rebuilt) pipeline."""

@@ -76,6 +76,79 @@ class TestReformulate:
         assert code == 0
         assert "input: probabilistic | query" in text
 
+    def test_log_algorithm_matches_linear(self, toy_dir):
+        base = [
+            "reformulate", "--data", str(toy_dir),
+            "probabilistic", "query", "-k", "3", "--candidates", "5",
+        ]
+        _code, linear = run(base + ["--algorithm", "astar"])
+        code, logged = run(base + ["--algorithm", "astar_log"])
+        assert code == 0
+        assert logged == linear
+
+    def test_batch_file(self, toy_dir, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text(
+            "probabilistic query\npattern mining\nprobabilistic query\n",
+            encoding="utf-8",
+        )
+        code, text = run([
+            "reformulate", "--data", str(toy_dir),
+            "--batch", str(batch), "--workers", "2",
+            "-k", "2", "--candidates", "5",
+        ])
+        assert code == 0
+        assert text.count("input: probabilistic | query") == 2
+        assert text.count("input: pattern | mining") == 1
+        # duplicate queries print identical suggestion blocks
+        blocks = text.split("input: ")
+        dupes = [b for b in blocks if b.startswith("probabilistic | query")]
+        assert dupes[0] == dupes[1]
+
+    def test_batch_matches_single_queries(self, toy_dir, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("probabilistic query\n", encoding="utf-8")
+        _code, single = run([
+            "reformulate", "--data", str(toy_dir),
+            "probabilistic", "query", "-k", "3", "--candidates", "5",
+        ])
+        code, batched = run([
+            "reformulate", "--data", str(toy_dir),
+            "--batch", str(batch), "-k", "3", "--candidates", "5",
+        ])
+        assert code == 0
+        assert batched == single
+
+    def test_batch_and_keywords_conflict(self, toy_dir, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("probabilistic query\n", encoding="utf-8")
+        code, _text = run([
+            "reformulate", "--data", str(toy_dir),
+            "probabilistic", "--batch", str(batch),
+        ])
+        assert code == 1
+
+    def test_no_keywords_and_no_batch_errors(self, toy_dir):
+        code, _text = run(["reformulate", "--data", str(toy_dir)])
+        assert code == 1
+
+    def test_missing_batch_file(self, toy_dir):
+        code, _text = run([
+            "reformulate", "--data", str(toy_dir),
+            "--batch", "/nonexistent/queries.txt",
+        ])
+        assert code == 1
+
+    def test_no_plan_cache_flag_identical(self, toy_dir):
+        base = [
+            "reformulate", "--data", str(toy_dir),
+            "probabilistic", "query", "-k", "3", "--candidates", "5",
+        ]
+        _code, cached = run(base)
+        code, uncached = run(base + ["--no-plan-cache"])
+        assert code == 0
+        assert uncached == cached
+
 
 class TestSimilarAndClose:
     def test_similar_walk(self, toy_dir):
