@@ -10,6 +10,8 @@ depends on:
 * :mod:`repro.graph` — TAT graph, contextual random walk, closeness;
 * :mod:`repro.core` — HMM query generation, top-k Viterbi, A*;
 * :mod:`repro.data` — deterministic synthetic DBLP corpus + workloads;
+* :mod:`repro.server` — HTTP serving daemon with admission control,
+  per-request deadlines and graceful degradation;
 * :mod:`repro.eval` — metrics and simulated relevance judges;
 * :mod:`repro.experiments` — drivers regenerating every table/figure.
 
@@ -63,6 +65,7 @@ from repro.index.phrases import (
 from repro.offline import OfflinePrecomputer, PrecomputeStats, TermRelationStore
 from repro.offline_store import ShardedTermRelationStore, migrate_v1_to_v2
 from repro.search import KeywordSearchEngine, ResultRanker, ResultSizeEstimator
+from repro.server import ReformulationServer, ServerClient, ServerConfig
 from repro.serving import PlanCache, ResultCache
 from repro.storage import (
     Column,
@@ -130,5 +133,8 @@ __all__ = [
     "PlanCache",
     "ResultCache",
     "LiveReformulator",
+    "ReformulationServer",
+    "ServerClient",
+    "ServerConfig",
     "__version__",
 ]

@@ -17,6 +17,7 @@ One entry point with subcommands covering the full lifecycle::
     python -m repro.cli explain --data corpus/ probabilistic query
     python -m repro.cli --verbose precompute --data corpus/ --out store/ --trace
     python -m repro.cli stats --format prometheus
+    python -m repro.cli serve --data corpus/ --port 8080 --relations store/
 
 ``--data`` is a directory holding ``schema.json`` + per-table CSVs (any
 schema, not just the bibliographic one); ``synth`` writes such a
@@ -221,6 +222,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--from-json", default=None,
         help="re-export a JSON snapshot written by --metrics-out instead "
              "of the live in-process registry",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP serving daemon over a corpus"
+    )
+    add_data(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--relations", default=None,
+        help="precomputed term-relation store to serve from "
+             "(v1 JSON file or v2 shard directory)",
+    )
+    serve.add_argument(
+        "--method", choices=("tat", "cooccurrence", "rank"), default="tat"
+    )
+    serve.add_argument("--candidates", type=int, default=15)
+    serve.add_argument(
+        "--max-concurrency", type=int, default=8,
+        help="requests decoded at once (admission semaphore permits)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="requests allowed to wait for a permit before shedding",
+    )
+    serve.add_argument(
+        "--queue-timeout-ms", type=int, default=1000,
+        help="longest a queued request waits before a 429",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=int, default=0,
+        help="default per-request deadline (0 = none; requests may "
+             "still send their own deadline_ms)",
+    )
+    serve.add_argument(
+        "--result-cache", type=int, default=1024,
+        help="query-level result LRU capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="leave the observability switch off (no /metrics series)",
     )
 
     store = sub.add_parser("store", help="inspect or migrate relation stores")
@@ -483,6 +528,50 @@ def cmd_precompute(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    """``serve``: run the HTTP daemon until SIGTERM/SIGINT.
+
+    The pipeline is built before the listening socket accepts queries,
+    so ``/readyz`` is green from the first connection; a ``READY``
+    line with the bound address is printed to *out* once serving (CI
+    and scripts poll for it).  SIGTERM drains in-flight requests
+    before the process exits.
+    """
+    from repro.live import LiveReformulator
+    from repro.server import ReformulationServer, ServerConfig
+
+    database = _load(args)
+    live = LiveReformulator(
+        database,
+        ReformulatorConfig(
+            method=args.method,
+            n_candidates=args.candidates,
+            result_cache_size=args.result_cache,
+        ),
+        relations=args.relations,
+    )
+    server = ReformulationServer(live, ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        queue_timeout_s=args.queue_timeout_ms / 1000.0,
+        default_deadline_ms=args.deadline_ms,
+    ))
+    if not args.no_metrics:
+        obs.enable()
+    server.install_signal_handlers()
+    logger.info(
+        "pipeline warming (relations=%s)...", args.relations or "live"
+    )
+    live.pipeline()
+    host, port = server.bind()
+    print(f"READY http://{host}:{port}", file=out, flush=True)
+    server.serve_forever()
+    logger.info("server drained; exiting")
+    return 0
+
+
 def cmd_store(args, out) -> int:
     """``store``: relation-store maintenance subcommands."""
     database = _load(args)
@@ -519,6 +608,7 @@ COMMANDS = {
     "precompute": cmd_precompute,
     "stats": cmd_stats,
     "store": cmd_store,
+    "serve": cmd_serve,
 }
 
 

@@ -10,10 +10,17 @@ For per-insert freshness at scale a real deployment would maintain the
 graph incrementally; the rebuild policy here is O(corpus) per refresh but
 always exact, and the `version` counter lets callers see when a rebuild
 happened.
+
+The wrapper is safe under concurrent callers (the serving daemon fans
+requests across threads): mutation bookkeeping and the check-then-rebuild
+in :meth:`LiveReformulator.pipeline` are serialized by one rebuild lock,
+so exactly one thread rebuilds after a mutation while the others wait and
+then share the fresh pipeline.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -61,6 +68,11 @@ class LiveReformulator:
         self._pipeline: Optional[Reformulator] = None
         self._version = 0
         self._dirty = True
+        # Serializes the dirty-check-then-rebuild in pipeline() and the
+        # mutation bookkeeping: without it two threads could both see
+        # _dirty and rebuild twice (or read a half-updated version).
+        # RLock so a locked caller may call pipeline() again.
+        self._rebuild_lock = threading.RLock()
         # Relation stores loaded from disk, keyed on path: the store data
         # is keyed on term strings and independent of any one graph, so a
         # rebuild only needs to rebind the store to the fresh graph rather
@@ -84,22 +96,25 @@ class LiveReformulator:
     def insert(self, table_name: str, row: Row) -> TupleRef:
         """Insert a row and mark the derived structures stale."""
         ref = self.database.insert(table_name, row)
-        self._dirty = True
-        self._mutations_since_build += 1
+        with self._rebuild_lock:
+            self._dirty = True
+            self._mutations_since_build += 1
         return ref
 
     def insert_many(self, table_name: str, rows: List[Row]) -> int:
         """Insert rows; mark stale when any were inserted."""
         count = self.database.insert_many(table_name, rows)
         if count:
-            self._dirty = True
-            self._mutations_since_build += count
+            with self._rebuild_lock:
+                self._dirty = True
+                self._mutations_since_build += count
         return count
 
     def invalidate(self) -> None:
         """Mark stale after out-of-band database mutations."""
-        self._dirty = True
-        self._mutations_since_build += 1
+        with self._rebuild_lock:
+            self._dirty = True
+            self._mutations_since_build += 1
 
     def reload_relations(self) -> None:
         """Drop the cached relation store so the next rebuild re-reads it.
@@ -108,8 +123,9 @@ class LiveReformulator:
         the path-keyed cache in :meth:`pipeline` would otherwise keep
         serving the previously loaded contents.
         """
-        self._store_cache.clear()
-        self._dirty = True
+        with self._rebuild_lock:
+            self._store_cache.clear()
+            self._dirty = True
 
     # ------------------------------------------------------------------ #
     # derived pipeline
@@ -126,7 +142,16 @@ class LiveReformulator:
         return self._dirty
 
     def pipeline(self) -> Reformulator:
-        """The current pipeline, rebuilt if the database changed."""
+        """The current pipeline, rebuilt if the database changed.
+
+        Thread-safe: the whole check-then-rebuild runs under the rebuild
+        lock, so concurrent callers racing a mutation get exactly one
+        rebuild (one version bump) and then share the same pipeline.
+        """
+        with self._rebuild_lock:
+            return self._pipeline_locked()
+
+    def _pipeline_locked(self) -> Reformulator:
         if self._dirty or self._pipeline is None:
             start = time.perf_counter()
             with obs.span(
@@ -228,10 +253,49 @@ class LiveReformulator:
         algorithm: str = "astar",
         workers: int = 1,
     ) -> List[List[ScoredQuery]]:
-        """Batched suggestions over the (possibly rebuilt) pipeline."""
-        return self.pipeline().reformulate_many(
-            queries, k=k, algorithm=algorithm, workers=workers
-        )
+        """Batched suggestions over the (possibly rebuilt) pipeline.
+
+        Each batch entry goes through the same version-aware result LRU
+        as :meth:`reformulate`: resident entries are served from memory,
+        only the misses reach the batched decode, and every decoded
+        answer is cached for both future batches and single queries.
+        Staleness is handled like the single-query path — a batch
+        arriving while :attr:`is_stale` bypasses the lookup entirely,
+        counted once per entry in
+        ``repro_live_result_cache_bypass_total``.
+        """
+        queries = [list(query) for query in queries]
+        stale = self.is_stale
+        if stale and queries:
+            self._cache_bypasses += len(queries)
+            obs.counter(
+                "repro_live_result_cache_bypass_total",
+                "Queries that bypassed the result cache due to staleness",
+            ).inc(len(queries))
+        pipeline = self.pipeline()  # may rebuild and bump the version
+        if self.result_cache is None:
+            return pipeline.reformulate_many(
+                queries, k=k, algorithm=algorithm, workers=workers
+            )
+        version = self._version
+        keys = [ResultCache.key(query, k, algorithm) for query in queries]
+        results: List[Optional[List[ScoredQuery]]] = [None] * len(queries)
+        misses: List[int] = []
+        for i, key in enumerate(keys):
+            cached = None if stale else self.result_cache.get(key, version)
+            if cached is None:
+                misses.append(i)
+            else:
+                results[i] = cached
+        if misses:
+            solved = pipeline.reformulate_many(
+                [queries[i] for i in misses],
+                k=k, algorithm=algorithm, workers=workers,
+            )
+            for i, suggestions in zip(misses, solved):
+                self.result_cache.put(keys[i], version, suggestions)
+                results[i] = suggestions
+        return [list(suggestions) for suggestions in results]
 
     def similar_terms(self, text: str, top_n: int = 10):
         """Similar terms over the (possibly rebuilt) pipeline."""

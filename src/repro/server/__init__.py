@@ -1,0 +1,74 @@
+"""Network serving layer: the HTTP daemon over :class:`LiveReformulator`.
+
+The subsystem turns the in-process pipeline into a long-lived query
+service with an overload story:
+
+* :mod:`repro.server.config` — :class:`ServerConfig`, every knob;
+* :mod:`repro.server.admission` — semaphore-bounded concurrency plus a
+  bounded wait queue; excess load is shed with 429 + ``Retry-After``;
+* :mod:`repro.server.deadline` — per-request budgets and the latency
+  EWMA behind graceful degradation (cached result / single-best
+  Viterbi instead of a blown deadline);
+* :mod:`repro.server.app` — the threaded ``http.server`` daemon:
+  ``POST /reformulate``, ``POST /reformulate/batch``, ``GET /similar``,
+  ``GET /healthz``, ``GET /readyz``, ``GET /metrics``,
+  ``POST /admin/reload``, graceful SIGTERM drain;
+* :mod:`repro.server.client` — stdlib keep-alive JSON client.
+
+Quickstart (in-process; the CLI equivalent is ``repro serve``)::
+
+    from repro.live import LiveReformulator
+    from repro.server import ReformulationServer, ServerClient, ServerConfig
+
+    server = ReformulationServer(
+        LiveReformulator(database), ServerConfig(port=0)
+    ).start()
+    with ServerClient(port=server.port) as client:
+        print(client.reformulate(["probabilistic", "query"], k=5).json)
+    server.shutdown()
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionStats,
+    OverloadedError,
+    SHED_QUEUE_FULL,
+    SHED_TIMEOUT,
+)
+from repro.server.app import (
+    DEGRADE_CACHED,
+    DEGRADE_VITERBI,
+    BadRequestError,
+    ReformulationServer,
+    scored_to_dict,
+)
+from repro.server.client import (
+    ServerClient,
+    ServerClientError,
+    ServerResponse,
+    suggestions_signature,
+)
+from repro.server.config import ServerConfig, ServerConfigError
+from repro.server.deadline import Deadline, LatencyEstimator, should_degrade
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "BadRequestError",
+    "Deadline",
+    "DEGRADE_CACHED",
+    "DEGRADE_VITERBI",
+    "LatencyEstimator",
+    "OverloadedError",
+    "ReformulationServer",
+    "ServerClient",
+    "ServerClientError",
+    "ServerConfig",
+    "ServerConfigError",
+    "ServerResponse",
+    "SHED_QUEUE_FULL",
+    "SHED_TIMEOUT",
+    "scored_to_dict",
+    "should_degrade",
+    "suggestions_signature",
+]

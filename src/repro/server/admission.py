@@ -1,0 +1,154 @@
+"""Admission control: bounded concurrency with a bounded wait queue.
+
+The controller owns a semaphore of ``max_concurrency`` permits.  A
+request that finds a free permit executes immediately; otherwise it may
+wait, but only while fewer than ``queue_depth`` requests are already
+waiting and only up to a timeout.  Everything else is **shed** — the
+caller gets :class:`OverloadedError` and turns it into ``429 Too Many
+Requests`` with a ``Retry-After`` hint.
+
+Why shed instead of queue deeper: with a fixed service rate, queue
+length is the latency the *next* request will see.  Past
+``queue_depth`` the daemon would only be manufacturing timeouts, so the
+honest answer is an immediate refusal the client can back off from.
+
+The controller is pure threading (no asyncio) to match the threaded
+``http.server`` stack, and is independently testable without sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+
+#: Shed causes, also used as the ``reason`` attached to the error.
+SHED_QUEUE_FULL = "queue_full"
+SHED_TIMEOUT = "timeout"
+
+
+class OverloadedError(ReproError):
+    """Request shed by admission control (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: int = 1) -> None:
+        super().__init__(f"overloaded ({reason})")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class AdmissionStats:
+    """Plain-integer counter snapshot (ungated, always available)."""
+
+    admitted: int
+    shed_queue_full: int
+    shed_timeout: int
+    executing: int
+    waiting: int
+
+    @property
+    def shed(self) -> int:
+        """Total shed requests, both causes."""
+        return self.shed_queue_full + self.shed_timeout
+
+
+class AdmissionController:
+    """Semaphore-bounded concurrency plus a bounded, timed wait queue."""
+
+    def __init__(
+        self,
+        max_concurrency: int,
+        queue_depth: int = 0,
+        queue_timeout_s: float = 1.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ReproError("max_concurrency must be >= 1")
+        if queue_depth < 0:
+            raise ReproError("queue_depth must be >= 0")
+        self.max_concurrency = max_concurrency
+        self.queue_depth = queue_depth
+        self.queue_timeout_s = queue_timeout_s
+        self._semaphore = threading.Semaphore(max_concurrency)
+        self._lock = threading.Lock()
+        self._executing = 0
+        self._waiting = 0
+        self._admitted = 0
+        self._shed_queue_full = 0
+        self._shed_timeout = 0
+
+    # ------------------------------------------------------------------ #
+    # acquire / release
+    # ------------------------------------------------------------------ #
+
+    def acquire(self, timeout_s: Optional[float] = None) -> None:
+        """Take one execution permit or raise :class:`OverloadedError`.
+
+        *timeout_s* caps the queue wait below ``queue_timeout_s`` (a
+        request with little deadline budget left should not out-wait
+        its own deadline); ``None`` uses the configured timeout.
+        """
+        if self._semaphore.acquire(blocking=False):
+            with self._lock:
+                self._executing += 1
+                self._admitted += 1
+            return
+        with self._lock:
+            if self._waiting >= self.queue_depth:
+                self._shed_queue_full += 1
+                raise OverloadedError(SHED_QUEUE_FULL)
+            self._waiting += 1
+        budget = self.queue_timeout_s
+        if timeout_s is not None:
+            budget = min(budget, timeout_s)
+        admitted = self._semaphore.acquire(timeout=max(0.0, budget))
+        with self._lock:
+            self._waiting -= 1
+            if admitted:
+                self._executing += 1
+                self._admitted += 1
+            else:
+                self._shed_timeout += 1
+        if not admitted:
+            raise OverloadedError(SHED_TIMEOUT)
+
+    def release(self) -> None:
+        """Return one execution permit."""
+        with self._lock:
+            self._executing -= 1
+        self._semaphore.release()
+
+    @contextmanager
+    def admit(self, timeout_s: Optional[float] = None) -> Iterator[None]:
+        """``with admission.admit(): ...`` — acquire, run, release."""
+        self.acquire(timeout_s=timeout_s)
+        try:
+            yield
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> AdmissionStats:
+        """Counter snapshot."""
+        with self._lock:
+            return AdmissionStats(
+                admitted=self._admitted,
+                shed_queue_full=self._shed_queue_full,
+                shed_timeout=self._shed_timeout,
+                executing=self._executing,
+                waiting=self._waiting,
+            )
+
+    @property
+    def saturated(self) -> bool:
+        """True when every permit is taken and the queue is full."""
+        with self._lock:
+            return (
+                self._executing >= self.max_concurrency
+                and self._waiting >= self.queue_depth
+            )

@@ -1,0 +1,673 @@
+"""The serving daemon: a threaded stdlib HTTP server over LiveReformulator.
+
+Request lifecycle for the query routes (``/reformulate``,
+``/reformulate/batch``, ``/similar``)::
+
+    receive -> parse body -> start deadline -> admission (may wait/shed)
+            -> degrade decision -> decode (full or fallback) -> respond
+
+* **Admission** (:mod:`repro.server.admission`): ``max_concurrency``
+  requests execute, ``queue_depth`` wait, the rest are shed with
+  ``429`` + ``Retry-After``.
+* **Deadlines** (:mod:`repro.server.deadline`): queue wait and decode
+  share one budget; on deadline pressure the handler falls back from
+  the full A* top-k to the result-cache entry (if the identical request
+  is resident) or a single-best Viterbi decode, and marks the response
+  ``"degraded": true`` — a cheap answer beats a blown deadline.
+* **Drain**: SIGTERM (via :meth:`ReformulationServer.install_signal_handlers`)
+  or :meth:`ReformulationServer.shutdown` stops accepting connections,
+  flips ``/readyz`` to 503, and joins in-flight handler threads before
+  returning.
+
+Health/metrics/admin routes bypass admission so the daemon stays
+observable and steerable under overload.
+
+Everything is standard library: ``http.server`` threading stack, JSON
+bodies, and the existing :mod:`repro.obs` Prometheus exporter behind
+``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import signal
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro import obs
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReproError
+from repro.live import LiveReformulator
+from repro.serving.result_cache import ResultCache
+from repro.server.admission import AdmissionController, OverloadedError
+from repro.server.config import ServerConfig
+from repro.server.deadline import Deadline, LatencyEstimator, should_degrade
+
+logger = logging.getLogger("repro.server")
+
+#: Degradation fallbacks, in preference order.
+DEGRADE_CACHED = "cached"
+DEGRADE_VITERBI = "viterbi_top1"
+
+_JSON = "application/json"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def scored_to_dict(query: ScoredQuery) -> Dict[str, Any]:
+    """JSON-able view of one suggestion.
+
+    ``score`` survives the JSON round trip exactly: ``json.dumps`` emits
+    ``repr(float)`` which parses back bit-identical, so HTTP responses
+    can be compared 1:1 against in-process results.
+    """
+    return {
+        "text": query.text,
+        "score": query.score,
+        "terms": list(query.terms),
+        "state_path": list(query.state_path),
+    }
+
+
+class BadRequestError(ReproError):
+    """Malformed request payload (HTTP 400)."""
+
+
+def _require_keywords(value: Any, what: str = "keywords") -> List[str]:
+    if (
+        not isinstance(value, (list, tuple))
+        or not value
+        or not all(isinstance(term, str) and term for term in value)
+    ):
+        raise BadRequestError(f"{what} must be a non-empty list of strings")
+    return [term for term in value]
+
+
+def _int_field(payload: Dict[str, Any], name: str, default: int,
+               minimum: int = 1) -> int:
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise BadRequestError(f"{name} must be an integer >= {minimum}")
+    return value
+
+
+class ReformulationServer:
+    """HTTP daemon wrapping one :class:`LiveReformulator`.
+
+    The server object is independent of the socket machinery: handlers
+    call :meth:`handle_reformulate` / :meth:`handle_batch` /
+    :meth:`handle_similar`, which are plain methods and unit-testable.
+    """
+
+    def __init__(
+        self,
+        live: LiveReformulator,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.live = live
+        self.config = config or ServerConfig()
+        self.config.validate()
+        self.admission = AdmissionController(
+            self.config.max_concurrency,
+            queue_depth=self.config.queue_depth,
+            queue_timeout_s=self.config.queue_timeout_s,
+        )
+        self.latency = LatencyEstimator(
+            floor_s=self.config.min_latency_estimate_s
+        )
+        self._httpd: Optional[_HTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._draining = threading.Event()
+        self._started = threading.Event()
+        self._lifecycle_lock = threading.Lock()
+        self._closed = False
+        self._degraded_served = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)`` — resolves port 0 to the real one."""
+        if self._httpd is None:
+            return (self.config.host, self.config.port)
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        """The bound port."""
+        return self.address[1]
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown started; ``/readyz`` turns 503."""
+        return self._draining.is_set()
+
+    @property
+    def ready(self) -> bool:
+        """Pipeline built, serving, and not draining."""
+        return (
+            self._started.is_set()
+            and not self.draining
+            and self.live.version >= 1
+        )
+
+    def _ensure_httpd(self) -> "_HTTPServer":
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ReproError("server already shut down")
+            if self._httpd is None:
+                self._httpd = _HTTPServer(
+                    (self.config.host, self.config.port), _Handler, app=self
+                )
+            return self._httpd
+
+    def bind(self) -> Tuple[str, int]:
+        """Bind the listening socket now; returns the bound address.
+
+        Lets callers (the CLI) announce the real port — meaningful with
+        ``port=0`` — before blocking in :meth:`serve_forever`.
+        """
+        self._ensure_httpd()
+        return self.address
+
+    def start(self) -> "ReformulationServer":
+        """Serve from a background thread (tests, embedding); returns self."""
+        httpd = self._ensure_httpd()
+        if self.config.warm_on_start:
+            self.live.pipeline()
+        self._thread = threading.Thread(
+            target=self._serve_loop, args=(httpd,),
+            name="repro-server", daemon=True,
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve from the calling thread until :meth:`shutdown`."""
+        httpd = self._ensure_httpd()
+        if self.config.warm_on_start:
+            self.live.pipeline()
+        self._serve_loop(httpd)
+
+    def _serve_loop(self, httpd: "_HTTPServer") -> None:
+        logger.info("serving on %s:%d", *self.address)
+        self._started.set()
+        try:
+            httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._close(httpd)
+
+    def _close(self, httpd: "_HTTPServer") -> None:
+        """Join in-flight handlers and release the socket (idempotent)."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        # block_on_close + non-daemon handler threads: this join IS the
+        # drain — every accepted request finishes before we return.
+        httpd.server_close()
+        logger.info("drained and closed")
+
+    def shutdown(self) -> None:
+        """Graceful stop: refuse new connections, drain in-flight work.
+
+        Safe to call from any thread except a request handler; returns
+        once every in-flight request has completed and the listening
+        socket is released.  Idempotent.
+        """
+        if self._httpd is None:
+            return
+        self._draining.set()
+        self._httpd.shutdown()  # stops the accept loop (blocks until out)
+        self._close(self._httpd)
+        if (
+            self._thread is not None
+            and self._thread is not threading.current_thread()
+        ):
+            self._thread.join(timeout=self.config.keepalive_timeout_s + 5.0)
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT -> graceful drain (main thread only).
+
+        ``serve_forever`` runs in the main thread under the CLI, and
+        ``ThreadingHTTPServer.shutdown`` deadlocks when called from the
+        serving thread — so the handler hands the drain to a helper
+        thread and lets ``serve_forever`` return naturally.
+        """
+
+        def _handle(signum: int, _frame: Any) -> None:
+            logger.info("received signal %d, draining", signum)
+            threading.Thread(
+                target=self.shutdown, name="repro-server-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+
+    # ------------------------------------------------------------------ #
+    # request handling (HTTP-free, unit-testable)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degraded_served(self) -> int:
+        """Requests answered through a degradation fallback (ungated)."""
+        return self._degraded_served
+
+    def retry_after_s(self) -> int:
+        """``Retry-After`` hint: expected time for the queue to clear."""
+        stats = self.admission.stats()
+        backlog = stats.executing + stats.waiting
+        per_slot = self.latency.estimate()
+        estimate = per_slot * max(1, backlog) / self.admission.max_concurrency
+        return int(
+            min(
+                self.config.retry_after_max_s,
+                max(self.config.retry_after_min_s, math.ceil(estimate)),
+            )
+        )
+
+    def _parse_query_terms(self, payload: Dict[str, Any]) -> List[str]:
+        """Keywords from ``keywords`` (pre-tokenized) or ``query`` (raw)."""
+        if "keywords" in payload:
+            return _require_keywords(payload["keywords"])
+        raw = payload.get("query")
+        if not isinstance(raw, str) or not raw.strip():
+            raise BadRequestError(
+                "provide 'keywords' (list of strings) or 'query' (string)"
+            )
+        parsed = self.live.pipeline().parser.parse(raw.lower())
+        keywords = list(parsed.keywords)
+        if not keywords:
+            raise BadRequestError(f"query {raw!r} has no keywords")
+        return keywords
+
+    def _degraded_single(
+        self, keywords: Sequence[str], k: int, algorithm: str
+    ) -> Tuple[List[ScoredQuery], str]:
+        """Fallback plan for one query: cached full answer, else top-1.
+
+        The result cache is only consulted when the pipeline is fresh —
+        a stale hit would resurrect pre-mutation suggestions that the
+        normal path deliberately bypasses.
+        """
+        cache = self.live.result_cache
+        if cache is not None and not self.live.is_stale:
+            cached = cache.get(
+                ResultCache.key(keywords, k, algorithm), self.live.version
+            )
+            if cached is not None:
+                return cached, DEGRADE_CACHED
+        return [self.live.best(keywords)], DEGRADE_VITERBI
+
+    def _count_degraded(self, mode: str, route: str) -> None:
+        self._degraded_served += 1
+        obs.counter(
+            "repro_server_degraded_total",
+            "Requests answered via a degradation fallback",
+        ).inc()
+        logger.debug("degraded %s via %s", route, mode)
+
+    def handle_reformulate(
+        self, payload: Dict[str, Any], deadline: Deadline
+    ) -> Dict[str, Any]:
+        """``POST /reformulate`` body -> response dict."""
+        keywords = self._parse_query_terms(payload)
+        k = _int_field(payload, "k", self.config.default_k)
+        algorithm = payload.get("algorithm", "astar")
+        if not isinstance(algorithm, str):
+            raise BadRequestError("algorithm must be a string")
+        degraded_mode: Optional[str] = None
+        if should_degrade(deadline, self.latency, self.config.degrade_safety):
+            suggestions, degraded_mode = self._degraded_single(
+                keywords, k, algorithm
+            )
+            self._count_degraded(degraded_mode, "/reformulate")
+        else:
+            start = time.perf_counter()
+            suggestions = self.live.reformulate(
+                keywords, k=k, algorithm=algorithm
+            )
+            self.latency.observe(time.perf_counter() - start)
+        return {
+            "keywords": keywords,
+            "k": k,
+            "algorithm": algorithm,
+            "suggestions": [scored_to_dict(s) for s in suggestions],
+            "degraded": degraded_mode is not None,
+            "degraded_mode": degraded_mode,
+            "version": self.live.version,
+        }
+
+    def handle_batch(
+        self, payload: Dict[str, Any], deadline: Deadline
+    ) -> Dict[str, Any]:
+        """``POST /reformulate/batch`` body -> response dict."""
+        queries = payload.get("queries")
+        if not isinstance(queries, (list, tuple)) or not queries:
+            raise BadRequestError("queries must be a non-empty list")
+        parsed = [
+            _require_keywords(query, what=f"queries[{i}]")
+            for i, query in enumerate(queries)
+        ]
+        k = _int_field(payload, "k", self.config.default_k)
+        algorithm = payload.get("algorithm", "astar")
+        if not isinstance(algorithm, str):
+            raise BadRequestError("algorithm must be a string")
+        workers = min(
+            _int_field(payload, "workers", 1), self.config.max_batch_workers
+        )
+        degraded_mode: Optional[str] = None
+        if should_degrade(deadline, self.latency, self.config.degrade_safety):
+            # Cheapest well-formed answer per entry; one fallback flag
+            # covers the batch (modes may mix, report the weaker one).
+            modes = set()
+            results = []
+            for keywords in parsed:
+                suggestions, mode = self._degraded_single(
+                    keywords, k, algorithm
+                )
+                modes.add(mode)
+                results.append(suggestions)
+            degraded_mode = (
+                DEGRADE_VITERBI if DEGRADE_VITERBI in modes else DEGRADE_CACHED
+            )
+            self._count_degraded(degraded_mode, "/reformulate/batch")
+        else:
+            start = time.perf_counter()
+            results = self.live.reformulate_many(
+                parsed, k=k, algorithm=algorithm, workers=workers
+            )
+            elapsed = time.perf_counter() - start
+            # Per-query latency is what the degrade decision needs.
+            self.latency.observe(elapsed / max(1, len(parsed)))
+        return {
+            "k": k,
+            "algorithm": algorithm,
+            "degraded": degraded_mode is not None,
+            "degraded_mode": degraded_mode,
+            "version": self.live.version,
+            "results": [
+                {
+                    "keywords": keywords,
+                    "suggestions": [scored_to_dict(s) for s in suggestions],
+                }
+                for keywords, suggestions in zip(parsed, results)
+            ],
+        }
+
+    def handle_similar(self, params: Dict[str, List[str]]) -> Dict[str, Any]:
+        """``GET /similar?term=...&n=...`` -> response dict."""
+        terms = params.get("term")
+        if not terms or not terms[0]:
+            raise BadRequestError("missing required query parameter 'term'")
+        term = terms[0].lower()
+        try:
+            n = int(params.get("n", ["10"])[0])
+        except ValueError:
+            raise BadRequestError("n must be an integer")
+        if n < 1:
+            raise BadRequestError("n must be an integer >= 1")
+        pairs = self.live.similar_terms(term, n)
+        return {
+            "term": term,
+            "similar": [
+                {"term": other, "score": score} for other, score in pairs
+            ],
+        }
+
+    def handle_admin_reload(self) -> Dict[str, Any]:
+        """``POST /admin/reload`` -> drop cached relation stores."""
+        self.live.reload_relations()
+        logger.info("admin reload: relation store cache dropped")
+        return {
+            "reloaded": True,
+            "stale": self.live.is_stale,
+            "version": self.live.version,
+        }
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+
+    def record_request(self, route: str, status: int, seconds: float) -> None:
+        """Per-request series (gated by the ``repro.obs`` switch)."""
+        if not obs.is_enabled():
+            return
+        registry = obs.registry()
+        registry.counter(
+            "repro_server_requests_total",
+            "HTTP requests served by the daemon",
+            route=route, status=str(status),
+        ).inc()
+        registry.histogram(
+            "repro_server_request_seconds",
+            "End-to-end request latency (queue wait included)",
+            route=route,
+        ).observe(seconds)
+        stats = self.admission.stats()
+        registry.gauge(
+            "repro_server_inflight",
+            "Requests currently executing",
+        ).set(stats.executing)
+        registry.gauge(
+            "repro_server_queue_waiting",
+            "Requests waiting for an execution permit",
+        ).set(stats.waiting)
+
+    def record_shed(self, reason: str) -> None:
+        """Count one shed request (gated)."""
+        obs.counter(
+            "repro_server_shed_total",
+            "Requests shed by admission control (HTTP 429)",
+        ).inc()
+        obs.counter(
+            "repro_server_shed_by_reason_total",
+            "Shed requests by cause",
+            reason=reason,
+        ).inc()
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server that drains on close.
+
+    ``daemon_threads = False`` + ``block_on_close = True`` make
+    ``server_close()`` join every in-flight handler thread — that join
+    is the graceful-drain guarantee.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, app: ReformulationServer) -> None:
+        self.app = app
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route dispatch; all real work lives on :class:`ReformulationServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-server/1.0"
+    # Responses are written as headers-then-body; with Nagle on, the
+    # body segment stalls behind the peer's delayed ACK (~40ms per
+    # request on Linux loopback).  Flush immediately.
+    disable_nagle_algorithm = True
+
+    # Routes that consume pipeline capacity and go through admission.
+    QUERY_ROUTES = {"/reformulate", "/reformulate/batch", "/similar"}
+
+    @property
+    def app(self) -> ReformulationServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        super().setup()
+        # Bounds idle keep-alive reads, which bounds drain time too.
+        self.timeout = self.app.config.keepalive_timeout_s
+        self.connection.settimeout(self.timeout)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    # ------------------------------------------------------------------ #
+    # verbs
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, verb: str) -> None:
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        start = time.perf_counter()
+        status = 500
+        try:
+            # Always consume the body first: responding with unread
+            # bytes left in the stream desyncs keep-alive framing.
+            payload = self._read_json_body() if verb == "POST" else {}
+            status = self._route(verb, route, split.query, payload)
+        except OverloadedError as exc:
+            retry_after = self.app.retry_after_s()
+            self.app.record_shed(exc.reason)
+            status = 429
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": retry_after},
+                extra_headers={"Retry-After": str(retry_after)},
+            )
+        except BadRequestError as exc:
+            status = 400
+            self._send_json(400, {"error": str(exc)})
+        except ReproError as exc:
+            status = 400
+            self._send_json(400, {"error": str(exc)})
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            status = 499
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            logger.exception("unhandled error on %s %s", verb, route)
+            status = 500
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            label = route if route in self._known_routes() else "unknown"
+            self.app.record_request(
+                label, status, time.perf_counter() - start
+            )
+
+    @classmethod
+    def _known_routes(cls) -> set:
+        return cls.QUERY_ROUTES | {
+            "/healthz", "/readyz", "/metrics", "/admin/reload",
+        }
+
+    def _route(
+        self,
+        verb: str,
+        route: str,
+        query_string: str,
+        payload: Dict[str, Any],
+    ) -> int:
+        app = self.app
+        if verb == "GET" and route == "/healthz":
+            return self._send_json(200, {
+                "status": "ok", "draining": app.draining,
+            })
+        if verb == "GET" and route == "/readyz":
+            if app.ready:
+                return self._send_json(200, {
+                    "status": "ready", "version": app.live.version,
+                })
+            return self._send_json(503, {
+                "status": "draining" if app.draining else "warming",
+            })
+        if verb == "GET" and route == "/metrics":
+            text = obs.export.registry_to_prometheus(obs.registry())
+            return self._send_bytes(200, text.encode("utf-8"), _PROMETHEUS)
+        if verb == "POST" and route == "/admin/reload":
+            return self._send_json(200, app.handle_admin_reload())
+        if route not in self.QUERY_ROUTES:
+            return self._send_json(404, {"error": f"no route {route}"})
+        if (verb == "GET") != (route == "/similar"):
+            return self._send_json(405, {"error": f"wrong verb for {route}"})
+
+        deadline_ms = payload.get(
+            "deadline_ms", self.app.config.default_deadline_ms
+        )
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ):
+            raise BadRequestError("deadline_ms must be a number")
+        deadline = Deadline.from_ms(deadline_ms)
+        wait_cap = None if deadline.unlimited else deadline.remaining()
+        with app.admission.admit(timeout_s=wait_cap):
+            if route == "/reformulate":
+                return self._send_json(
+                    200, app.handle_reformulate(payload, deadline)
+                )
+            if route == "/reformulate/batch":
+                return self._send_json(
+                    200, app.handle_batch(payload, deadline)
+                )
+            return self._send_json(
+                200, app.handle_similar(parse_qs(query_string))
+            )
+
+    # ------------------------------------------------------------------ #
+    # body / response plumbing
+    # ------------------------------------------------------------------ #
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise BadRequestError("invalid Content-Length")
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError(f"body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise BadRequestError("body must be a JSON object")
+        return payload
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> int:
+        body = json.dumps(payload).encode("utf-8")
+        return self._send_bytes(status, body, _JSON, extra_headers)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> int:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, socket.timeout):
+            self.close_connection = True
+        return status

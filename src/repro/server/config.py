@@ -1,0 +1,97 @@
+"""Serving-daemon configuration.
+
+Every knob of the network layer in one frozen dataclass, mirroring
+:class:`~repro.core.reformulator.ReformulatorConfig` for the pipeline.
+The defaults target a small single-host deployment; the CLI ``serve``
+verb exposes the admission and deadline knobs as flags.
+
+Capacity model
+--------------
+
+``max_concurrency`` requests execute at once (a semaphore); up to
+``queue_depth`` more wait for at most ``queue_timeout_s`` seconds.
+Anything beyond that is *shed* immediately with ``429 Too Many
+Requests`` and a ``Retry-After`` hint — the daemon prefers a fast
+refusal over unbounded queueing, so latency stays bounded under
+overload (the classic admission-control trade).
+
+Deadline model
+--------------
+
+A request may carry ``deadline_ms``; ``default_deadline_ms`` applies
+when it does not (0 disables deadlines entirely).  Queue wait counts
+against the deadline.  When the remaining budget is smaller than
+``degrade_safety`` times the observed full-path latency (EWMA, floored
+at ``min_latency_estimate_s``), the handler *degrades* instead of
+blowing the deadline: it serves the result-cache entry if one exists,
+else the single-best Viterbi decode, and marks the response
+``"degraded": true``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class ServerConfigError(ReproError):
+    """Invalid serving-daemon configuration."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """All tunables of the HTTP serving daemon."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Requests executing at once (admission semaphore permits).
+    max_concurrency: int = 8
+    #: Requests allowed to wait for a permit; 0 sheds on saturation.
+    queue_depth: int = 16
+    #: Longest a queued request waits before being shed.
+    queue_timeout_s: float = 1.0
+    #: Deadline applied when the request does not carry ``deadline_ms``
+    #: (0 = no deadline, never degrade unless the request asks for one).
+    default_deadline_ms: int = 0
+    #: Degrade when ``remaining < degrade_safety * estimated_latency``.
+    degrade_safety: float = 1.5
+    #: Floor of the latency estimate, so tiny deadlines degrade even
+    #: before the EWMA has samples.
+    min_latency_estimate_s: float = 0.005
+    #: Clamp of the computed ``Retry-After`` hint (seconds).
+    retry_after_min_s: int = 1
+    retry_after_max_s: int = 30
+    #: Idle keep-alive connections are closed after this long; it also
+    #: bounds how long a drain waits on an idle connection.
+    keepalive_timeout_s: float = 5.0
+    #: Hard cap on ``workers`` accepted by the batch endpoint.
+    max_batch_workers: int = 8
+    #: Default ``k`` when a request does not specify one.
+    default_k: int = 10
+    #: Build the pipeline before serving, so ``/readyz`` is green from
+    #: the first accepted connection.
+    warm_on_start: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ServerConfigError` on out-of-range values."""
+        if self.max_concurrency < 1:
+            raise ServerConfigError("max_concurrency must be >= 1")
+        if self.queue_depth < 0:
+            raise ServerConfigError("queue_depth must be >= 0")
+        if self.queue_timeout_s < 0:
+            raise ServerConfigError("queue_timeout_s must be >= 0")
+        if self.default_deadline_ms < 0:
+            raise ServerConfigError("default_deadline_ms must be >= 0")
+        if self.degrade_safety <= 0:
+            raise ServerConfigError("degrade_safety must be > 0")
+        if self.min_latency_estimate_s <= 0:
+            raise ServerConfigError("min_latency_estimate_s must be > 0")
+        if not 0 < self.retry_after_min_s <= self.retry_after_max_s:
+            raise ServerConfigError(
+                "need 0 < retry_after_min_s <= retry_after_max_s"
+            )
+        if self.max_batch_workers < 1:
+            raise ServerConfigError("max_batch_workers must be >= 1")
+        if self.default_k < 1:
+            raise ServerConfigError("default_k must be >= 1")

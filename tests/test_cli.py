@@ -434,3 +434,72 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    """End-to-end ``repro serve``: READY line, live endpoints, drain."""
+
+    def test_serve_announces_port_and_answers(self, toy_dir, monkeypatch):
+        import threading
+        import time
+
+        from repro.server import ServerClient
+        from repro.server.app import ReformulationServer
+
+        # signal handlers belong to the real daemon, not the test process
+        monkeypatch.setattr(
+            ReformulationServer, "install_signal_handlers",
+            lambda self: None,
+        )
+        captured = {}
+        original = ReformulationServer.serve_forever
+
+        def capturing_serve_forever(self):
+            captured["server"] = self
+            original(self)
+
+        monkeypatch.setattr(
+            ReformulationServer, "serve_forever", capturing_serve_forever
+        )
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=([
+                "serve", "--data", str(toy_dir), "--port", "0",
+                "--candidates", "5", "--no-metrics",
+            ],),
+            kwargs={"out": out},
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 60
+        while time.time() < deadline and "READY" not in out.getvalue():
+            time.sleep(0.05)
+        ready_lines = [
+            line for line in out.getvalue().splitlines()
+            if line.startswith("READY ")
+        ]
+        assert ready_lines and ready_lines[0].startswith(
+            "READY http://127.0.0.1:"
+        )
+        port = int(ready_lines[0].rsplit(":", 1)[1])
+        assert port != 0  # --port 0 resolved to the real ephemeral port
+        try:
+            with ServerClient(port=port) as client:
+                assert client.readyz().status == 200
+                response = client.reformulate(
+                    ["probabilistic", "query"], k=2
+                )
+                assert response.status == 200
+                assert response.json["suggestions"]
+        finally:
+            captured["server"].shutdown()
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+    def test_serve_rejects_bad_config(self, toy_dir):
+        code, _text = run([
+            "serve", "--data", str(toy_dir), "--port", "0",
+            "--max-concurrency", "0", "--no-metrics",
+        ])
+        assert code != 0
