@@ -35,9 +35,12 @@ from repro.core import (
     ScoredQuery,
     SuggestionExplanation,
     astar_topk,
+    astar_topk_vec,
     brute_force_topk,
     viterbi_top1,
+    viterbi_top1_vec,
     viterbi_topk,
+    viterbi_topk_vec,
 )
 from repro.data import (
     SynthConfig,
@@ -90,9 +93,12 @@ __all__ = [
     "PositionBreakdown",
     "SuggestionExplanation",
     "astar_topk",
+    "astar_topk_vec",
     "brute_force_topk",
     "viterbi_top1",
+    "viterbi_top1_vec",
     "viterbi_topk",
+    "viterbi_topk_vec",
     "SynthConfig",
     "SynthesizedCorpus",
     "TopicModel",

@@ -4,6 +4,8 @@ from repro.core.astar import (
     AStarOutcome,
     astar_topk,
     astar_topk_log,
+    astar_topk_vec,
+    astar_topk_vec_log,
     backward_heuristic,
     backward_heuristic_log,
 )
@@ -29,6 +31,7 @@ from repro.core.queryparse import ParsedQuery, QueryParser
 from repro.core.hmm import IndexFrequency, ReformulationHMM
 from repro.core.reformulator import (
     ALGORITHMS,
+    DECODE_IMPLS,
     METHODS,
     Reformulator,
     ReformulatorConfig,
@@ -46,14 +49,20 @@ from repro.core.viterbi import (
     viterbi_table_log,
     viterbi_top1,
     viterbi_top1_log,
+    viterbi_top1_vec,
+    viterbi_top1_vec_log,
     viterbi_topk,
     viterbi_topk_log,
+    viterbi_topk_vec,
+    viterbi_topk_vec_log,
 )
 
 __all__ = [
     "AStarOutcome",
     "astar_topk",
     "astar_topk_log",
+    "astar_topk_vec",
+    "astar_topk_vec_log",
     "backward_heuristic",
     "backward_heuristic_log",
     "CandidateListBuilder",
@@ -74,6 +83,7 @@ __all__ = [
     "IndexFrequency",
     "ReformulationHMM",
     "ALGORITHMS",
+    "DECODE_IMPLS",
     "METHODS",
     "Reformulator",
     "ReformulatorConfig",
@@ -87,6 +97,10 @@ __all__ = [
     "viterbi_table_log",
     "viterbi_top1",
     "viterbi_top1_log",
+    "viterbi_top1_vec",
+    "viterbi_top1_vec_log",
     "viterbi_topk",
     "viterbi_topk_log",
+    "viterbi_topk_vec",
+    "viterbi_topk_vec_log",
 ]

@@ -4,7 +4,8 @@ Two stages, as in the paper:
 
 1. a Viterbi pass computes, for every (step, state), the best score any
    completion through that state can still achieve — the admissible
-   heuristic ``h``;
+   heuristic ``h`` (Eq 10's factorization makes it a backward
+   max-product);
 2. a best-first search over partial paths expands the candidate with the
    highest potential ``g · h`` first, so the k-th complete path popped is
    guaranteed optimal and large parts of the state space are never
@@ -16,24 +17,48 @@ the (equivalent, mirrored) backward Viterbi and grow paths from the head —
 *i* of step *c*.  Both formulations visit the same number of states and
 return the same queries.
 
+Decode lanes and tie-breaks
+---------------------------
+The heap is keyed ``(-priority, path)``: among equal potentials the
+lexicographically smallest partial path pops first, which makes the
+sequence of completed paths — and therefore the returned top-k — follow
+the repo-wide contract ``(score desc, path lex asc)`` deterministically
+(see :mod:`repro.core.viterbi` for the full contract).  A partial path
+is always a strict lexicographic prefix-extension of its parent, so
+completions of a smaller prefix surface before completions of an
+equally-ranked larger one.
+
+:func:`astar_topk` is the reference lane (``decode_impl="reference"``):
+it eagerly pushes every extension of a popped path with scalar Python
+arithmetic.  :func:`astar_topk_vec` is the vectorized lane: one batched
+numpy product scores all extensions of a popped path across the
+candidate axis at once, and the frontier is kept *lazy* — children are
+pushed in best-first order and each child materializes its next sibling
+only when popped.  The heap therefore holds ~2 entries per expansion
+instead of ``n``, a beam-style frontier pruning driven by the Eq 10
+admissible backward heuristic that remains exact: the pop sequence is
+provably identical to the eager reference lane, so results are
+bit-identical (both lanes score extensions ``(g · trans) · emis``).
+
 The two stage timings are surfaced separately because Figure 8 of the
 paper reports them separately.
 
-:func:`astar_topk_log` is the same search in log space: potentials are
-sums of ``log``-matrices instead of products, so deep queries cannot
-underflow the priority to an indistinguishable 0 and the per-extension
-multiplications become additions over matrices that were logged once
-(cached in the HMM's log lane, pre-seeded by the serving plan cache).
-Returned queries are re-scored with Eq 10 in probability space.
+:func:`astar_topk_log` / :func:`astar_topk_vec_log` are the same search
+in log space: potentials are sums of ``log``-matrices instead of
+products, so deep queries cannot underflow the priority to an
+indistinguishable 0 and the per-extension multiplications become
+additions over matrices that were logged once (cached in the HMM's log
+lane, pre-seeded by the serving plan cache).  A ``-inf`` potential is
+the log-space image of zero potential.  Returned queries are re-scored
+with Eq 10 in probability space.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -51,7 +76,7 @@ class AStarOutcome:
     astar_seconds: float
     expanded: int  # number of partial paths popped from IP
     pushed: int = 0  # partial paths ever pushed onto IP
-    pruned: int = 0  # zero-potential extensions dropped without a push
+    pruned: int = 0  # kept for API compatibility; lex-exact lanes never drop
 
     @property
     def total_seconds(self) -> float:
@@ -71,67 +96,6 @@ def backward_heuristic(hmm: ReformulationHMM) -> List[np.ndarray]:
     return h
 
 
-def astar_topk(hmm: ReformulationHMM, k: int) -> AStarOutcome:
-    """Run Algorithm 3 and return the exact top-k reformulations."""
-    if k < 1:
-        raise ReformulationError("k must be >= 1")
-
-    t0 = time.perf_counter()
-    h = backward_heuristic(hmm)
-    t1 = time.perf_counter()
-
-    # Priority queue of incomplete paths IP; heapq is a min-heap so we
-    # store negated priorities.  The tiebreaker counter keeps comparisons
-    # away from the path tuples.
-    counter = itertools.count()
-    ip: List[Tuple[float, int, float, Tuple[int, ...]]] = []
-    pushed = 0
-    pruned = 0
-    for i in range(hmm.n_states(0)):
-        g = float(hmm.pi[i] * hmm.emissions[0][i])
-        priority = g * float(h[0][i])
-        heapq.heappush(ip, (-priority, next(counter), g, (i,)))
-        pushed += 1
-
-    complete: List[ScoredQuery] = []
-    expanded = 0
-    m = hmm.length
-    while ip and len(complete) < k:
-        neg_priority, _tick, g, path = heapq.heappop(ip)
-        expanded += 1
-        step = len(path)
-        if step == m:
-            complete.append(hmm.scored_query(path))
-            continue
-        # Optimality pruning: if even the best completion of the best
-        # remaining partial path cannot appear, the loop ends naturally
-        # because priorities are monotonically non-increasing.
-        trans = hmm.transitions[step - 1] if step >= 1 else None
-        last = path[-1]
-        emis = hmm.emissions[step]
-        for j in range(hmm.n_states(step)):
-            g_next = g * float(trans[last, j]) * float(emis[j])
-            priority = g_next * float(h[step][j])
-            if priority <= 0 and len(complete) + len(ip) >= k:
-                # zero-potential extensions can never beat anything; keep
-                # them only if we might otherwise run out of paths.
-                pruned += 1
-                continue
-            heapq.heappush(ip, (-priority, next(counter), g_next, path + (j,)))
-            pushed += 1
-    t2 = time.perf_counter()
-
-    complete.sort(key=lambda q: (-q.score, q.state_path))
-    return AStarOutcome(
-        queries=complete,
-        viterbi_seconds=t1 - t0,
-        astar_seconds=t2 - t1,
-        expanded=expanded,
-        pushed=pushed,
-        pruned=pruned,
-    )
-
-
 def backward_heuristic_log(hmm: ReformulationHMM) -> List[np.ndarray]:
     """Log-space twin of :func:`backward_heuristic`: max achievable
     log-score of the suffix starting at each (step, state)."""
@@ -146,55 +110,43 @@ def backward_heuristic_log(hmm: ReformulationHMM) -> List[np.ndarray]:
     return h
 
 
-def astar_topk_log(hmm: ReformulationHMM, k: int) -> AStarOutcome:
-    """Algorithm 3 over summed log-probabilities (no underflow possible).
-
-    Mirrors :func:`astar_topk` exactly: identical expansion order up to
-    floating-point rounding of ``log``, identical pruning rule (a
-    ``-inf`` potential is the log-space image of zero potential), and
-    the returned queries carry probability-space Eq 10 scores.
-    """
+def astar_topk(hmm: ReformulationHMM, k: int) -> AStarOutcome:
+    """Run Algorithm 3 (reference lane) — the exact top-k reformulations."""
     if k < 1:
         raise ReformulationError("k must be >= 1")
 
     t0 = time.perf_counter()
-    h = backward_heuristic_log(hmm)
+    h = backward_heuristic(hmm)
     t1 = time.perf_counter()
 
-    log_pi = hmm.log_pi
-    log_emis0 = hmm.log_emissions[0]
-    counter = itertools.count()
-    ip: List[Tuple[float, int, float, Tuple[int, ...]]] = []
+    # Priority queue of incomplete paths IP; heapq is a min-heap so we
+    # store negated priorities.  The path tuple itself is the tiebreaker:
+    # equal potentials pop in lexicographic path order.
+    ip: List[Tuple[float, Tuple[int, ...], float]] = []
     pushed = 0
-    pruned = 0
     for i in range(hmm.n_states(0)):
-        g = float(log_pi[i] + log_emis0[i])
-        priority = g + float(h[0][i])
-        heapq.heappush(ip, (-priority, next(counter), g, (i,)))
+        g = float(hmm.pi[i] * hmm.emissions[0][i])
+        priority = g * float(h[0][i])
+        heapq.heappush(ip, (-priority, (i,), g))
         pushed += 1
 
     complete: List[ScoredQuery] = []
     expanded = 0
     m = hmm.length
     while ip and len(complete) < k:
-        neg_priority, _tick, g, path = heapq.heappop(ip)
+        _neg_priority, path, g = heapq.heappop(ip)
         expanded += 1
         step = len(path)
         if step == m:
             complete.append(hmm.scored_query(path))
             continue
-        trans = hmm.log_transitions[step - 1] if step >= 1 else None
+        trans = hmm.transitions[step - 1]
         last = path[-1]
-        emis = hmm.log_emissions[step]
+        emis = hmm.emissions[step]
         for j in range(hmm.n_states(step)):
-            g_next = g + float(trans[last, j]) + float(emis[j])
-            priority = g_next + float(h[step][j])
-            if priority == float("-inf") and len(complete) + len(ip) >= k:
-                # -inf potential == zero probability: can never beat
-                # anything; keep only if we might run out of paths.
-                pruned += 1
-                continue
-            heapq.heappush(ip, (-priority, next(counter), g_next, path + (j,)))
+            g_next = g * float(trans[last, j]) * float(emis[j])
+            priority = g_next * float(h[step][j])
+            heapq.heappush(ip, (-priority, path + (j,), g_next))
             pushed += 1
     t2 = time.perf_counter()
 
@@ -205,5 +157,154 @@ def astar_topk_log(hmm: ReformulationHMM, k: int) -> AStarOutcome:
         astar_seconds=t2 - t1,
         expanded=expanded,
         pushed=pushed,
-        pruned=pruned,
     )
+
+
+def astar_topk_log(hmm: ReformulationHMM, k: int) -> AStarOutcome:
+    """Algorithm 3 over summed log-probabilities (no underflow possible).
+
+    Mirrors :func:`astar_topk` exactly: identical expansion order up to
+    floating-point rounding of ``log``, identical lexicographic
+    tie-break, and the returned queries carry probability-space Eq 10
+    scores.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+
+    t0 = time.perf_counter()
+    h = backward_heuristic_log(hmm)
+    t1 = time.perf_counter()
+
+    log_pi = hmm.log_pi
+    log_emis0 = hmm.log_emissions[0]
+    ip: List[Tuple[float, Tuple[int, ...], float]] = []
+    pushed = 0
+    for i in range(hmm.n_states(0)):
+        g = float(log_pi[i] + log_emis0[i])
+        priority = g + float(h[0][i])
+        heapq.heappush(ip, (-priority, (i,), g))
+        pushed += 1
+
+    complete: List[ScoredQuery] = []
+    expanded = 0
+    m = hmm.length
+    while ip and len(complete) < k:
+        _neg_priority, path, g = heapq.heappop(ip)
+        expanded += 1
+        step = len(path)
+        if step == m:
+            complete.append(hmm.scored_query(path))
+            continue
+        trans = hmm.log_transitions[step - 1]
+        last = path[-1]
+        emis = hmm.log_emissions[step]
+        for j in range(hmm.n_states(step)):
+            g_next = g + float(trans[last, j]) + float(emis[j])
+            priority = g_next + float(h[step][j])
+            heapq.heappush(ip, (-priority, path + (j,), g_next))
+            pushed += 1
+    t2 = time.perf_counter()
+
+    complete.sort(key=lambda q: (-q.score, q.state_path))
+    return AStarOutcome(
+        queries=complete,
+        viterbi_seconds=t1 - t0,
+        astar_seconds=t2 - t1,
+        expanded=expanded,
+        pushed=pushed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized lane: batched extension scoring + lazy sibling frontier
+# ---------------------------------------------------------------------------
+
+# A frontier context holds every child of one expanded path, scored in a
+# single batched product: (parent_path, order, gs, priorities) where
+# ``order`` lists child states best-first under (-priority, state asc).
+_Ctx = Tuple[Tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]
+
+
+def _push_child(ip: list, ctx: _Ctx, rank: int) -> None:
+    parent_path, order, gs, prios = ctx
+    j = int(order[rank])
+    heapq.heappush(
+        ip, (-float(prios[j]), parent_path + (j,), float(gs[j]), ctx, rank)
+    )
+
+
+def _astar_topk_vec(hmm: ReformulationHMM, k: int, log_space: bool) -> AStarOutcome:
+    """Shared vectorized core for :func:`astar_topk_vec` / ``_vec_log``.
+
+    Identical pop sequence to the eager reference lane: children of an
+    expanded path are sorted best-first (stable, so ties fall to the
+    lowest candidate index); only the best child is pushed, and a popped
+    child pushes its next sibling.  A deferred sibling's heap key is
+    never smaller than its predecessor's, so the global pop order — and
+    therefore the returned top-k — is unchanged while the heap stays
+    ~2 entries per expansion instead of ``n``.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+
+    t0 = time.perf_counter()
+    h = backward_heuristic_log(hmm) if log_space else backward_heuristic(hmm)
+    t1 = time.perf_counter()
+
+    if log_space:
+        g0 = np.asarray(hmm.log_pi + hmm.log_emissions[0], dtype=np.float64)
+        p0 = g0 + h[0]
+    else:
+        g0 = np.asarray(hmm.pi * hmm.emissions[0], dtype=np.float64)
+        p0 = g0 * h[0]
+
+    ip: list = []
+    root_ctx: _Ctx = ((), np.argsort(-p0, kind="stable"), g0, p0)
+    _push_child(ip, root_ctx, 0)
+    pushed = 1
+
+    complete: List[ScoredQuery] = []
+    expanded = 0
+    m = hmm.length
+    while ip and len(complete) < k:
+        _neg_priority, path, g, ctx, rank = heapq.heappop(ip)
+        expanded += 1
+        # Materialize the deferred sibling of the entry we just consumed.
+        if rank + 1 < ctx[1].shape[0]:
+            _push_child(ip, ctx, rank + 1)
+            pushed += 1
+        step = len(path)
+        if step == m:
+            complete.append(hmm.scored_query(path))
+            continue
+        if log_space:
+            trans_row = hmm.log_transitions[step - 1][path[-1]]
+            gs = g + trans_row + hmm.log_emissions[step]
+            prios = gs + h[step]
+        else:
+            trans_row = hmm.transitions[step - 1][path[-1]]
+            gs = g * trans_row * hmm.emissions[step]
+            prios = gs * h[step]
+        child_ctx: _Ctx = (path, np.argsort(-prios, kind="stable"), gs, prios)
+        _push_child(ip, child_ctx, 0)
+        pushed += 1
+    t2 = time.perf_counter()
+
+    complete.sort(key=lambda q: (-q.score, q.state_path))
+    return AStarOutcome(
+        queries=complete,
+        viterbi_seconds=t1 - t0,
+        astar_seconds=t2 - t1,
+        expanded=expanded,
+        pushed=pushed,
+    )
+
+
+def astar_topk_vec(hmm: ReformulationHMM, k: int) -> AStarOutcome:
+    """Vectorized twin of :func:`astar_topk` (bit-identical results)."""
+    return _astar_topk_vec(hmm, k, log_space=False)
+
+
+def astar_topk_vec_log(hmm: ReformulationHMM, k: int) -> AStarOutcome:
+    """Vectorized twin of :func:`astar_topk_log` (bit-identical results)."""
+    return _astar_topk_vec(hmm, k, log_space=True)

@@ -183,7 +183,19 @@ class ReformulationHMM:
         *transitions* are the already row-smoothed Eq 8 matrices;
         *log_transitions*, when given, seeds the lazy log-space lane with
         matrices that were log-transformed once at plan-cache fill time.
+
+        The assembled matrices are guaranteed float64 and C-contiguous:
+        the vectorized decode lanes (:mod:`repro.core.viterbi`,
+        :mod:`repro.core.astar`) take whole-matrix products and row
+        slices of them, and the layout guarantee keeps those batched
+        operations on the no-copy fast path.  (``ascontiguousarray`` is
+        a no-op on already-conforming arrays, including the plan cache's
+        read-only views, and never changes values — bit-identity across
+        cached/uncached construction is preserved.)
         """
+        transitions = [
+            np.ascontiguousarray(t, dtype=np.float64) for t in transitions
+        ]
         # π — Eq 7 (frequency-proportional over the first candidate list)
         pi = normalize_distribution(freqs)
 

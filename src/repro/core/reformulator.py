@@ -30,7 +30,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
-from repro.core.astar import AStarOutcome, astar_topk, astar_topk_log
+from repro.core.astar import (
+    AStarOutcome,
+    astar_topk,
+    astar_topk_log,
+    astar_topk_vec,
+    astar_topk_vec_log,
+)
 from repro.core.candidates import CandidateListBuilder, CandidateState
 from repro.core.enumeration import RankBasedReformulator, brute_force_topk
 from repro.core.explain import (
@@ -40,7 +46,14 @@ from repro.core.explain import (
 )
 from repro.core.hmm import IndexFrequency, ReformulationHMM
 from repro.core.scoring import ScoredQuery
-from repro.core.viterbi import viterbi_top1, viterbi_topk, viterbi_topk_log
+from repro.core.viterbi import (
+    viterbi_top1,
+    viterbi_top1_vec,
+    viterbi_topk,
+    viterbi_topk_log,
+    viterbi_topk_vec,
+    viterbi_topk_vec_log,
+)
 from repro.errors import ReformulationError
 from repro.obs.trace import Tracer
 from repro.graph.closeness import ClosenessExtractor
@@ -57,6 +70,24 @@ METHODS = ("tat", "cooccurrence", "rank")
 ALGORITHMS = (
     "astar", "viterbi_topk", "brute_force", "astar_log", "viterbi_topk_log",
 )
+#: Decode lanes: "vectorized" (batched numpy, the default) and
+#: "reference" (plain Python loops, the auditable escape hatch).  Both
+#: lanes are bit-identical — enforced by tests/decode_oracle.py — so the
+#: choice never appears in plan-cache or result-cache keys.
+DECODE_IMPLS = ("vectorized", "reference")
+
+#: (algorithm, decode_impl) -> top-k decoder.  brute_force has a single
+#: implementation: it *is* the oracle the lanes are checked against.
+_TOPK_DECODERS = {
+    ("astar", "reference"): astar_topk,
+    ("astar", "vectorized"): astar_topk_vec,
+    ("astar_log", "reference"): astar_topk_log,
+    ("astar_log", "vectorized"): astar_topk_vec_log,
+    ("viterbi_topk", "reference"): viterbi_topk,
+    ("viterbi_topk", "vectorized"): viterbi_topk_vec,
+    ("viterbi_topk_log", "reference"): viterbi_topk_log,
+    ("viterbi_topk_log", "vectorized"): viterbi_topk_vec_log,
+}
 
 
 @dataclass(frozen=True)
@@ -89,6 +120,10 @@ class ReformulatorConfig:
     #: Capacity of the query-level result LRU kept by LiveReformulator
     #: (0 disables result caching; plain Reformulator has no result LRU).
     result_cache_size: int = 1024
+    #: Which decode lane runs the online stage: "vectorized" (batched
+    #: numpy) or "reference" (plain Python loops).  Bit-identical by
+    #: contract, so flipping this never changes results — only speed.
+    decode_impl: str = "vectorized"
 
     def validate(self) -> None:
         """Raise on out-of-range configuration values."""
@@ -104,6 +139,11 @@ class ReformulatorConfig:
             raise ReformulationError("plan cache capacities must be >= 1")
         if self.result_cache_size < 0:
             raise ReformulationError("result_cache_size must be >= 0")
+        if self.decode_impl not in DECODE_IMPLS:
+            raise ReformulationError(
+                f"unknown decode_impl {self.decode_impl!r}, "
+                f"expected one of {DECODE_IMPLS}"
+            )
 
     def plan_knobs(self) -> Tuple:
         """Fingerprint of every config value the cached plan blocks
@@ -451,9 +491,10 @@ class Reformulator:
                     )
                 sp.set_attribute("length", hmm.length)
                 sp.set_attribute("search_space", hmm.search_space)
-            with span_fn("decode", algorithm=algorithm) as sp:
+            impl = self.config.decode_impl
+            with span_fn("decode", algorithm=algorithm, impl=impl) as sp:
                 if algorithm in ("astar", "astar_log"):
-                    search = astar_topk if algorithm == "astar" else astar_topk_log
+                    search = _TOPK_DECODERS[(algorithm, impl)]
                     outcome = search(hmm, want)
                     raw = outcome.queries
                     sp.set_attribute("expanded", outcome.expanded)
@@ -473,10 +514,8 @@ class Reformulator:
                             "repro_astar_pruned_total",
                             "A* zero-potential extensions dropped",
                         ).inc(outcome.pruned)
-                elif algorithm == "viterbi_topk":
-                    raw = viterbi_topk(hmm, want)
-                elif algorithm == "viterbi_topk_log":
-                    raw = viterbi_topk_log(hmm, want)
+                elif algorithm in ("viterbi_topk", "viterbi_topk_log"):
+                    raw = _TOPK_DECODERS[(algorithm, impl)](hmm, want)
                 else:
                     raw = brute_force_topk(hmm, want)
                 sp.set_attribute("raw_results", len(raw))
@@ -520,11 +559,21 @@ class Reformulator:
     ) -> AStarOutcome:
         """Algorithm 3 with per-stage timings (Figure 8/9 instrumentation)."""
         hmm = self.build_hmm(keywords)
-        return astar_topk(hmm, k)
+        search = _TOPK_DECODERS[("astar", self.config.decode_impl)]
+        return search(hmm, k)
 
     def best(self, keywords: Sequence[str]) -> ScoredQuery:
-        """The single best reformulation (plain Viterbi)."""
-        return viterbi_top1(self.build_hmm(keywords))
+        """The single best reformulation (plain Viterbi).
+
+        Runs the configured decode lane; both lanes return the
+        lexicographically smallest maximum-score path, bit-identically.
+        """
+        top1 = (
+            viterbi_top1_vec
+            if self.config.decode_impl == "vectorized"
+            else viterbi_top1
+        )
+        return top1(self.build_hmm(keywords))
 
     # ------------------------------------------------------------------ #
     # internals

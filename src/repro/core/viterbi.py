@@ -2,8 +2,46 @@
 
 The standard Viterbi recursion finds the single best hidden-state
 sequence in ``O(m n²)``.  Algorithm 2 of the paper extends the per-state
-memo from one best prefix to the *k* best prefixes ending in each state,
-which is ``k log k`` slower: ``O(m n² k log k)``.
+memo from one best prefix to the *k* best prefixes ending in each state.
+
+Decode lanes
+------------
+Every decoder ships in two implementations that are **bit-identical**:
+
+* the *reference* lane (``viterbi_top1``, ``viterbi_topk``, ``*_log``):
+  plain Python loops over scalar floats — slow, easy to audit, kept as
+  the ``decode_impl="reference"`` escape hatch;
+* the *vectorized* lane (``viterbi_top1_vec``, ``viterbi_topk_vec``,
+  ``*_vec_log``): numpy whole-matrix operations over the contiguous
+  emission columns and transition sub-matrices the serving plan cache
+  assembles.  One batched product per position scores every
+  (prefix, next-state) extension at once, and a stable column-wise
+  argsort keeps the k best prefixes per state.
+
+Bit-identity holds because both lanes perform the same floating-point
+operations in the same association order — an extension is always scored
+``(prefix · trans) · emis`` (``+`` in log space) — and both lanes resolve
+ties with the same total order.
+
+Tie-break contract
+------------------
+All decoders (here, in :mod:`repro.core.astar` and in
+:mod:`repro.core.enumeration`) order paths by the total order
+
+    ``(score descending, state_path lexicographically ascending)``
+
+so equal-scored reformulations always surface lowest-candidate-index
+first, at every internal truncation and in the returned list.  Top-1 is
+the k=1 specialization of the same recursion, hence bit-identical to
+``topk(hmm, 1)[0]``.
+
+Zero-probability caveat: when the returned list contains zero-score
+paths, the per-state truncation can keep different (equally worthless)
+zero-score prefixes than a global enumeration would, so only the
+*scores* are guaranteed to match A*/brute-force rank-for-rank; paths and
+ordering agree whenever every returned score is positive or ``k`` covers
+the whole search space.  ``tests/decode_oracle.py`` states (and
+enforces) the full contract.
 
 Each algorithm has a **log-space lane** (``*_log``): the recursion adds
 ``log π / log B / log A`` instead of multiplying probabilities, so long
@@ -11,8 +49,10 @@ queries cannot underflow to an all-zero table and no per-query rescaling
 is ever needed.  The log matrices come from the HMM's cached lane
 (:attr:`~repro.core.hmm.ReformulationHMM.log_transitions` is pre-seeded
 by the serving plan cache), and returned queries are re-scored with
-Eq 10 in probability space, so both lanes emit identical
-:class:`ScoredQuery` values.
+Eq 10 in probability space.  Selection happens on summed logs, so a
+log lane can order within-an-ulp near-ties differently than the linear
+lanes; reference and vectorized *log* lanes remain bit-identical to
+each other.
 """
 
 from __future__ import annotations
@@ -58,55 +98,6 @@ def viterbi_table(hmm: ReformulationHMM) -> ViterbiTable:
     return ViterbiTable(scores, backpointers)
 
 
-def viterbi_top1(hmm: ReformulationHMM) -> ScoredQuery:
-    """The single most probable reformulation (classic Viterbi)."""
-    table = viterbi_table(hmm)
-    last = int(table.scores[-1].argmax())
-    path = [last]
-    for step in range(hmm.length - 1, 0, -1):
-        path.append(int(table.backpointers[step][path[-1]]))
-    path.reverse()
-    return hmm.scored_query(path)
-
-
-def viterbi_topk(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
-    """Algorithm 2: extended Viterbi storing top-k prefixes per state.
-
-    ``L[c][i]`` holds at most *k* (score, path) prefixes ending in state
-    *i* at step *c*; step ``c+1`` merges the extensions of every previous
-    state's list and keeps the best *k* per state.  Returns the global
-    top-k complete paths, best first.
-    """
-    if k < 1:
-        raise ReformulationError("k must be >= 1")
-
-    # lists[i] = [(score, path_tuple), ...] sorted descending
-    lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
-    for i in range(hmm.n_states(0)):
-        score = float(hmm.pi[i] * hmm.emissions[0][i])
-        lists.append([(score, (i,))])
-
-    for step in range(1, hmm.length):
-        trans = hmm.transitions[step - 1]
-        emis = hmm.emissions[step]
-        new_lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
-        for j in range(hmm.n_states(step)):
-            extensions = (
-                (score * float(trans[i, j]) * float(emis[j]), path + (j,))
-                for i, prefix_list in enumerate(lists)
-                for score, path in prefix_list
-            )
-            best = heapq.nlargest(k, extensions, key=lambda sp: sp[0])
-            new_lists.append(best)
-        lists = new_lists
-
-    complete = [sp for state_list in lists for sp in state_list]
-    top = heapq.nlargest(k, complete, key=lambda sp: sp[0])
-    # Deterministic tie-break: score desc, then path lexicographic.
-    top.sort(key=lambda sp: (-sp[0], sp[1]))
-    return [hmm.scored_query(path) for _score, path in top]
-
-
 def viterbi_table_log(hmm: ReformulationHMM) -> ViterbiTable:
     """Log-space forward max-sum recursion (scores are log-probabilities).
 
@@ -132,23 +123,116 @@ def viterbi_table_log(hmm: ReformulationHMM) -> ViterbiTable:
     return ViterbiTable(scores, backpointers)
 
 
-def viterbi_top1_log(hmm: ReformulationHMM) -> ScoredQuery:
-    """Log-space Viterbi; the returned score is Eq 10 in probability space."""
-    table = viterbi_table_log(hmm)
-    last = int(table.scores[-1].argmax())
-    path = [last]
-    for step in range(hmm.length - 1, 0, -1):
-        path.append(int(table.backpointers[step][path[-1]]))
-    path.reverse()
+# ---------------------------------------------------------------------------
+# Reference lane: plain Python loops (decode_impl="reference")
+# ---------------------------------------------------------------------------
+
+
+def _prefix_key(sp: Tuple[float, Tuple[int, ...]]):
+    """The contract's total order as a min-key: score desc, path lex asc."""
+    return (-sp[0], sp[1])
+
+
+def viterbi_top1(hmm: ReformulationHMM) -> ScoredQuery:
+    """The single most probable reformulation (classic Viterbi).
+
+    Implemented as the k=1 specialization of Algorithm 2 so the result —
+    the lexicographically smallest maximum-score path — is bit-identical
+    to ``viterbi_topk(hmm, 1)[0]``.
+    """
+    best: List[Tuple[float, Tuple[int, ...]]] = [
+        (float(hmm.pi[i] * hmm.emissions[0][i]), (i,))
+        for i in range(hmm.n_states(0))
+    ]
+    for step in range(1, hmm.length):
+        trans = hmm.transitions[step - 1]
+        emis = hmm.emissions[step]
+        best = [
+            min(
+                (
+                    (score * float(trans[i, j]) * float(emis[j]), path + (j,))
+                    for i, (score, path) in enumerate(best)
+                ),
+                key=_prefix_key,
+            )
+            for j in range(hmm.n_states(step))
+        ]
+    _score, path = min(best, key=_prefix_key)
     return hmm.scored_query(path)
+
+
+def viterbi_top1_log(hmm: ReformulationHMM) -> ScoredQuery:
+    """Log-space Viterbi; the returned score is Eq 10 in probability space.
+
+    k=1 specialization of :func:`viterbi_topk_log` — same per-state
+    selection on summed logs with the lexicographic tie-break.
+    """
+    log_pi = hmm.log_pi
+    log_emis0 = hmm.log_emissions[0]
+    best: List[Tuple[float, Tuple[int, ...]]] = [
+        (float(log_pi[i] + log_emis0[i]), (i,))
+        for i in range(hmm.n_states(0))
+    ]
+    for step in range(1, hmm.length):
+        trans = hmm.log_transitions[step - 1]
+        emis = hmm.log_emissions[step]
+        best = [
+            min(
+                (
+                    (score + float(trans[i, j]) + float(emis[j]), path + (j,))
+                    for i, (score, path) in enumerate(best)
+                ),
+                key=_prefix_key,
+            )
+            for j in range(hmm.n_states(step))
+        ]
+    _score, path = min(best, key=_prefix_key)
+    return hmm.scored_query(path)
+
+
+def viterbi_topk(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
+    """Algorithm 2: extended Viterbi storing top-k prefixes per state.
+
+    ``L[c][i]`` holds at most *k* (score, path) prefixes ending in state
+    *i* at step *c*; step ``c+1`` merges the extensions of every previous
+    state's list and keeps the best *k* per state under the contract's
+    ``(score desc, path lex asc)`` order.  Returns the global top-k
+    complete paths, best first.
+    """
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+
+    # lists[i] = [(score, path_tuple), ...] best-first under the contract
+    lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
+    for i in range(hmm.n_states(0)):
+        score = float(hmm.pi[i] * hmm.emissions[0][i])
+        lists.append([(score, (i,))])
+
+    for step in range(1, hmm.length):
+        trans = hmm.transitions[step - 1]
+        emis = hmm.emissions[step]
+        new_lists: List[List[Tuple[float, Tuple[int, ...]]]] = []
+        for j in range(hmm.n_states(step)):
+            extensions = (
+                (score * float(trans[i, j]) * float(emis[j]), path + (j,))
+                for i, prefix_list in enumerate(lists)
+                for score, path in prefix_list
+            )
+            new_lists.append(heapq.nsmallest(k, extensions, key=_prefix_key))
+        lists = new_lists
+
+    complete = [sp for state_list in lists for sp in state_list]
+    # nsmallest returns ascending by key == the contract's output order.
+    top = heapq.nsmallest(k, complete, key=_prefix_key)
+    return [hmm.scored_query(path) for _score, path in top]
 
 
 def viterbi_topk_log(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
     """Algorithm 2 in log space: top-k prefixes per state via max-sum.
 
-    Selection happens on summed log-probabilities; the final list is
-    re-scored and re-sorted with the probability-space Eq 10 score, so
-    the output ordering matches :func:`viterbi_topk` exactly.
+    Selection happens on summed log-probabilities under the same
+    ``(score desc, path lex asc)`` order; the final list is re-scored
+    and re-sorted with the probability-space Eq 10 score.
     """
     if k < 1:
         raise ReformulationError("k must be >= 1")
@@ -170,15 +254,123 @@ def viterbi_topk_log(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
                 for i, prefix_list in enumerate(lists)
                 for score, path in prefix_list
             )
-            best = heapq.nlargest(k, extensions, key=lambda sp: sp[0])
-            new_lists.append(best)
+            new_lists.append(heapq.nsmallest(k, extensions, key=_prefix_key))
         lists = new_lists
 
     complete = [sp for state_list in lists for sp in state_list]
-    top = heapq.nlargest(k, complete, key=lambda sp: sp[0])
+    top = heapq.nsmallest(k, complete, key=_prefix_key)
     out = [hmm.scored_query(path) for _score, path in top]
-    # Deterministic tie-break on the probability-space score, matching
-    # the linear-space lane bit for bit.
+    # Deterministic output order on the probability-space score.
+    out.sort(key=lambda q: (-q.score, q.state_path))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized lane: batched numpy selection (decode_impl="vectorized")
+# ---------------------------------------------------------------------------
+
+
+def _reconstruct_path(
+    states_hist: List[np.ndarray], parents: List[np.ndarray], row: int
+) -> Tuple[int, ...]:
+    """Walk parent pointers backwards from a final live-prefix row."""
+    path = []
+    r = row
+    for step in range(len(states_hist) - 1, -1, -1):
+        path.append(int(states_hist[step][r]))
+        if step > 0:
+            r = int(parents[step][r])
+    path.reverse()
+    return tuple(path)
+
+
+def _viterbi_topk_vec_paths(
+    hmm: ReformulationHMM, k: int, log_space: bool
+) -> List[Tuple[int, ...]]:
+    """Shared vectorized core: the selected top-k paths, best first.
+
+    Live prefixes are kept as flat arrays *in lexicographic path order*
+    (restored after every step with ``np.lexsort``), so a **stable**
+    argsort on negated scores realizes exactly the contract's
+    ``(score desc, path lex asc)`` order — both at the per-state
+    truncation and at the final global selection.  The extension scores
+    are computed with the same association as the reference lane
+    (``(prefix ∘ trans) ∘ emis``), which makes the two lanes
+    bit-identical.
+    """
+    if log_space:
+        scores = np.asarray(hmm.log_pi + hmm.log_emissions[0], dtype=np.float64)
+    else:
+        scores = np.asarray(hmm.pi * hmm.emissions[0], dtype=np.float64)
+
+    n0 = hmm.n_states(0)
+    states_hist: List[np.ndarray] = [np.arange(n0, dtype=np.int64)]
+    parents: List[np.ndarray] = [np.full(n0, -1, dtype=np.int64)]
+
+    for step in range(1, hmm.length):
+        if log_space:
+            trans = hmm.log_transitions[step - 1]
+            emis = hmm.log_emissions[step]
+        else:
+            trans = hmm.transitions[step - 1]
+            emis = hmm.emissions[step]
+        ends = states_hist[-1]
+        # ext[r, j]: prefix row r extended with next-state j, one batched
+        # product (sum in log space) over the whole live frontier.
+        if log_space:
+            ext = scores[:, None] + trans[ends, :] + emis[None, :]
+        else:
+            ext = scores[:, None] * trans[ends, :] * emis[None, :]
+
+        n_next = ext.shape[1]
+        keep = min(k, ext.shape[0])
+        # Stable column-wise argsort: rows are in lex order, so ties on
+        # score resolve to the lexicographically smallest prefix.
+        order = np.argsort(-ext, axis=0, kind="stable")[:keep, :]
+
+        new_parent = order.ravel(order="F")
+        new_state = np.repeat(np.arange(n_next, dtype=np.int64), keep)
+        new_scores = ext[new_parent, new_state]
+        # Restore the lex-order invariant for the next step: sort the
+        # survivors by (parent row, next state) == full-path lex order.
+        perm = np.lexsort((new_state, new_parent))
+        states_hist.append(new_state[perm])
+        parents.append(new_parent[perm])
+        scores = new_scores[perm]
+
+    keep = min(k, scores.shape[0])
+    top_rows = np.argsort(-scores, kind="stable")[:keep]
+    return [_reconstruct_path(states_hist, parents, int(r)) for r in top_rows]
+
+
+def viterbi_top1_vec(hmm: ReformulationHMM) -> ScoredQuery:
+    """Vectorized twin of :func:`viterbi_top1` (bit-identical result)."""
+    (path,) = _viterbi_topk_vec_paths(hmm, 1, log_space=False)
+    return hmm.scored_query(path)
+
+
+def viterbi_top1_vec_log(hmm: ReformulationHMM) -> ScoredQuery:
+    """Vectorized twin of :func:`viterbi_top1_log` (bit-identical result)."""
+    (path,) = _viterbi_topk_vec_paths(hmm, 1, log_space=True)
+    return hmm.scored_query(path)
+
+
+def viterbi_topk_vec(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
+    """Vectorized twin of :func:`viterbi_topk` (bit-identical results)."""
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+    paths = _viterbi_topk_vec_paths(hmm, k, log_space=False)
+    # The selection scores equal the recomputed Eq 10 scores bit-for-bit
+    # (same factors, same association), so the order is already final.
+    return [hmm.scored_query(path) for path in paths]
+
+
+def viterbi_topk_vec_log(hmm: ReformulationHMM, k: int) -> List[ScoredQuery]:
+    """Vectorized twin of :func:`viterbi_topk_log` (bit-identical results)."""
+    if k < 1:
+        raise ReformulationError("k must be >= 1")
+    paths = _viterbi_topk_vec_paths(hmm, k, log_space=True)
+    out = [hmm.scored_query(path) for path in paths]
     out.sort(key=lambda q: (-q.score, q.state_path))
     return out
 

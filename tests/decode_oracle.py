@@ -1,0 +1,325 @@
+"""Differential decode oracle: the executable tie-break contract.
+
+Every decode lane of the online stage is registered here and checked
+against every other lane on the same HMM instance.  The contract the
+oracle enforces (stated informally in ``repro/core/viterbi.py``):
+
+1. **Output order** — every lane returns paths sorted by
+   ``(score desc, state_path lex asc)``; in particular, equal-scored
+   neighbours must appear in ascending lexicographic path order.
+2. **Result size** — exactly ``min(k, search_space)`` paths, no
+   duplicates.
+3. **Scores** — every returned score equals Eq 10's ``path_score``
+   bit-for-bit, and the score *sequences* of all lanes in the same
+   arithmetic space are bit-identical rank by rank.
+4. **Paths** —
+   * reference vs vectorized twins of the same algorithm: bit-identical
+     paths and order, **always** (this is the equivalence the PR's
+     vectorization rests on);
+   * ``viterbi_topk`` (linear) vs the brute-force oracle: score
+     sequences are bit-identical rank for rank, always (both select on
+     forward-accumulated Eq 10 products and fp multiplication is
+     monotone).  Paths are bit-identical whenever ``k`` covers the whole
+     search space, or the returned scores are strictly decreasing,
+     positive, and not tied with the first excluded path.  At an exact
+     score tie the DP may return a lexicographically different member of
+     the tie class: fp monotonicity is non-strict, so a strictly greater
+     prefix can collapse into an exact tie at a later step, dominating
+     the lex-smallest tied path out of the per-state memo (ties from
+     *different* factor multisets, e.g. 0.5·0.5 == 0.25·1.0, do this;
+     ties with identical factor sequences — twin states — cannot);
+   * ``astar*`` lanes vs anything outside their twin pair: exact up to
+     floating-point near-ties.  The admissible heuristic is accumulated
+     *backward*, a different association order than the forward path
+     score, so priorities can be an ulp off and flip within-an-ulp
+     neighbours at the k-th boundary;
+   * linear vs log space: likewise exact up to near-ties (selection on
+     summed logs rounds differently than products).  Wherever paths
+     differ at a rank, the two scores must agree to ~1e-9 relative.
+5. **Top-1** — ``viterbi_top1*`` equals ``topk(hmm, 1)[0]`` of the same
+   space bit-for-bit, always (it is the k=1 specialization of the same
+   recursion), and matches the exhaustive oracle's rank-1 path whenever
+   the best score is positive and uniquely achieved.
+
+Run it standalone against freshly generated random instances with::
+
+    PYTHONPATH=src python -m tests.decode_oracle --instances 500 --seed 3
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.astar import (
+    astar_topk,
+    astar_topk_log,
+    astar_topk_vec,
+    astar_topk_vec_log,
+)
+from repro.core.candidates import CandidateState, StateKind
+from repro.core.enumeration import brute_force_topk
+from repro.core.hmm import ReformulationHMM
+from repro.core.scoring import ScoredQuery
+from repro.core.viterbi import (
+    viterbi_top1,
+    viterbi_top1_log,
+    viterbi_top1_vec,
+    viterbi_top1_vec_log,
+    viterbi_topk,
+    viterbi_topk_log,
+    viterbi_topk_vec,
+    viterbi_topk_vec_log,
+)
+
+#: Relative tolerance for cross-space (linear vs log) comparisons: paths
+#: may only diverge where scores collide within this window.
+NEAR_TIE_REL = 1e-9
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One registered top-k decoder."""
+
+    name: str
+    space: str    # "linear" | "log" — the arithmetic the selection runs in
+    family: str   # "dp" (per-state truncation) | "global" (full enumeration order)
+    fn: Callable[[ReformulationHMM, int], List[ScoredQuery]]
+
+
+TOPK_LANES: Tuple[Lane, ...] = (
+    Lane("viterbi_topk/reference", "linear", "dp", viterbi_topk),
+    Lane("viterbi_topk/vectorized", "linear", "dp", viterbi_topk_vec),
+    Lane("viterbi_topk_log/reference", "log", "dp", viterbi_topk_log),
+    Lane("viterbi_topk_log/vectorized", "log", "dp", viterbi_topk_vec_log),
+    Lane("astar/reference", "linear", "global",
+         lambda hmm, k: astar_topk(hmm, k).queries),
+    Lane("astar/vectorized", "linear", "global",
+         lambda hmm, k: astar_topk_vec(hmm, k).queries),
+    Lane("astar_log/reference", "log", "global",
+         lambda hmm, k: astar_topk_log(hmm, k).queries),
+    Lane("astar_log/vectorized", "log", "global",
+         lambda hmm, k: astar_topk_vec_log(hmm, k).queries),
+    Lane("brute_force/oracle", "linear", "global", brute_force_topk),
+)
+
+#: (name, space, fn) for the four single-best lanes.
+TOP1_LANES: Tuple[Tuple[str, str, Callable[[ReformulationHMM], ScoredQuery]], ...] = (
+    ("viterbi_top1/reference", "linear", viterbi_top1),
+    ("viterbi_top1/vectorized", "linear", viterbi_top1_vec),
+    ("viterbi_top1_log/reference", "log", viterbi_top1_log),
+    ("viterbi_top1_log/vectorized", "log", viterbi_top1_vec_log),
+)
+
+
+def signature(queries: Sequence[ScoredQuery]) -> List[Tuple[Tuple[int, ...], float]]:
+    """(path, score) pairs — the bit-exact comparison unit."""
+    return [(q.state_path, q.score) for q in queries]
+
+
+def run_topk_lanes(
+    hmm: ReformulationHMM, k: int
+) -> Dict[str, List[ScoredQuery]]:
+    """Decode *hmm* with every registered top-k lane."""
+    return {lane.name: lane.fn(hmm, k) for lane in TOPK_LANES}
+
+
+def _check_lane_invariants(
+    hmm: ReformulationHMM, name: str, res: List[ScoredQuery], k: int
+) -> None:
+    """Per-lane contract: size, order, uniqueness, recomputable scores."""
+    expect = min(k, hmm.search_space)
+    assert len(res) == expect, (
+        f"{name}: returned {len(res)} paths, expected {expect}"
+    )
+    scores = [q.score for q in res]
+    assert scores == sorted(scores, reverse=True), f"{name}: not score-sorted"
+    paths = [q.state_path for q in res]
+    assert len(set(paths)) == len(paths), f"{name}: duplicate paths"
+    for q in res:
+        assert q.score == hmm.path_score(q.state_path), (
+            f"{name}: score {q.score!r} != Eq 10 for path {q.state_path}"
+        )
+    for (a, b) in zip(res, res[1:]):
+        if a.score == b.score:
+            assert a.state_path < b.state_path, (
+                f"{name}: tied scores out of lexicographic order: "
+                f"{a.state_path} before {b.state_path}"
+            )
+
+
+def check_topk_equivalence(hmm: ReformulationHMM, k: int) -> None:
+    """Assert the full cross-lane contract on one (hmm, k) instance."""
+    results = run_topk_lanes(hmm, k)
+    for lane in TOPK_LANES:
+        _check_lane_invariants(hmm, lane.name, results[lane.name], k)
+
+    # Reference vs vectorized twins: bit-identical, unconditionally.
+    for base in ("viterbi_topk", "viterbi_topk_log", "astar", "astar_log"):
+        ref = signature(results[f"{base}/reference"])
+        vec = signature(results[f"{base}/vectorized"])
+        assert ref == vec, (
+            f"{base}: reference and vectorized lanes diverge\n"
+            f"  reference:  {ref}\n  vectorized: {vec}"
+        )
+
+    # Linear DP vs the exhaustive oracle: both select on the same
+    # forward-accumulated products, so score sequences are bit-exact,
+    # always.  Paths are bit-exact on tie-free instances (see module
+    # docstring for why exact ties leave the DP lex slack).
+    dp = results["viterbi_topk/reference"]
+    oracle = results["brute_force/oracle"]
+    assert [q.score for q in dp] == [q.score for q in oracle], (
+        "viterbi_topk vs brute_force: score sequences differ"
+    )
+    exhaustive = len(oracle) == hmm.search_space
+    if exhaustive:
+        assert signature(dp) == signature(oracle), (
+            "viterbi_topk vs brute_force: exhaustive decodes differ"
+        )
+    else:
+        # Tie-free check must include the first *excluded* path: a tie
+        # across the k-th boundary also leaves the DP slack.
+        extended = brute_force_topk(hmm, k + 1)
+        ext_scores = [q.score for q in extended]
+        tie_free = all(
+            a > b for a, b in zip(ext_scores, ext_scores[1:])
+        ) and ext_scores[-1] > 0.0
+        if tie_free:
+            assert signature(dp) == signature(oracle), (
+                "viterbi_topk vs brute_force: paths differ on a "
+                "tie-free instance"
+            )
+
+    # Every remaining lane pair (A* lanes, log-space lanes) agrees with
+    # the oracle rank-for-rank up to fp near-ties: scores within
+    # NEAR_TIE_REL, and paths may only diverge where scores collide.
+    for lane in TOPK_LANES:
+        other = results[lane.name]
+        for rank, (a, b) in enumerate(zip(other, oracle)):
+            close = math.isclose(
+                a.score, b.score, rel_tol=NEAR_TIE_REL, abs_tol=0.0
+            )
+            assert close, (
+                f"{lane.name} rank {rank}: score {a.score!r} vs oracle "
+                f"{b.score!r} beyond near-tie tolerance"
+            )
+
+
+def check_top1_equivalence(hmm: ReformulationHMM) -> None:
+    """Assert the single-best contract on one HMM instance."""
+    results = {name: fn(hmm) for name, _space, fn in TOP1_LANES}
+    topk1 = run_topk_lanes(hmm, 1)
+
+    # Twins bit-identical; each space's top1 == its own topk(1)[0].
+    assert (
+        signature([results["viterbi_top1/reference"]])
+        == signature([results["viterbi_top1/vectorized"]])
+        == signature([topk1["viterbi_topk/reference"][0]])
+        == signature([topk1["viterbi_topk/vectorized"][0]])
+    ), "linear top-1 lanes diverge from topk(1)"
+    assert (
+        signature([results["viterbi_top1_log/reference"]])
+        == signature([results["viterbi_top1_log/vectorized"]])
+        == signature([topk1["viterbi_topk_log/reference"][0]])
+        == signature([topk1["viterbi_topk_log/vectorized"][0]])
+    ), "log top-1 lanes diverge from topk_log(1)"
+
+    best = results["viterbi_top1/reference"]
+    extended = brute_force_topk(hmm, 2)
+    oracle = extended[0]
+    assert best.score == oracle.score, (
+        "top-1 score disagrees with the exhaustive oracle"
+    )
+    uniquely_best = len(extended) == 1 or extended[1].score < oracle.score
+    if best.score > 0.0 and uniquely_best:
+        assert best.state_path == oracle.state_path, (
+            "unique positive top-1 path disagrees with the exhaustive oracle"
+        )
+    astar1 = topk1["astar/reference"][0]
+    assert math.isclose(
+        best.score, astar1.score, rel_tol=NEAR_TIE_REL, abs_tol=0.0
+    ), "top-1 score disagrees with A* rank-1 beyond near-tie tolerance"
+    log_best = results["viterbi_top1_log/reference"]
+    assert math.isclose(
+        best.score, log_best.score, rel_tol=NEAR_TIE_REL, abs_tol=0.0
+    ), "top-1 scores diverge across arithmetic spaces"
+
+
+# --------------------------------------------------------------------------- #
+# Standalone fuzz entry point (numpy-random, no hypothesis needed)
+# --------------------------------------------------------------------------- #
+
+
+def random_instance(rng: np.random.RandomState) -> ReformulationHMM:
+    """One random adversarial HMM: mixed zeros, skew and tied palettes."""
+    m = int(rng.randint(1, 5))
+    sizes = [int(rng.randint(1, 6)) for _ in range(m)]
+    profile = rng.choice(["uniform", "zero_heavy", "skewed", "palette"])
+
+    def weights(shape):
+        if profile == "zero_heavy":
+            raw = rng.rand(*shape) * (rng.rand(*shape) > 0.6)
+        elif profile == "skewed":
+            raw = 10.0 ** -rng.randint(0, 13, size=shape).astype(np.float64)
+        elif profile == "palette":
+            raw = rng.choice([0.0, 0.25, 0.5, 1.0], size=shape)
+        else:
+            raw = rng.rand(*shape)
+        return raw
+
+    states = [
+        [
+            CandidateState(StateKind.SIMILAR, i * 8 + j, f"t{i}_{j}", 1.0)
+            for j in range(n)
+        ]
+        for i, n in enumerate(sizes)
+    ]
+    pi = weights((sizes[0],))
+    if pi.sum() == 0:
+        pi[:] = 1.0
+    emissions = []
+    for n in sizes:
+        e = weights((n,))
+        if e.sum() == 0:
+            e[:] = 1.0
+        emissions.append(e / e.sum())
+    transitions = [
+        weights((sizes[i - 1], sizes[i])) for i in range(1, m)
+    ]
+    return ReformulationHMM(
+        query=tuple(f"q{i}" for i in range(m)),
+        states=states,
+        pi=pi / pi.sum(),
+        emissions=emissions,
+        transitions=transitions,
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--instances", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rng = np.random.RandomState(args.seed)
+    for i in range(args.instances):
+        hmm = random_instance(rng)
+        k = int(rng.randint(1, 13))
+        check_topk_equivalence(hmm, k)
+        check_topk_equivalence(hmm, hmm.search_space + 3)
+        check_top1_equivalence(hmm)
+    print(
+        f"decode oracle: {args.instances} instances x "
+        f"{len(TOPK_LANES)} top-k lanes + {len(TOP1_LANES)} top-1 lanes: OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
