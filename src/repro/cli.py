@@ -248,7 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--relations", default=None,
         help="precomputed term-relation store to serve from "
-             "(v1 JSON file or v2 shard directory)",
+             "(v1 JSON file, v2 shard directory, or v3 binary directory)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="pre-fork worker processes sharing the port via "
+             "SO_REUSEPORT (0 = classic single-process daemon); warm "
+             "the pipeline once, fork N times, kernel balances accepts",
     )
     serve.add_argument(
         "--method", choices=("tat", "cooccurrence", "rank"), default="tat"
@@ -288,12 +294,24 @@ def build_parser() -> argparse.ArgumentParser:
     store = sub.add_parser("store", help="inspect or migrate relation stores")
     store_sub = store.add_subparsers(dest="store_command", required=True)
     migrate = store_sub.add_parser(
-        "migrate", help="convert a v1 JSON store to the sharded v2 layout"
+        "migrate",
+        help="convert a store between formats: --to v2 (JSON shards) "
+             "or --to v3 (binary memmap blocks)",
     )
     add_data(migrate)
-    migrate.add_argument("--src", required=True, help="v1 store file")
-    migrate.add_argument("--dest", required=True, help="v2 store directory")
-    migrate.add_argument("--shards", type=int, default=8)
+    migrate.add_argument(
+        "--src", required=True,
+        help="source store (v1 file; v2 directory also accepted by --to v3)",
+    )
+    migrate.add_argument("--dest", required=True, help="output directory")
+    migrate.add_argument(
+        "--to", choices=("v2", "v3"), default="v2",
+        help="target format (default v2 for backward compatibility)",
+    )
+    migrate.add_argument(
+        "--shards", type=int, default=8,
+        help="shard count for --to v2 (ignored by --to v3)",
+    )
     info = store_sub.add_parser(
         "info", help="print a store's format, size and build metadata"
     )
@@ -554,9 +572,15 @@ def cmd_serve(args, out) -> int:
     line with the bound address is printed to *out* once serving (CI
     and scripts poll for it).  SIGTERM drains in-flight requests
     before the process exits.
+
+    With ``--workers N`` the warmed pipeline is forked into N worker
+    processes sharing the port via SO_REUSEPORT (one daemon per core;
+    the TAT graph — and, with a v3 store, the memmapped relation blocks
+    — stay one physical copy).  SIGTERM on the master fans the drain
+    out to every worker.
     """
     from repro.live import LiveReformulator
-    from repro.server import ReformulationServer, ServerConfig
+    from repro.server import PreforkServer, ReformulationServer, ServerConfig
 
     database = _load(args)
     live = LiveReformulator(
@@ -569,21 +593,39 @@ def cmd_serve(args, out) -> int:
         ),
         relations=args.relations,
     )
-    server = ReformulationServer(live, ServerConfig(
+    config = ServerConfig(
         host=args.host,
         port=args.port,
         max_concurrency=args.max_concurrency,
         queue_depth=args.queue_depth,
         queue_timeout_s=args.queue_timeout_ms / 1000.0,
         default_deadline_ms=args.deadline_ms,
-    ))
-    if not args.no_metrics:
-        obs.enable()
-    server.install_signal_handlers()
+    )
     logger.info(
         "pipeline warming (relations=%s)...", args.relations or "live"
     )
-    live.pipeline()
+    live.pipeline()  # before any fork: workers share this copy-on-write
+    if args.workers > 0:
+        pool = PreforkServer(
+            lambda: live,
+            config,
+            workers=args.workers,
+            enable_metrics=not args.no_metrics,
+        )
+        pool.start()
+        pool.install_signal_handlers()
+        host, port = pool.address
+        print(
+            f"READY http://{host}:{port} workers={args.workers}",
+            file=out, flush=True,
+        )
+        pool.serve_forever()
+        logger.info("worker pool drained; exiting")
+        return 0
+    server = ReformulationServer(live, config)
+    if not args.no_metrics:
+        obs.enable()
+    server.install_signal_handlers()
     host, port = server.bind()
     print(f"READY http://{host}:{port}", file=out, flush=True)
     server.serve_forever()
@@ -596,6 +638,17 @@ def cmd_store(args, out) -> int:
     database = _load(args)
     graph = TATGraph(database, InvertedIndex(database))
     if args.store_command == "migrate":
+        if args.to == "v3":
+            from repro.offline_store import migrate_to_v3
+
+            migrated = migrate_to_v3(args.src, args.dest, graph)
+            total = sum(b["bytes"] for b in migrated.blocks_info())
+            logger.info(
+                "migrated %d terms: %s -> %s (v3 binary, %d keys, %d bytes)",
+                len(migrated), args.src, args.dest,
+                migrated.n_keys, total,
+            )
+            return 0
         from repro.offline_store import migrate_v1_to_v2
 
         migrated = migrate_v1_to_v2(
@@ -611,6 +664,15 @@ def cmd_store(args, out) -> int:
     print(f"terms: {len(store)}", file=out)
     if hasattr(store, "n_shards"):
         print(f"shards: {store.n_shards}", file=out)
+    if hasattr(store, "blocks_info"):
+        print(f"keys: {store.n_keys}", file=out)
+        for block in store.blocks_info():
+            print(
+                f"block.{block['role']}: {block['file']} "
+                f"({block['bytes']} bytes)",
+                file=out,
+            )
+    if hasattr(store, "build_info"):
         for key, value in sorted(store.build_info().items()):
             print(f"build.{key}: {value}", file=out)
     return 0

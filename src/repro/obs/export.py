@@ -147,6 +147,71 @@ def registry_to_prometheus(registry: MetricsRegistry) -> str:
     return prometheus_from_dict(registry_to_dict(registry))
 
 
+def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-process :func:`registry_to_dict` snapshots into one.
+
+    Series are matched on ``(name, type, labels)``.  Counters and gauges
+    sum their values (gauges in this codebase are occupancy/size numbers
+    — in-flight requests, queue depth, mapped bytes — where the pool
+    total is the meaningful fleet view); histograms sum ``sum``,
+    ``count`` and per-bound bucket counts.  Help text comes from the
+    first snapshot that mentions the series.
+
+    This powers the pre-fork pool's ``GET /metrics/aggregate``: each
+    worker spools its own snapshot, any worker merges them all.
+    """
+    merged: Dict[Any, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for entry in snapshot.get("metrics", []):
+            labels = {
+                str(k): str(v) for k, v in entry.get("labels", {}).items()
+            }
+            key = (
+                entry["name"],
+                entry["type"],
+                tuple(sorted(labels.items())),
+            )
+            slot = merged.get(key)
+            if slot is None:
+                slot = merged[key] = {
+                    "name": entry["name"],
+                    "type": entry["type"],
+                    "help": entry.get("help", ""),
+                    "labels": labels,
+                }
+                if entry["type"] == "histogram":
+                    slot["sum"] = 0.0
+                    slot["count"] = 0
+                    slot["_buckets"] = {}
+                else:
+                    slot["value"] = 0.0
+            if entry["type"] == "histogram":
+                slot["sum"] += float(entry.get("sum", 0.0))
+                slot["count"] += int(entry.get("count", 0))
+                for le, count in entry.get("buckets", []):
+                    bound = "+Inf" if le == "+Inf" else float(le)
+                    slot["_buckets"][bound] = (
+                        slot["_buckets"].get(bound, 0) + int(count)
+                    )
+            else:
+                slot["value"] += float(entry.get("value", 0.0))
+    metrics: List[Dict[str, Any]] = []
+    for slot in merged.values():
+        buckets = slot.pop("_buckets", None)
+        if buckets is not None:
+            slot["buckets"] = [
+                ["+Inf" if bound == "+Inf" else bound, count]
+                for bound, count in sorted(
+                    buckets.items(),
+                    key=lambda item: (
+                        math.inf if item[0] == "+Inf" else item[0]
+                    ),
+                )
+            ]
+        metrics.append(slot)
+    return {"metrics": metrics}
+
+
 # --------------------------------------------------------------------- #
 # span → tree / dict
 # --------------------------------------------------------------------- #

@@ -270,15 +270,29 @@ class TermRelationStore:
 
     @classmethod
     def load(cls, path: PathLike, graph: TATGraph) -> "TermRelationStore":
-        """Load a store written by :meth:`save` or :meth:`save_sharded`.
+        """Load a store written by any supported format (v1/v2/v3).
 
-        A directory (or a path to its ``manifest.json``) is the sharded
-        v2 layout and comes back as a lazily-loading
-        :class:`~repro.offline_store.ShardedTermRelationStore`; a plain
-        file is the single-document v1 format.
+        A directory (or a path to its ``manifest.json``) is dispatched on
+        the manifest's ``format_version``: 3 opens as a memmapped
+        :class:`~repro.storage.binary.BinaryTermRelationStore`, otherwise
+        it comes back as a lazily-loading
+        :class:`~repro.offline_store.ShardedTermRelationStore` (v2); a
+        plain file is the single-document v1 format.
         """
         p = Path(path)
         if p.is_dir() or p.name == "manifest.json":
+            root = p if p.is_dir() else p.parent
+            version = None
+            try:
+                version = json.loads(
+                    (root / "manifest.json").read_text(encoding="utf-8")
+                ).get("format_version")
+            except (OSError, json.JSONDecodeError):
+                pass  # let the per-format loader raise its own error
+            if version == 3:
+                from repro.storage.binary import BinaryTermRelationStore
+
+                return BinaryTermRelationStore.load(root, graph)
             from repro.offline_store import ShardedTermRelationStore
 
             return ShardedTermRelationStore.load(p, graph)

@@ -163,6 +163,32 @@ def migrate_v1_to_v2(
     return ShardedTermRelationStore.load(root, graph)
 
 
+def migrate_to_v3(
+    src: PathLike,
+    dest: PathLike,
+    graph: TATGraph,
+    build_info: Optional[Dict[str, object]] = None,
+):
+    """Convert a v1 file or v2 shard directory into a v3 binary store.
+
+    Returns the opened :class:`repro.storage.binary.BinaryTermRelationStore`
+    (checksums verified, since the artifact was just written).
+    """
+    from repro.storage.binary import BinaryTermRelationStore, write_store_v3
+
+    src = Path(src)
+    store = TermRelationStore.load(src, graph)
+    if isinstance(store, BinaryTermRelationStore):
+        raise ReproError(f"{src}: already a binary (v3) store directory")
+    info = {
+        "migrated_from": str(src),
+        "migrated_from_version": store.FORMAT_VERSION,
+    }
+    info.update(build_info or {})
+    root = write_store_v3(store, dest, build_info=info)
+    return BinaryTermRelationStore.load(root, graph)
+
+
 class ShardedTermRelationStore(TermRelationStore):
     """Lazily-loading v2 store with the v1 store's full online interface.
 

@@ -12,7 +12,11 @@ service with an overload story:
 * :mod:`repro.server.app` — the threaded ``http.server`` daemon:
   ``POST /reformulate``, ``POST /reformulate/batch``, ``GET /similar``,
   ``GET /healthz``, ``GET /readyz``, ``GET /metrics``,
-  ``POST /admin/reload``, graceful SIGTERM drain;
+  ``GET /metrics/aggregate``, ``POST /admin/reload``, graceful SIGTERM
+  drain;
+* :mod:`repro.server.prefork` — :class:`PreforkServer`, the
+  SO_REUSEPORT master/worker pool that runs one daemon process per
+  core over a shared (ideally memmapped v3) relation store;
 * :mod:`repro.server.client` — stdlib keep-alive JSON client.
 
 Quickstart (in-process; the CLI equivalent is ``repro serve``)::
@@ -50,6 +54,7 @@ from repro.server.client import (
 )
 from repro.server.config import ServerConfig, ServerConfigError
 from repro.server.deadline import Deadline, LatencyEstimator, should_degrade
+from repro.server.prefork import PreforkServer
 
 __all__ = [
     "AdmissionController",
@@ -60,6 +65,7 @@ __all__ = [
     "DEGRADE_VITERBI",
     "LatencyEstimator",
     "OverloadedError",
+    "PreforkServer",
     "ReformulationServer",
     "ServerClient",
     "ServerClientError",

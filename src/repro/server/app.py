@@ -32,11 +32,13 @@ from __future__ import annotations
 import json
 import logging
 import math
+import os
 import signal
 import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -127,6 +129,8 @@ class ReformulationServer:
         self._lifecycle_lock = threading.Lock()
         self._closed = False
         self._degraded_served = 0
+        self._flush_stop = threading.Event()
+        self._flusher: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -199,6 +203,7 @@ class ReformulationServer:
 
     def _serve_loop(self, httpd: "_HTTPServer") -> None:
         logger.info("serving on %s:%d", *self.address)
+        self._start_metrics_flusher()
         self._started.set()
         try:
             httpd.serve_forever(poll_interval=0.1)
@@ -214,6 +219,7 @@ class ReformulationServer:
         # block_on_close + non-daemon handler threads: this join IS the
         # drain — every accepted request finishes before we return.
         httpd.server_close()
+        self._stop_metrics_flusher()
         logger.info("drained and closed")
 
     def shutdown(self) -> None:
@@ -474,6 +480,85 @@ class ReformulationServer:
             reason=reason,
         ).inc()
 
+    # ------------------------------------------------------------------ #
+    # multi-process metrics spool (pre-fork pool support)
+    # ------------------------------------------------------------------ #
+
+    def _start_metrics_flusher(self) -> None:
+        """Spool periodic metrics snapshots when configured (idempotent)."""
+        if self.config.metrics_spool_dir is None or self._flusher is not None:
+            return
+        if obs.is_enabled():
+            obs.registry().gauge(
+                "repro_server_worker_up",
+                "1 per live worker process (labelled by worker index)",
+                worker=str(self.config.worker_index),
+            ).set(1)
+
+        def loop() -> None:
+            while not self._flush_stop.wait(
+                self.config.metrics_flush_interval_s
+            ):
+                try:
+                    self.write_metrics_snapshot()
+                except Exception:  # noqa: BLE001 - keep serving
+                    logger.exception("metrics spool write failed")
+
+        self._flusher = threading.Thread(
+            target=loop, name="repro-metrics-flush", daemon=True
+        )
+        self._flusher.start()
+
+    def _stop_metrics_flusher(self) -> None:
+        """Stop the flusher and leave one final post-drain snapshot."""
+        self._flush_stop.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=5.0)
+            self._flusher = None
+        if self.config.metrics_spool_dir is not None:
+            try:
+                self.write_metrics_snapshot()
+            except Exception:  # noqa: BLE001 - shutdown best-effort
+                logger.exception("final metrics spool write failed")
+
+    def write_metrics_snapshot(self) -> Optional[Path]:
+        """Atomically write this worker's registry snapshot to the spool."""
+        spool = self.config.metrics_spool_dir
+        if spool is None:
+            return None
+        root = Path(spool)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"worker-{self.config.worker_index:04d}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(obs.export.registry_to_dict(obs.registry())),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    def aggregate_metrics_dict(self) -> Dict[str, Any]:
+        """Pool-wide metrics: every spooled worker snapshot, merged.
+
+        Standalone (no spool directory) this is simply the process's own
+        registry, so ``/metrics/aggregate`` always answers.  Inside a
+        pool, this worker writes a fresh snapshot first so its own
+        numbers are as current as its ``/metrics`` view.
+        """
+        spool = self.config.metrics_spool_dir
+        if spool is None:
+            return obs.export.registry_to_dict(obs.registry())
+        self.write_metrics_snapshot()
+        snapshots: List[Dict[str, Any]] = []
+        for path in sorted(Path(spool).glob("worker-*.json")):
+            try:
+                snapshots.append(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+            except (OSError, json.JSONDecodeError):
+                continue  # a sibling is mid-rotation; skip this scrape
+        return obs.export.merge_snapshots(snapshots)
+
 
 class _HTTPServer(ThreadingHTTPServer):
     """Threaded HTTP server that drains on close.
@@ -489,6 +574,10 @@ class _HTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address, handler, app: ReformulationServer) -> None:
         self.app = app
+        # SO_REUSEPORT lets N worker processes share one listening port
+        # with kernel-balanced accepts (set per-instance: the attribute
+        # is honoured by TCPServer.server_bind on Python >= 3.11).
+        self.allow_reuse_port = app.config.reuse_port
         super().__init__(address, handler)
 
 
@@ -569,7 +658,8 @@ class _Handler(BaseHTTPRequestHandler):
     @classmethod
     def _known_routes(cls) -> set:
         return cls.QUERY_ROUTES | {
-            "/healthz", "/readyz", "/metrics", "/admin/reload",
+            "/healthz", "/readyz", "/metrics", "/metrics/aggregate",
+            "/admin/reload",
         }
 
     def _route(
@@ -581,9 +671,12 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> int:
         app = self.app
         if verb == "GET" and route == "/healthz":
-            return self._send_json(200, {
-                "status": "ok", "draining": app.draining,
-            })
+            body = {"status": "ok", "draining": app.draining}
+            if app.config.metrics_spool_dir is not None:
+                # pool mode: identify which worker answered the probe
+                body["worker"] = app.config.worker_index
+                body["pid"] = os.getpid()
+            return self._send_json(200, body)
         if verb == "GET" and route == "/readyz":
             if app.ready:
                 return self._send_json(200, {
@@ -594,6 +687,11 @@ class _Handler(BaseHTTPRequestHandler):
             })
         if verb == "GET" and route == "/metrics":
             text = obs.export.registry_to_prometheus(obs.registry())
+            return self._send_bytes(200, text.encode("utf-8"), _PROMETHEUS)
+        if verb == "GET" and route == "/metrics/aggregate":
+            text = obs.export.prometheus_from_dict(
+                app.aggregate_metrics_dict()
+            )
             return self._send_bytes(200, text.encode("utf-8"), _PROMETHEUS)
         if verb == "POST" and route == "/admin/reload":
             return self._send_json(200, app.handle_admin_reload())

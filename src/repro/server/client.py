@@ -209,6 +209,10 @@ class ServerClient:
         """``GET /metrics`` (Prometheus text format)."""
         return self.request("GET", "/metrics")
 
+    def metrics_aggregate(self) -> ServerResponse:
+        """``GET /metrics/aggregate`` (pool-wide Prometheus view)."""
+        return self.request("GET", "/metrics/aggregate")
+
     def admin_reload(self) -> ServerResponse:
         """``POST /admin/reload``."""
         return self.request("POST", "/admin/reload", {})

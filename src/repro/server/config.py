@@ -31,6 +31,7 @@ else the single-best Viterbi decode, and marks the response
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ReproError
 
@@ -72,6 +73,19 @@ class ServerConfig:
     #: Build the pipeline before serving, so ``/readyz`` is green from
     #: the first accepted connection.
     warm_on_start: bool = True
+    #: Bind with ``SO_REUSEPORT`` so several worker processes can listen
+    #: on the same port and let the kernel balance accepts (the pre-fork
+    #: pool of :mod:`repro.server.prefork` sets this on every worker).
+    reuse_port: bool = False
+    #: Identity of this process inside a pre-fork pool (0 standalone).
+    worker_index: int = 0
+    #: Directory where this worker periodically spools a JSON metrics
+    #: snapshot, and where ``GET /metrics/aggregate`` merges the whole
+    #: pool's snapshots from.  ``None`` (standalone) makes the aggregate
+    #: view identical to ``/metrics``.
+    metrics_spool_dir: Optional[str] = None
+    #: Seconds between metrics-snapshot spool writes.
+    metrics_flush_interval_s: float = 1.0
 
     def validate(self) -> None:
         """Raise :class:`ServerConfigError` on out-of-range values."""
@@ -95,3 +109,7 @@ class ServerConfig:
             raise ServerConfigError("max_batch_workers must be >= 1")
         if self.default_k < 1:
             raise ServerConfigError("default_k must be >= 1")
+        if self.worker_index < 0:
+            raise ServerConfigError("worker_index must be >= 0")
+        if self.metrics_flush_interval_s <= 0:
+            raise ServerConfigError("metrics_flush_interval_s must be > 0")

@@ -1,0 +1,53 @@
+"""Docs link check: every relative link in the markdown docs resolves.
+
+Doubles as the CI ``docs link check`` step (the workflow just runs this
+module).  External links are not fetched — only repo-relative targets
+are verified, so the check is hermetic and fast.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DOC_FILES = sorted(REPO_ROOT.glob("docs/*.md")) + [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "DESIGN.md",
+    REPO_ROOT / "ROADMAP.md",
+]
+
+# [text](target) — excluding images' leading "!" is irrelevant here,
+# an image target must resolve just the same
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path):
+    for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize(
+    "doc", [d for d in DOC_FILES if d.exists()], ids=lambda d: d.name
+)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _relative_links(doc):
+        resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.relative_to(REPO_ROOT)}: broken links {broken}"
+
+
+def test_docs_cross_reference_store_formats():
+    # the format doc is load-bearing for the v3/pre-fork story: the
+    # docs that discuss those features must point at it
+    for name in ("server.md", "usage.md", "serving.md", "architecture.md"):
+        text = (REPO_ROOT / "docs" / name).read_text(encoding="utf-8")
+        assert "store_formats.md" in text, name

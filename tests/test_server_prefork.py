@@ -1,0 +1,271 @@
+"""Tests for the SO_REUSEPORT pre-fork worker pool.
+
+Boots real multi-process pools over the toy corpus: READY handshake,
+kernel-balanced accepts across distinct worker pids, bit-identical
+responses vs the in-process pipeline, aggregated metrics convergence,
+worker-crash-and-respawn, and drain-under-load.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.reformulator import ReformulatorConfig
+from repro.errors import ReproError
+from repro.live import LiveReformulator
+from repro.server import (
+    PreforkServer,
+    ServerClient,
+    ServerClientError,
+    ServerConfig,
+    suggestions_signature,
+)
+
+from tests.conftest import build_toy_database
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pre-fork pool requires os.fork"
+)
+
+
+@pytest.fixture(scope="module")
+def warm_live():
+    """A warmed pipeline, built once — forked workers share it CoW."""
+    live = LiveReformulator(
+        build_toy_database(), ReformulatorConfig(n_candidates=8)
+    )
+    live.pipeline()
+    return live
+
+
+def _config(**overrides) -> ServerConfig:
+    defaults = dict(
+        port=0,
+        max_concurrency=4,
+        queue_depth=8,
+        metrics_flush_interval_s=0.2,
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+@pytest.fixture()
+def pool(warm_live):
+    pool = PreforkServer(
+        lambda: warm_live, _config(), workers=2, drain_timeout_s=10.0
+    )
+    pool.start(ready_timeout_s=60.0)
+    yield pool
+    pool.shutdown()
+
+
+def _fresh_request(port, method, *args, **kwargs):
+    """One request on a fresh connection (a new source port each time,
+    so the kernel's REUSEPORT hash can land on any worker)."""
+    with ServerClient(port=port, timeout_s=10.0) as client:
+        return getattr(client, method)(*args, **kwargs)
+
+
+class TestPoolBoot:
+    def test_workers_alive_and_ready(self, pool):
+        assert len(pool.worker_pids) == 2
+        assert len(set(pool.worker_pids)) == 2
+        response = _fresh_request(pool.port, "readyz")
+        assert response.status == 200
+
+    def test_distinct_pids_answer(self, pool):
+        # fresh connections hash to different workers; healthz reports
+        # the answering worker's identity in pool mode
+        seen = set()
+        deadline = time.monotonic() + 30.0
+        while len(seen) < 2 and time.monotonic() < deadline:
+            response = _fresh_request(pool.port, "healthz")
+            assert response.status == 200
+            body = response.json
+            assert body["status"] == "ok"
+            assert "worker" in body and "pid" in body
+            seen.add(body["pid"])
+        assert seen <= set(pool.worker_pids)
+        assert len(seen) == 2, "accepts never balanced across workers"
+
+    def test_responses_bit_identical_to_inprocess(self, pool, warm_live):
+        queries = [["probabilistic", "query"], ["pattern", "mining"]]
+        for keywords in queries:
+            expected = [
+                (s.text, s.score, tuple(s.state_path))
+                for s in warm_live.reformulate(keywords, k=5)
+            ]
+            for _ in range(4):  # hit both workers
+                response = _fresh_request(
+                    pool.port, "reformulate", keywords, k=5
+                )
+                assert response.status == 200
+                got = suggestions_signature(
+                    response.json["suggestions"]
+                )
+                assert got == expected
+
+    def test_port_zero_resolves_once_for_all_workers(self, pool):
+        assert pool.port != 0
+        # every worker accepted on the same resolved port (the requests
+        # above all used pool.port); nothing else to assert beyond that
+        assert _fresh_request(pool.port, "healthz").status == 200
+
+
+class TestAggregatedMetrics:
+    def test_per_worker_and_aggregate_views(self, pool):
+        n_requests = 6
+        for _ in range(n_requests):
+            response = _fresh_request(
+                pool.port, "reformulate", ["probabilistic", "query"], k=3
+            )
+            assert response.status == 200
+        # per-worker view exists on whichever worker answers
+        text = _fresh_request(pool.port, "metrics").text
+        assert "repro_server_requests_total" in text
+        # the aggregate merges all spooled snapshots; totals converge to
+        # at least the requests this test issued (spool flushes lag by
+        # up to metrics_flush_interval_s, so poll)
+        deadline = time.monotonic() + 30.0
+        total = 0.0
+        while time.monotonic() < deadline:
+            aggregate = _fresh_request(pool.port, "metrics_aggregate").text
+            total = sum(
+                float(line.rsplit(" ", 1)[1])
+                for line in aggregate.splitlines()
+                if line.startswith("repro_server_requests_total")
+                and 'route="/reformulate"' in line
+                and 'status="200"' in line
+            )
+            if total >= n_requests:
+                break
+            time.sleep(0.2)
+        assert total >= n_requests
+
+    def test_worker_up_series(self, pool):
+        _fresh_request(pool.port, "reformulate", ["pattern"], k=2)
+        deadline = time.monotonic() + 30.0
+        workers_up = 0
+        while time.monotonic() < deadline:
+            aggregate = _fresh_request(pool.port, "metrics_aggregate").text
+            workers_up = sum(
+                1
+                for line in aggregate.splitlines()
+                if line.startswith("repro_server_worker_up{")
+                and line.rstrip().endswith(" 1")
+            )
+            if workers_up >= 2:
+                break
+            time.sleep(0.2)
+        assert workers_up == 2
+
+
+class TestCrashRespawn:
+    def test_killed_worker_is_respawned(self, warm_live):
+        pool = PreforkServer(
+            lambda: warm_live, _config(), workers=2, drain_timeout_s=10.0
+        )
+        pool.start(ready_timeout_s=60.0)
+        try:
+            original = set(pool.worker_pids)
+            victim = pool.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                pids = set(pool.worker_pids)
+                if len(pids) == 2 and victim not in pids:
+                    break
+                time.sleep(0.1)
+            pids = set(pool.worker_pids)
+            assert victim not in pids
+            assert len(pids) == 2, "crashed worker was not respawned"
+            assert pids != original
+            # the pool still serves correct answers after the respawn
+            for _ in range(4):
+                response = _fresh_request(
+                    pool.port, "reformulate", ["probabilistic"], k=3
+                )
+                assert response.status == 200
+                assert response.json["suggestions"]
+        finally:
+            pool.shutdown()
+
+    def test_respawn_cap_abandons_slot(self, warm_live):
+        pool = PreforkServer(
+            lambda: warm_live, _config(), workers=2,
+            max_respawns=0, drain_timeout_s=10.0,
+        )
+        pool.start(ready_timeout_s=60.0)
+        try:
+            victim = pool.worker_pids[0]
+            survivor = pool.worker_pids[1]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while victim in pool.worker_pids and time.monotonic() < deadline:
+                time.sleep(0.1)
+            assert pool.worker_pids == [survivor]
+            # the surviving worker still answers
+            response = _fresh_request(pool.port, "healthz")
+            assert response.status == 200
+        finally:
+            pool.shutdown()
+
+
+class TestDrain:
+    def test_drain_under_load(self, warm_live):
+        pool = PreforkServer(
+            lambda: warm_live, _config(), workers=2, drain_timeout_s=15.0
+        )
+        pool.start(ready_timeout_s=60.0)
+        statuses: list = []
+        errors: list = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                try:
+                    response = _fresh_request(
+                        pool.port, "reformulate",
+                        ["probabilistic", "query"], k=5,
+                    )
+                    statuses.append(response.status)
+                except ServerClientError:
+                    # refused/reset while the pool winds down is the
+                    # expected fate of requests racing the close
+                    errors.append(1)
+                    if stop.is_set():
+                        return
+
+        threads = [
+            threading.Thread(target=hammer, daemon=True) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 10.0
+        while len(statuses) < 8 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert len(statuses) >= 8, "load never reached the pool"
+        pool.shutdown()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        # every accepted request was answered, never half-dropped
+        assert set(statuses) <= {200, 429}
+        assert statuses.count(200) >= 8
+        # and the port is actually released
+        with pytest.raises(ServerClientError):
+            ServerClient(port=pool.port, timeout_s=0.5).healthz()
+
+    def test_shutdown_idempotent_and_start_once(self, warm_live):
+        pool = PreforkServer(lambda: warm_live, _config(), workers=1)
+        pool.start(ready_timeout_s=60.0)
+        with pytest.raises(ReproError, match="already started"):
+            pool.start()
+        pool.shutdown()
+        pool.shutdown()  # second call returns immediately
+        assert pool.worker_pids == []
