@@ -18,6 +18,8 @@ One entry point with subcommands covering the full lifecycle::
     python -m repro.cli --verbose precompute --data corpus/ --out store/ --trace
     python -m repro.cli stats --format prometheus
     python -m repro.cli serve --data corpus/ --port 8080 --relations store/
+    python -m repro.cli serve --data corpus/ --workers 4 --access-log access.jsonl
+    python -m repro.cli trace --url http://127.0.0.1:8080 --slow-only
 
 ``--data`` is a directory holding ``schema.json`` + per-table CSVs (any
 schema, not just the bibliographic one); ``synth`` writes such a
@@ -289,6 +291,75 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-metrics", action="store_true",
         help="leave the observability switch off (no /metrics series)",
+    )
+    serve.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="append one JSON line per request (trace id, route, status, "
+             "stage latencies); safe to share across pre-fork workers",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=0.1, metavar="RATE",
+        help="head-sampling rate of request traces kept in the flight "
+             "recorder (slow/degraded/shed requests are always kept)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=500.0,
+        help="requests slower than this are always captured by the "
+             "flight recorder, whatever the sampling decision",
+    )
+    serve.add_argument(
+        "--flight-recorder", type=int, default=64, metavar="N",
+        help="per-ring capacity of the in-memory flight recorder "
+             "(served at GET /debug/traces)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="render request traces recorded by the serving daemon's "
+             "flight recorder",
+    )
+    trace.add_argument(
+        "--url", default=None,
+        help="base URL of a running daemon, e.g. http://127.0.0.1:8080 "
+             "(fetches GET /debug/traces, pool-wide)",
+    )
+    trace.add_argument(
+        "--from-json", default=None, metavar="FILE",
+        help="render a saved /debug/traces document or a spooled "
+             "traces-worker-*.json instead of contacting a daemon",
+    )
+    trace.add_argument(
+        "--id", default=None, metavar="TRACE_ID",
+        help="only the trace(s) with this request id",
+    )
+    trace.add_argument(
+        "--slow-only", action="store_true",
+        help="only notable requests (slow, degraded, shed, or errored)",
+    )
+    trace.add_argument(
+        "-n", type=int, default=0,
+        help="newest N traces (0 = all retained)",
+    )
+    trace.add_argument(
+        "--explain", action="store_true",
+        help="re-decode each rendered query with the explain-mode score "
+             "decomposition joined under the trace (needs --data)",
+    )
+    trace.add_argument(
+        "--data", default=None,
+        help="corpus directory (schema.json + CSVs); required by --explain",
+    )
+    trace.add_argument(
+        "--method", choices=("tat", "cooccurrence", "rank"), default="tat"
+    )
+    trace.add_argument("--candidates", type=int, default=15)
+    trace.add_argument(
+        "--decode-impl", choices=("vectorized", "reference"),
+        default="vectorized",
+    )
+    trace.add_argument(
+        "--relations", default=None,
+        help="precomputed term-relation store for --explain",
     )
 
     store = sub.add_parser("store", help="inspect or migrate relation stores")
@@ -600,6 +671,10 @@ def cmd_serve(args, out) -> int:
         queue_depth=args.queue_depth,
         queue_timeout_s=args.queue_timeout_ms / 1000.0,
         default_deadline_ms=args.deadline_ms,
+        trace_sample_rate=args.trace_sample,
+        slow_trace_ms=args.slow_ms,
+        flight_recorder_size=args.flight_recorder,
+        access_log_path=args.access_log,
     )
     logger.info(
         "pipeline warming (relations=%s)...", args.relations or "live"
@@ -630,6 +705,78 @@ def cmd_serve(args, out) -> int:
     print(f"READY http://{host}:{port}", file=out, flush=True)
     server.serve_forever()
     logger.info("server drained; exiting")
+    return 0
+
+
+def _load_trace_records(args) -> List[dict]:
+    """Trace records from a live daemon (--url) or a JSON file."""
+    if bool(args.url) == bool(args.from_json):
+        raise ReproError("provide exactly one of --url or --from-json")
+    if args.url:
+        from urllib.parse import urlsplit
+
+        from repro.server.client import ServerClient
+
+        parts = urlsplit(args.url if "//" in args.url else f"//{args.url}")
+        with ServerClient(
+            host=parts.hostname or "127.0.0.1", port=parts.port or 8080
+        ) as client:
+            response = client.debug_traces(n=args.n or None)
+            if not response.ok:
+                raise ReproError(
+                    f"GET /debug/traces returned {response.status}"
+                )
+            payload = response.json
+    else:
+        try:
+            with open(args.from_json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read {args.from_json}: {exc}")
+    if not isinstance(payload, dict) or "traces" not in payload:
+        raise ReproError("document has no 'traces' key")
+    return list(payload["traces"])
+
+
+def cmd_trace(args, out) -> int:
+    """``trace``: render recorded span trees from the flight recorder.
+
+    Joins the serving-side view (per-stage latencies, queue wait,
+    degraded/shed flags, the span tree) with — under ``--explain`` —
+    a fresh explain-mode decode of the same keywords, so a slow query's
+    trace and its score decomposition read as one document.
+    """
+    records = _load_trace_records(args)
+    if args.id:
+        records = [r for r in records if r.get("trace_id") == args.id]
+    if args.slow_only:
+        records = [r for r in records if r.get("notable")]
+    if args.n and len(records) > args.n:
+        records = records[-args.n:]
+    if not records:
+        print("no recorded traces match", file=out)
+        return 0
+    reformulator = None
+    if args.explain:
+        if not args.data:
+            raise ReproError("--explain needs --data to rebuild the pipeline")
+        reformulator = _build_reformulator(args, _load(args))
+    for record in records:
+        print(obs.export.render_trace_record(record).rstrip("\n"), file=out)
+        keywords = record.get("keywords")
+        if (
+            reformulator is not None
+            and isinstance(keywords, list)
+            and keywords
+            and all(isinstance(k, str) and not k.startswith("<") for k in keywords)
+        ):
+            result = reformulator.explain(
+                [k.lower() for k in keywords],
+                algorithm=record.get("algorithm") or "astar",
+            )
+            for line in result.render().splitlines():
+                print(f"    {line}", file=out)
+        print(file=out)
     return 0
 
 
@@ -690,6 +837,7 @@ COMMANDS = {
     "stats": cmd_stats,
     "store": cmd_store,
     "serve": cmd_serve,
+    "trace": cmd_trace,
 }
 
 
@@ -730,4 +878,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # downstream pipe closed early (e.g. `repro trace ... | head`);
+        # detach stdout so the interpreter's shutdown flush stays quiet
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(1)

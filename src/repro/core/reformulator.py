@@ -24,6 +24,7 @@ experimental arms:
 
 from __future__ import annotations
 
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -345,8 +346,19 @@ class Reformulator:
                 return self.reformulate(list(query), k=k, algorithm=algorithm)
 
             if workers > 1 and len(unique) > 1:
+                # Pool threads start with an *empty* contextvars state,
+                # so copy the submitting context here — on this thread,
+                # before the fan-out — one copy per task (a single
+                # Context cannot run twice concurrently).  Per-query
+                # spans then attach to this batch's open span tree and
+                # trace annotations land on the request's TraceContext
+                # instead of vanishing.
+                contexts = [contextvars.copy_context() for _ in unique]
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(solve, unique))
+                    results = list(pool.map(
+                        lambda task: task[0].run(solve, task[1]),
+                        zip(contexts, unique),
+                    ))
             else:
                 results = [solve(query) for query in unique]
             root.set_attribute("n_results", len(results))

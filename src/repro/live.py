@@ -231,6 +231,7 @@ class LiveReformulator:
         stale = self.is_stale
         if stale:
             self._cache_bypasses += 1
+            obs.annotate_trace("result_cache", "bypass")
             obs.counter(
                 "repro_live_result_cache_bypass_total",
                 "Queries that bypassed the result cache due to staleness",
@@ -240,7 +241,9 @@ class LiveReformulator:
         if self.result_cache is not None and not stale:
             cached = self.result_cache.get(key, self._version)
             if cached is not None:
+                obs.annotate_trace("result_cache", "hit")
                 return cached
+            obs.annotate_trace("result_cache", "miss")
         results = pipeline.reformulate(keywords, k=k, algorithm=algorithm)
         if self.result_cache is not None:
             self.result_cache.put(key, self._version, results)
@@ -287,6 +290,11 @@ class LiveReformulator:
                 misses.append(i)
             else:
                 results[i] = cached
+        obs.annotate_trace(
+            "result_cache",
+            "bypass" if stale else f"{len(queries) - len(misses)}"
+            f"/{len(queries)} hits",
+        )
         if misses:
             solved = pipeline.reformulate_many(
                 [queries[i] for i in misses],

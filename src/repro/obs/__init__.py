@@ -6,7 +6,11 @@ The subsystem has three parts:
   histograms, and the :class:`MetricsRegistry` that owns them;
 * :mod:`repro.obs.trace` — nestable context-manager :class:`Span`\\ s
   with attributes and ``perf_counter`` timing, handed out by a
-  thread-local :class:`Tracer`;
+  context-local :class:`Tracer`, plus the request-scoped
+  :class:`TraceContext` (trace id + sampling decision) carried in a
+  ``contextvars.ContextVar`` across thread pools and ``os.fork``;
+* :mod:`repro.obs.flight` — the per-process :class:`FlightRecorder`
+  ring of recent request trace records (sampled + always-kept notable);
 * :mod:`repro.obs.export` — JSON, Prometheus text format, and
   human-readable span-tree renderings.
 
@@ -46,10 +50,26 @@ from repro.obs.metrics import (
     NoopMetric,
     exponential_buckets,
 )
-from repro.obs.trace import NOOP_SPAN, NoopSpan, Span, Tracer
+from repro.obs.flight import FlightRecorder, merge_trace_snapshots
+from repro.obs.trace import (
+    MAX_TRACE_ID_LEN,
+    NOOP_SPAN,
+    NoopSpan,
+    Span,
+    TraceContext,
+    Tracer,
+    annotate_trace,
+    current_trace,
+    new_trace_id,
+    reset_current_trace,
+    sanitize_trace_id,
+    set_current_trace,
+    trace_scope,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -58,7 +78,17 @@ __all__ = [
     "NoopSpan",
     "NOOP_SPAN",
     "Span",
+    "TraceContext",
     "Tracer",
+    "MAX_TRACE_ID_LEN",
+    "annotate_trace",
+    "current_trace",
+    "new_trace_id",
+    "reset_current_trace",
+    "sanitize_trace_id",
+    "set_current_trace",
+    "trace_scope",
+    "merge_trace_snapshots",
     "DEFAULT_SECONDS_BUCKETS",
     "exponential_buckets",
     "export",

@@ -52,6 +52,14 @@ def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
                 ["+Inf" if math.isinf(le) else le, count]
                 for le, count in metric.cumulative_buckets()
             ]
+            exemplars = metric.exemplars()
+            if exemplars:
+                # (le, value, trace_id) per bucket holding one: the JSON
+                # export keeps them (classic Prometheus text cannot).
+                entry["exemplars"] = [
+                    ["+Inf" if math.isinf(le) else le, value, trace_id]
+                    for le, value, trace_id in exemplars
+                ]
         elif isinstance(metric, (Counter, Gauge)):
             entry["value"] = metric.value
         metrics.append(entry)
@@ -183,6 +191,7 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
                     slot["sum"] = 0.0
                     slot["count"] = 0
                     slot["_buckets"] = {}
+                    slot["_exemplars"] = {}
                 else:
                     slot["value"] = 0.0
             if entry["type"] == "histogram":
@@ -193,11 +202,18 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
                     slot["_buckets"][bound] = (
                         slot["_buckets"].get(bound, 0) + int(count)
                     )
+                for le, value, trace_id in entry.get("exemplars", []):
+                    # one exemplar per bound; later snapshots win, which
+                    # is as good a tiebreak as any — each is a valid
+                    # representative of the bucket.
+                    bound = "+Inf" if le == "+Inf" else float(le)
+                    slot["_exemplars"][bound] = [le, value, trace_id]
             else:
                 slot["value"] += float(entry.get("value", 0.0))
     metrics: List[Dict[str, Any]] = []
     for slot in merged.values():
         buckets = slot.pop("_buckets", None)
+        exemplars = slot.pop("_exemplars", None)
         if buckets is not None:
             slot["buckets"] = [
                 ["+Inf" if bound == "+Inf" else bound, count]
@@ -206,6 +222,14 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
                     key=lambda item: (
                         math.inf if item[0] == "+Inf" else item[0]
                     ),
+                )
+            ]
+        if exemplars:
+            slot["exemplars"] = [
+                exemplars[bound]
+                for bound in sorted(
+                    exemplars,
+                    key=lambda b: math.inf if b == "+Inf" else b,
                 )
             ]
         metrics.append(slot)
@@ -254,3 +278,61 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
         "attributes": dict(span.attributes),
         "children": [span_to_dict(child) for child in span.children],
     }
+
+
+def span_from_dict(payload: Dict[str, Any]) -> Span:
+    """Rebuild a renderable :class:`Span` tree from :func:`span_to_dict`
+    output (durations are restored; absolute stamps are not kept)."""
+    span = Span(str(payload.get("name", "?")), payload.get("attributes"))
+    span.start_time = 0.0
+    span.end_time = float(payload.get("duration_seconds", 0.0))
+    span.children = [
+        span_from_dict(child) for child in payload.get("children", [])
+    ]
+    return span
+
+
+def render_trace_record(record: Dict[str, Any]) -> str:
+    """Human-readable rendering of one flight-recorder request record.
+
+    A header line (trace id, route, status, total latency, flags), the
+    flat per-stage latencies, and — when the request was sampled into a
+    span tree — the full tree via :func:`render_span_tree`.
+    """
+    flags = [
+        flag
+        for flag, on in (
+            ("slow", record.get("slow")),
+            ("degraded", record.get("degraded")),
+            ("shed", record.get("shed")),
+            ("error", record.get("error")),
+        )
+        if on
+    ]
+    duration = float(record.get("duration_s", 0.0))
+    header = (
+        f"trace {record.get('trace_id', '?')}  "
+        f"{record.get('verb', '?')} {record.get('route', '?')}  "
+        f"status={record.get('status', '?')}  "
+        f"{_format_duration(duration)}"
+    )
+    if record.get("worker") is not None:
+        header += f"  worker={record['worker']}"
+    if flags:
+        header += f"  [{','.join(flags)}]"
+    lines = [header]
+    stages = record.get("stages") or {}
+    if stages:
+        rendered = "  ".join(
+            f"{stage}={_format_duration(float(seconds))}"
+            for stage, seconds in stages.items()
+        )
+        lines.append(f"  stages: {rendered}")
+    for key in ("degraded_mode", "shed_reason", "cache", "algorithm"):
+        value = record.get(key)
+        if value:
+            lines.append(f"  {key}: {value}")
+    tree = record.get("span_tree")
+    if tree:
+        lines.append(render_span_tree(span_from_dict(tree), indent=1))
+    return "\n".join(lines)

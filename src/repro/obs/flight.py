@@ -1,0 +1,129 @@
+"""Per-process flight recorder: a bounded ring of recent request traces.
+
+The serving daemon cannot afford to keep every span tree, but the whole
+point of request tracing is explaining the *interesting* requests after
+the fact.  The recorder therefore keeps two rings:
+
+* **sampled** — head-sampled requests (the ``TraceContext.sampled``
+  decision, made at ingress from ``trace_sample_rate``): a rolling,
+  statistically honest picture of normal traffic;
+* **notable** — requests that were slow (``duration_s`` at or above the
+  threshold), degraded, shed, or errored are *always* kept, regardless
+  of the sampling decision, in their own ring so a burst of normal
+  traffic can never evict the one trace worth reading.
+
+Records are plain JSON-able dicts (trace id, route, status, stage
+latencies, annotations, and — when spans were recorded — the full span
+tree as ``span_to_dict`` output), so a snapshot can be spooled to disk
+next to the metrics snapshots and merged across pre-fork workers by
+whichever worker answers ``GET /debug/traces``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+
+class FlightRecorder:
+    """Bounded in-memory retention of recent request trace records.
+
+    Thread-safe: the serving daemon's handler threads call
+    :meth:`observe` concurrently while the metrics flusher snapshots.
+    """
+
+    def __init__(
+        self, capacity: int = 64, slow_threshold_s: float = 0.5
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if slow_threshold_s < 0:
+            raise ValueError("slow_threshold_s must be >= 0")
+        self.capacity = capacity
+        self.slow_threshold_s = slow_threshold_s
+        self._sampled: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._notable: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._kept_sampled = 0
+        self._kept_notable = 0
+
+    def observe(self, record: Dict[str, Any]) -> bool:
+        """Classify and maybe retain one finished-request record.
+
+        Stamps ``slow`` and ``notable`` onto the record; returns True
+        when the record was retained in either ring.
+        """
+        slow = (
+            float(record.get("duration_s", 0.0)) >= self.slow_threshold_s
+        )
+        notable = bool(
+            slow
+            or record.get("degraded")
+            or record.get("shed")
+            or record.get("error")
+        )
+        record["slow"] = slow
+        record["notable"] = notable
+        with self._lock:
+            self._seen += 1
+            if notable:
+                self._notable.append(record)
+                self._kept_notable += 1
+                return True
+            if record.get("sampled"):
+                self._sampled.append(record)
+                self._kept_sampled += 1
+                return True
+        return False
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Retained records from both rings, oldest first by ``ts``."""
+        with self._lock:
+            records = list(self._sampled) + list(self._notable)
+        return sorted(records, key=lambda r: r.get("ts", 0.0))
+
+    def stats(self) -> Dict[str, int]:
+        """Retention counters (requests seen / kept per ring)."""
+        with self._lock:
+            return {
+                "seen": self._seen,
+                "kept_sampled": self._kept_sampled,
+                "kept_notable": self._kept_notable,
+                "resident": len(self._sampled) + len(self._notable),
+            }
+
+    def clear(self) -> None:
+        """Drop every retained record (counters are kept)."""
+        with self._lock:
+            self._sampled.clear()
+            self._notable.clear()
+
+
+def merge_trace_snapshots(
+    snapshots: List[Dict[str, Any]], limit: int = 0
+) -> Dict[str, Any]:
+    """Merge per-worker flight-recorder spools into one ``/debug/traces``
+    payload.
+
+    Each *snapshot* is ``{"worker": i, "traces": [record, ...]}`` as
+    written by the serving daemon's spool flusher.  Records are merged
+    across workers and sorted by timestamp; a positive *limit* keeps
+    only the newest *limit* records.
+    """
+    records: List[Dict[str, Any]] = []
+    workers: List[int] = []
+    for snapshot in snapshots:
+        worker: Optional[int] = snapshot.get("worker")
+        if worker is not None and worker not in workers:
+            workers.append(worker)
+        records.extend(snapshot.get("traces", []))
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    if limit > 0:
+        records = records[-limit:]
+    return {
+        "count": len(records),
+        "workers": sorted(workers),
+        "traces": records,
+    }

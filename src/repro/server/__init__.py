@@ -12,8 +12,11 @@ service with an overload story:
 * :mod:`repro.server.app` — the threaded ``http.server`` daemon:
   ``POST /reformulate``, ``POST /reformulate/batch``, ``GET /similar``,
   ``GET /healthz``, ``GET /readyz``, ``GET /metrics``,
-  ``GET /metrics/aggregate``, ``POST /admin/reload``, graceful SIGTERM
-  drain;
+  ``GET /metrics/aggregate``, ``GET /debug/traces``,
+  ``POST /admin/reload``, graceful SIGTERM drain; every response
+  carries ``X-Request-Id`` (echoed from the client or generated);
+* :mod:`repro.server.accesslog` — JSON-lines per-request access log
+  shared append-safely across pre-fork workers;
 * :mod:`repro.server.prefork` — :class:`PreforkServer`, the
   SO_REUSEPORT master/worker pool that runs one daemon process per
   core over a shared (ideally memmapped v3) relation store;
@@ -32,6 +35,7 @@ Quickstart (in-process; the CLI equivalent is ``repro serve``)::
     server.shutdown()
 """
 
+from repro.server.accesslog import AccessLog, open_access_log
 from repro.server.admission import (
     AdmissionController,
     AdmissionStats,
@@ -57,6 +61,8 @@ from repro.server.deadline import Deadline, LatencyEstimator, should_degrade
 from repro.server.prefork import PreforkServer
 
 __all__ = [
+    "AccessLog",
+    "open_access_log",
     "AdmissionController",
     "AdmissionStats",
     "BadRequestError",

@@ -19,6 +19,7 @@ The controller is pure threading (no asyncio) to match the threaded
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -31,12 +32,20 @@ SHED_TIMEOUT = "timeout"
 
 
 class OverloadedError(ReproError):
-    """Request shed by admission control (HTTP 429)."""
+    """Request shed by admission control (HTTP 429).
 
-    def __init__(self, reason: str, retry_after_s: int = 1) -> None:
+    ``waited_s`` carries the queue time the request spent before being
+    shed, so the access log and flight recorder can attribute the wait
+    even for requests that never executed.
+    """
+
+    def __init__(
+        self, reason: str, retry_after_s: int = 1, waited_s: float = 0.0
+    ) -> None:
         super().__init__(f"overloaded ({reason})")
         self.reason = reason
         self.retry_after_s = retry_after_s
+        self.waited_s = waited_s
 
 
 @dataclass(frozen=True)
@@ -83,18 +92,22 @@ class AdmissionController:
     # acquire / release
     # ------------------------------------------------------------------ #
 
-    def acquire(self, timeout_s: Optional[float] = None) -> None:
+    def acquire(self, timeout_s: Optional[float] = None) -> float:
         """Take one execution permit or raise :class:`OverloadedError`.
 
         *timeout_s* caps the queue wait below ``queue_timeout_s`` (a
         request with little deadline budget left should not out-wait
         its own deadline); ``None`` uses the configured timeout.
+
+        Returns the seconds this request spent waiting in the queue
+        (0.0 on the uncontended fast path), so the caller can attribute
+        queue wait separately from decode time.
         """
         if self._semaphore.acquire(blocking=False):
             with self._lock:
                 self._executing += 1
                 self._admitted += 1
-            return
+            return 0.0
         with self._lock:
             if self._waiting >= self.queue_depth:
                 self._shed_queue_full += 1
@@ -103,7 +116,9 @@ class AdmissionController:
         budget = self.queue_timeout_s
         if timeout_s is not None:
             budget = min(budget, timeout_s)
+        wait_start = time.perf_counter()
         admitted = self._semaphore.acquire(timeout=max(0.0, budget))
+        waited = time.perf_counter() - wait_start
         with self._lock:
             self._waiting -= 1
             if admitted:
@@ -112,7 +127,8 @@ class AdmissionController:
             else:
                 self._shed_timeout += 1
         if not admitted:
-            raise OverloadedError(SHED_TIMEOUT)
+            raise OverloadedError(SHED_TIMEOUT, waited_s=waited)
+        return waited
 
     def release(self) -> None:
         """Return one execution permit."""
@@ -121,11 +137,12 @@ class AdmissionController:
         self._semaphore.release()
 
     @contextmanager
-    def admit(self, timeout_s: Optional[float] = None) -> Iterator[None]:
-        """``with admission.admit(): ...`` — acquire, run, release."""
-        self.acquire(timeout_s=timeout_s)
+    def admit(self, timeout_s: Optional[float] = None) -> Iterator[float]:
+        """``with admission.admit() as waited_s: ...`` — acquire, run,
+        release; yields the queue wait in seconds."""
+        waited = self.acquire(timeout_s=timeout_s)
         try:
-            yield
+            yield waited
         finally:
             self.release()
 

@@ -22,6 +22,15 @@ Request lifecycle for the query routes (``/reformulate``,
 Health/metrics/admin routes bypass admission so the daemon stays
 observable and steerable under overload.
 
+Every request runs under a :class:`repro.obs.TraceContext` — generated
+or echoed from the client's ``X-Request-Id`` header and stamped on
+**every** response (200s, 400s, 429 sheds, health probes).  The handler
+records per-stage timings (parse, queue wait, decode, serialize, plus
+the assemble/decode split lifted from the span tree), writes one
+JSON line per request to the optional access log, and feeds the
+per-worker :class:`~repro.obs.flight.FlightRecorder` whose merged view
+is served at ``GET /debug/traces``.
+
 Everything is standard library: ``http.server`` threading stack, JSON
 bodies, and the existing :mod:`repro.obs` Prometheus exporter behind
 ``GET /metrics``.
@@ -33,6 +42,7 @@ import json
 import logging
 import math
 import os
+import random
 import signal
 import socket
 import threading
@@ -46,7 +56,17 @@ from repro import obs
 from repro.core.scoring import ScoredQuery
 from repro.errors import ReproError
 from repro.live import LiveReformulator
+from repro.obs.flight import FlightRecorder, merge_trace_snapshots
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    new_trace_id,
+    reset_current_trace,
+    sanitize_trace_id,
+    set_current_trace,
+)
 from repro.serving.result_cache import ResultCache
+from repro.server.accesslog import open_access_log
 from repro.server.admission import AdmissionController, OverloadedError
 from repro.server.config import ServerConfig
 from repro.server.deadline import Deadline, LatencyEstimator, should_degrade
@@ -59,6 +79,32 @@ DEGRADE_VITERBI = "viterbi_top1"
 
 _JSON = "application/json"
 _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Span names folded into the flat stage view of the access log:
+#: plan-cache assemble (candidate plans + HMM build + batch warm),
+#: decode, and response shaping.
+_STAGE_SPAN_NAMES = {
+    "plan_warm": "assemble",
+    "candidates": "assemble",
+    "hmm_build": "assemble",
+    "decode": "decode",
+    "postprocess": "postprocess",
+}
+
+
+def _tree_stage_latencies(root: Span) -> Dict[str, float]:
+    """Sum span durations under *root* into coarse stage buckets."""
+    out: Dict[str, float] = {}
+
+    def visit(span: Span) -> None:
+        stage = _STAGE_SPAN_NAMES.get(span.name)
+        if stage is not None:
+            out[stage] = out.get(stage, 0.0) + span.duration
+        for child in span.children:
+            visit(child)
+
+    visit(root)
+    return out
 
 
 def scored_to_dict(query: ScoredQuery) -> Dict[str, Any]:
@@ -131,6 +177,15 @@ class ReformulationServer:
         self._degraded_served = 0
         self._flush_stop = threading.Event()
         self._flusher: Optional[threading.Thread] = None
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_recorder_size,
+            slow_threshold_s=self.config.slow_trace_ms / 1000.0,
+        )
+        self.access_log = open_access_log(self.config.access_log_path)
+        # Per-process sampling RNG.  In a pre-fork pool this object is
+        # constructed in the worker (post-fork), so worker streams are
+        # independent by construction.
+        self._trace_rng = random.Random(os.urandom(8))
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -220,6 +275,8 @@ class ReformulationServer:
         # drain — every accepted request finishes before we return.
         httpd.server_close()
         self._stop_metrics_flusher()
+        if self.access_log is not None:
+            self.access_log.close()
         logger.info("drained and closed")
 
     def shutdown(self) -> None:
@@ -315,6 +372,7 @@ class ReformulationServer:
 
     def _count_degraded(self, mode: str, route: str) -> None:
         self._degraded_served += 1
+        obs.annotate_trace("degraded_mode", mode)
         obs.counter(
             "repro_server_degraded_total",
             "Requests answered via a degradation fallback",
@@ -330,6 +388,8 @@ class ReformulationServer:
         algorithm = payload.get("algorithm", "astar")
         if not isinstance(algorithm, str):
             raise BadRequestError("algorithm must be a string")
+        obs.annotate_trace("algorithm", algorithm)
+        obs.annotate_trace("keywords", keywords)
         degraded_mode: Optional[str] = None
         if should_degrade(deadline, self.latency, self.config.degrade_safety):
             suggestions, degraded_mode = self._degraded_single(
@@ -370,6 +430,8 @@ class ReformulationServer:
         workers = min(
             _int_field(payload, "workers", 1), self.config.max_batch_workers
         )
+        obs.annotate_trace("algorithm", algorithm)
+        obs.annotate_trace("keywords", [f"<batch of {len(parsed)}>"])
         degraded_mode: Optional[str] = None
         if should_degrade(deadline, self.latency, self.config.degrade_safety):
             # Cheapest well-formed answer per entry; one fallback flag
@@ -443,8 +505,19 @@ class ReformulationServer:
     # metrics
     # ------------------------------------------------------------------ #
 
-    def record_request(self, route: str, status: int, seconds: float) -> None:
-        """Per-request series (gated by the ``repro.obs`` switch)."""
+    def record_request(
+        self,
+        route: str,
+        status: int,
+        seconds: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Per-request series (gated by the ``repro.obs`` switch).
+
+        *trace_id* rides along as a histogram exemplar, so a latency
+        outlier in the metrics view links straight to its span tree in
+        ``GET /debug/traces``.
+        """
         if not obs.is_enabled():
             return
         registry = obs.registry()
@@ -457,7 +530,7 @@ class ReformulationServer:
             "repro_server_request_seconds",
             "End-to-end request latency (queue wait included)",
             route=route,
-        ).observe(seconds)
+        ).observe(seconds, exemplar=trace_id)
         stats = self.admission.stats()
         registry.gauge(
             "repro_server_inflight",
@@ -481,6 +554,117 @@ class ReformulationServer:
         ).inc()
 
     # ------------------------------------------------------------------ #
+    # request tracing: sampling, flight recorder, access log
+    # ------------------------------------------------------------------ #
+
+    def sample_trace(self) -> bool:
+        """Head-sampling decision for one incoming request."""
+        rate = self.config.trace_sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self._trace_rng.random() < rate
+
+    def observe_trace(
+        self,
+        ctx: TraceContext,
+        verb: str,
+        route: str,
+        status: int,
+        seconds: float,
+        stages: Dict[str, float],
+        root_span: Optional[Span] = None,
+        shed_reason: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Fold one finished request into the flight recorder + access log.
+
+        Builds the request record from the handler-measured *stages*,
+        the stage latencies lifted from the span tree (plan-cache
+        assemble vs decode), and whatever the layers below annotated on
+        the trace context (cache hit/miss, degraded mode, algorithm).
+        """
+        annotations = ctx.annotations
+        merged_stages = dict(stages)
+        if root_span is not None:
+            merged_stages.update(_tree_stage_latencies(root_span))
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "trace_id": ctx.trace_id,
+            "verb": verb,
+            "route": route,
+            "status": status,
+            "duration_s": round(seconds, 6),
+            "sampled": ctx.sampled,
+            "worker": self.config.worker_index,
+            "pid": os.getpid(),
+            "stages": {
+                name: round(value, 6)
+                for name, value in merged_stages.items()
+            },
+            "degraded": annotations.get("degraded_mode") is not None,
+            "degraded_mode": annotations.get("degraded_mode"),
+            "shed": shed_reason is not None,
+            "shed_reason": shed_reason,
+            "cache": annotations.get("result_cache"),
+            "algorithm": annotations.get("algorithm"),
+            "keywords": annotations.get("keywords"),
+            "error": annotations.get("error"),
+        }
+        if root_span is not None:
+            record["span_tree"] = obs.export.span_to_dict(root_span)
+        self.flight.observe(record)
+        if self.access_log is not None:
+            self.access_log.write(record)
+        return record
+
+    def write_traces_snapshot(self) -> Optional[Path]:
+        """Atomically spool this worker's flight-recorder contents."""
+        spool = self.config.metrics_spool_dir
+        if spool is None:
+            return None
+        root = Path(spool)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"traces-worker-{self.config.worker_index:04d}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps({
+                "worker": self.config.worker_index,
+                "traces": self.flight.snapshot(),
+            }),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    def debug_traces_dict(self, limit: int = 0) -> Dict[str, Any]:
+        """``GET /debug/traces`` payload: retained traces, pool-wide.
+
+        Standalone this is the local flight recorder.  Inside a pool,
+        this worker spools its own snapshot first (so its view is as
+        fresh as its ``/metrics``), then merges every sibling's
+        ``traces-worker-*.json`` — the exact shape of the
+        ``/metrics/aggregate`` merge, applied to trace records.
+        """
+        spool = self.config.metrics_spool_dir
+        if spool is None:
+            snapshots = [{
+                "worker": self.config.worker_index,
+                "traces": self.flight.snapshot(),
+            }]
+            return merge_trace_snapshots(snapshots, limit=limit)
+        self.write_traces_snapshot()
+        snapshots = []
+        for path in sorted(Path(spool).glob("traces-worker-*.json")):
+            try:
+                snapshots.append(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+            except (OSError, json.JSONDecodeError):
+                continue  # a sibling is mid-rotation; skip this scrape
+        return merge_trace_snapshots(snapshots, limit=limit)
+
+    # ------------------------------------------------------------------ #
     # multi-process metrics spool (pre-fork pool support)
     # ------------------------------------------------------------------ #
 
@@ -501,6 +685,7 @@ class ReformulationServer:
             ):
                 try:
                     self.write_metrics_snapshot()
+                    self.write_traces_snapshot()
                 except Exception:  # noqa: BLE001 - keep serving
                     logger.exception("metrics spool write failed")
 
@@ -518,6 +703,7 @@ class ReformulationServer:
         if self.config.metrics_spool_dir is not None:
             try:
                 self.write_metrics_snapshot()
+                self.write_traces_snapshot()
             except Exception:  # noqa: BLE001 - shutdown best-effort
                 logger.exception("final metrics spool write failed")
 
@@ -622,44 +808,87 @@ class _Handler(BaseHTTPRequestHandler):
         route = split.path.rstrip("/") or "/"
         start = time.perf_counter()
         status = 500
+        # Trace identity: echo the client's X-Request-Id when it is
+        # well-formed, otherwise mint one.  The context rides a
+        # contextvar so spans opened anywhere below (including pipeline
+        # worker threads) attach to this request.
+        ctx = TraceContext(
+            trace_id=sanitize_trace_id(self.headers.get("X-Request-Id"))
+            or new_trace_id(),
+            sampled=self.app.sample_trace(),
+        )
+        self._trace_ctx: Optional[TraceContext] = ctx
+        self._stages: Dict[str, float] = {}
+        token = set_current_trace(ctx)
+        root_span: Optional[Span] = None
+        shed_reason: Optional[str] = None
         try:
-            # Always consume the body first: responding with unread
-            # bytes left in the stream desyncs keep-alive framing.
-            payload = self._read_json_body() if verb == "POST" else {}
-            status = self._route(verb, route, split.query, payload)
-        except OverloadedError as exc:
-            retry_after = self.app.retry_after_s()
-            self.app.record_shed(exc.reason)
-            status = 429
-            self._send_json(
-                429,
-                {"error": str(exc), "retry_after_s": retry_after},
-                extra_headers={"Retry-After": str(retry_after)},
-            )
-        except BadRequestError as exc:
-            status = 400
-            self._send_json(400, {"error": str(exc)})
-        except ReproError as exc:
-            status = 400
-            self._send_json(400, {"error": str(exc)})
-        except (BrokenPipeError, ConnectionResetError):  # client went away
-            status = 499
-            self.close_connection = True
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            logger.exception("unhandled error on %s %s", verb, route)
-            status = 500
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            with obs.span("http.request", verb=verb, route=route) as root:
+                if isinstance(root, Span):
+                    root_span = root
+                try:
+                    # Always consume the body first: responding with
+                    # unread bytes desyncs keep-alive framing.
+                    parse_start = time.perf_counter()
+                    payload = (
+                        self._read_json_body() if verb == "POST" else {}
+                    )
+                    self._stages["parse"] = (
+                        time.perf_counter() - parse_start
+                    )
+                    status = self._route(verb, route, split.query, payload)
+                except OverloadedError as exc:
+                    retry_after = self.app.retry_after_s()
+                    self.app.record_shed(exc.reason)
+                    shed_reason = exc.reason
+                    self._stages["queue_wait"] = exc.waited_s
+                    status = 429
+                    self._send_json(
+                        429,
+                        {"error": str(exc), "retry_after_s": retry_after},
+                        extra_headers={"Retry-After": str(retry_after)},
+                    )
+                except BadRequestError as exc:
+                    ctx.annotate("error", str(exc))
+                    status = 400
+                    self._send_json(400, {"error": str(exc)})
+                except ReproError as exc:
+                    ctx.annotate("error", str(exc))
+                    status = 400
+                    self._send_json(400, {"error": str(exc)})
+                except (BrokenPipeError, ConnectionResetError):
+                    ctx.annotate("error", "client disconnected")
+                    status = 499
+                    self.close_connection = True
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    logger.exception(
+                        "unhandled error on %s %s", verb, route
+                    )
+                    ctx.annotate("error", f"{type(exc).__name__}: {exc}")
+                    status = 500
+                    self._send_json(500, {"error": f"internal error: {exc}"})
+                if root_span is not None:
+                    root_span.set_attribute("status", status)
         finally:
+            reset_current_trace(token)
+            elapsed = time.perf_counter() - start
             label = route if route in self._known_routes() else "unknown"
             self.app.record_request(
-                label, status, time.perf_counter() - start
+                label, status, elapsed, trace_id=ctx.trace_id
             )
+            try:
+                self.app.observe_trace(
+                    ctx, verb, label, status, elapsed,
+                    self._stages, root_span, shed_reason,
+                )
+            except Exception:  # noqa: BLE001 - tracing never fails requests
+                logger.exception("trace observation failed")
 
     @classmethod
     def _known_routes(cls) -> set:
         return cls.QUERY_ROUTES | {
             "/healthz", "/readyz", "/metrics", "/metrics/aggregate",
-            "/admin/reload",
+            "/debug/traces", "/admin/reload",
         }
 
     def _route(
@@ -693,6 +922,15 @@ class _Handler(BaseHTTPRequestHandler):
                 app.aggregate_metrics_dict()
             )
             return self._send_bytes(200, text.encode("utf-8"), _PROMETHEUS)
+        if verb == "GET" and route == "/debug/traces":
+            params = parse_qs(query_string)
+            try:
+                limit = int(params.get("n", ["0"])[0])
+            except ValueError:
+                raise BadRequestError("n must be an integer")
+            if limit < 0:
+                raise BadRequestError("n must be an integer >= 0")
+            return self._send_json(200, app.debug_traces_dict(limit=limit))
         if verb == "POST" and route == "/admin/reload":
             return self._send_json(200, app.handle_admin_reload())
         if route not in self.QUERY_ROUTES:
@@ -709,18 +947,25 @@ class _Handler(BaseHTTPRequestHandler):
             raise BadRequestError("deadline_ms must be a number")
         deadline = Deadline.from_ms(deadline_ms)
         wait_cap = None if deadline.unlimited else deadline.remaining()
-        with app.admission.admit(timeout_s=wait_cap):
-            if route == "/reformulate":
+        with obs.span("admission") as admission_span:
+            waited = app.admission.acquire(timeout_s=wait_cap)
+            admission_span.set_attribute("waited_s", round(waited, 6))
+        self._stages["queue_wait"] = waited
+        try:
+            with obs.span("handle", route=route):
+                if route == "/reformulate":
+                    return self._send_json(
+                        200, app.handle_reformulate(payload, deadline)
+                    )
+                if route == "/reformulate/batch":
+                    return self._send_json(
+                        200, app.handle_batch(payload, deadline)
+                    )
                 return self._send_json(
-                    200, app.handle_reformulate(payload, deadline)
+                    200, app.handle_similar(parse_qs(query_string))
                 )
-            if route == "/reformulate/batch":
-                return self._send_json(
-                    200, app.handle_batch(payload, deadline)
-                )
-            return self._send_json(
-                200, app.handle_similar(parse_qs(query_string))
-            )
+        finally:
+            app.admission.release()
 
     # ------------------------------------------------------------------ #
     # body / response plumbing
@@ -748,7 +993,15 @@ class _Handler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> int:
+        serialize_start = time.perf_counter()
         body = json.dumps(payload).encode("utf-8")
+        stages = getattr(self, "_stages", None)
+        if stages is not None:
+            stages["serialize"] = (
+                stages.get("serialize", 0.0)
+                + time.perf_counter()
+                - serialize_start
+            )
         return self._send_bytes(status, body, _JSON, extra_headers)
 
     def _send_bytes(
@@ -758,10 +1011,15 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str,
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> int:
+        # Every response — 200s, 400s, 429 sheds, health probes —
+        # carries the request's trace id so clients can correlate.
+        ctx = getattr(self, "_trace_ctx", None)
+        trace_id = ctx.trace_id if ctx is not None else new_trace_id()
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Request-Id", trace_id)
             for name, value in (extra_headers or {}).items():
                 self.send_header(name, value)
             self.end_headers()

@@ -63,6 +63,11 @@ class ServerResponse:
         value = self.headers.get("retry-after")
         return int(value) if value is not None else None
 
+    @property
+    def request_id(self) -> Optional[str]:
+        """The ``X-Request-Id`` the server stamped on this response."""
+        return self.headers.get("x-request-id")
+
 
 class ServerClient:
     """Keep-alive JSON client for :class:`~repro.server.app.ReformulationServer`."""
@@ -113,10 +118,18 @@ class ServerClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
     ) -> ServerResponse:
-        """One JSON exchange; retries once on a stale keep-alive socket."""
+        """One JSON exchange; retries once on a stale keep-alive socket.
+
+        *request_id* is sent as ``X-Request-Id`` so the server traces
+        the request under the caller's id (echoed back in the response
+        and joinable against the access log / ``/debug/traces``).
+        """
         body = None
         headers = {"Accept": "application/json"}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -212,6 +225,11 @@ class ServerClient:
     def metrics_aggregate(self) -> ServerResponse:
         """``GET /metrics/aggregate`` (pool-wide Prometheus view)."""
         return self.request("GET", "/metrics/aggregate")
+
+    def debug_traces(self, n: Optional[int] = None) -> ServerResponse:
+        """``GET /debug/traces`` (pool-wide flight-recorder view)."""
+        path = "/debug/traces" if n is None else f"/debug/traces?n={n}"
+        return self.request("GET", path)
 
     def admin_reload(self) -> ServerResponse:
         """``POST /admin/reload``."""

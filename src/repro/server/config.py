@@ -82,10 +82,26 @@ class ServerConfig:
     #: Directory where this worker periodically spools a JSON metrics
     #: snapshot, and where ``GET /metrics/aggregate`` merges the whole
     #: pool's snapshots from.  ``None`` (standalone) makes the aggregate
-    #: view identical to ``/metrics``.
+    #: view identical to ``/metrics``.  Flight-recorder trace snapshots
+    #: (``traces-worker-NNNN.json``) share the same directory, merged by
+    #: ``GET /debug/traces``.
     metrics_spool_dir: Optional[str] = None
     #: Seconds between metrics-snapshot spool writes.
     metrics_flush_interval_s: float = 1.0
+    #: Head-sampling rate of request traces kept in the flight
+    #: recorder's *sampled* ring (slow/degraded/shed requests are always
+    #: kept regardless).  1.0 keeps every request, 0.0 only notable ones.
+    trace_sample_rate: float = 0.1
+    #: Requests slower than this are always captured by the flight
+    #: recorder, whatever the sampling decision said.
+    slow_trace_ms: float = 500.0
+    #: Per-ring capacity of the in-memory flight recorder.
+    flight_recorder_size: int = 64
+    #: JSON-lines access log (one line per request: trace id, route,
+    #: status, stage latencies, cache/degraded flags).  ``None`` disables.
+    #: Opened in append mode per worker, so a pre-fork pool can share one
+    #: path — each line is a single O_APPEND write.
+    access_log_path: Optional[str] = None
 
     def validate(self) -> None:
         """Raise :class:`ServerConfigError` on out-of-range values."""
@@ -113,3 +129,9 @@ class ServerConfig:
             raise ServerConfigError("worker_index must be >= 0")
         if self.metrics_flush_interval_s <= 0:
             raise ServerConfigError("metrics_flush_interval_s must be > 0")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ServerConfigError("trace_sample_rate must be in [0, 1]")
+        if self.slow_trace_ms < 0:
+            raise ServerConfigError("slow_trace_ms must be >= 0")
+        if self.flight_recorder_size < 1:
+            raise ServerConfigError("flight_recorder_size must be >= 1")

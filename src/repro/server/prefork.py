@@ -39,6 +39,14 @@ Design points:
   workers spool JSON snapshots into a shared directory, and any
   worker's ``GET /metrics/aggregate`` merges the pool
   (:func:`repro.obs.export.merge_snapshots`).
+* **Traces.**  Each worker also spools its flight-recorder contents
+  (``traces-worker-NNNN.json``) into the same directory on the metrics
+  flush cadence, so ``GET /debug/traces`` on *any* worker returns the
+  pool-wide view (:func:`repro.obs.flight.merge_trace_snapshots`) —
+  the kernel may route the debug request to a different worker than
+  the slow query it is investigating.  Request ids ride ``X-Request-Id``
+  headers end to end, so a client can trace a request without caring
+  which worker served it.
 
 Everything is standard library: ``os.fork``, a status pipe per worker
 for the READY handshake, and ``os.waitpid(pid, WNOHANG)`` polling (a

@@ -503,3 +503,132 @@ class TestServe:
             "--max-concurrency", "0", "--no-metrics",
         ])
         assert code != 0
+
+
+class TestTraceVerb:
+    @pytest.fixture()
+    def trace_document(self, tmp_path):
+        """A /debug/traces-shaped document, as the daemon would serve."""
+        import json
+
+        payload = {
+            "count": 2,
+            "workers": [0],
+            "traces": [
+                {
+                    "trace_id": "fast-1", "ts": 1.0, "verb": "POST",
+                    "route": "/reformulate", "status": 200,
+                    "duration_s": 0.002, "worker": 0,
+                    "slow": False, "notable": False,
+                    "stages": {"decode": 0.001},
+                    "keywords": ["probabilistic", "query"],
+                    "algorithm": "astar",
+                },
+                {
+                    "trace_id": "slow-1", "ts": 2.0, "verb": "POST",
+                    "route": "/reformulate", "status": 200,
+                    "duration_s": 0.9, "worker": 1,
+                    "slow": True, "notable": True, "cache": "miss",
+                    "stages": {"queue_wait": 0.1, "decode": 0.7},
+                    "keywords": ["probabilistic", "query"],
+                    "algorithm": "astar",
+                    "span_tree": {
+                        "name": "http.request",
+                        "duration_seconds": 0.9,
+                        "attributes": {"trace_id": "slow-1"},
+                        "children": [],
+                    },
+                },
+            ],
+        }
+        path = tmp_path / "traces.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_renders_all_records(self, trace_document):
+        code, text = run(["trace", "--from-json", str(trace_document)])
+        assert code == 0
+        assert "trace fast-1" in text
+        assert "trace slow-1" in text
+        assert "http.request" in text
+        assert "[slow]" in text
+
+    def test_id_filter(self, trace_document):
+        code, text = run([
+            "trace", "--from-json", str(trace_document), "--id", "slow-1",
+        ])
+        assert code == 0
+        assert "slow-1" in text and "fast-1" not in text
+
+    def test_slow_only_filter(self, trace_document):
+        code, text = run([
+            "trace", "--from-json", str(trace_document), "--slow-only",
+        ])
+        assert code == 0
+        assert "slow-1" in text and "fast-1" not in text
+
+    def test_no_match_is_clean(self, trace_document):
+        code, text = run([
+            "trace", "--from-json", str(trace_document), "--id", "nope",
+        ])
+        assert code == 0
+        assert "no recorded traces match" in text
+
+    def test_explain_joins_score_decomposition(self, toy_dir, trace_document):
+        code, text = run([
+            "trace", "--from-json", str(trace_document),
+            "--id", "slow-1", "--explain", "--data", str(toy_dir),
+            "--candidates", "5",
+        ])
+        assert code == 0
+        assert "trace slow-1" in text
+        assert "suggestions (tat/astar)" in text
+        assert "contribution" in text  # per-position score table
+
+    def test_explain_without_data_errors(self, trace_document):
+        code, _ = run([
+            "trace", "--from-json", str(trace_document), "--explain",
+        ])
+        assert code == 1
+
+    def test_requires_exactly_one_source(self, trace_document):
+        code, _ = run(["trace"])
+        assert code == 1
+        code, _ = run([
+            "trace", "--from-json", str(trace_document),
+            "--url", "http://127.0.0.1:1",
+        ])
+        assert code == 1
+
+    def test_missing_file_is_error(self, tmp_path):
+        code, _ = run(["trace", "--from-json", str(tmp_path / "nope.json")])
+        assert code == 1
+
+    def test_url_source_against_live_daemon(self, toy_dir):
+        from repro.core.reformulator import ReformulatorConfig
+        from repro.live import LiveReformulator
+        from repro.server import ReformulationServer, ServerClient, ServerConfig
+
+        from tests.conftest import build_toy_database
+
+        server = ReformulationServer(
+            LiveReformulator(
+                build_toy_database(), ReformulatorConfig(n_candidates=6)
+            ),
+            ServerConfig(port=0, trace_sample_rate=1.0),
+        ).start()
+        try:
+            with ServerClient(port=server.port) as client:
+                client.request(
+                    "POST", "/reformulate",
+                    {"keywords": ["probabilistic", "query"], "k": 2},
+                    request_id="via-url",
+                )
+            code, text = run([
+                "trace", "--url", f"http://127.0.0.1:{server.port}",
+                "--id", "via-url",
+            ])
+        finally:
+            server.shutdown()
+        assert code == 0
+        assert "trace via-url" in text

@@ -1,18 +1,23 @@
 """Unit tests for repro.obs.export (JSON, Prometheus text, span trees)."""
 
 import json
+import threading
 
 from repro.obs.export import (
     escape_help,
     escape_label_value,
     format_value,
+    merge_snapshots,
     prometheus_from_dict,
     registry_to_dict,
     registry_to_json,
     registry_to_prometheus,
     render_span_tree,
+    render_trace_record,
+    span_from_dict,
     span_to_dict,
 )
+from repro.obs.flight import merge_trace_snapshots
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
@@ -143,3 +148,204 @@ class TestSpanRendering:
         assert payload["duration_seconds"] >= 0.0
         assert payload["children"][0]["name"] == "child"
         json.dumps(payload)  # must be JSON-able
+
+    def test_span_from_dict_roundtrips_render(self):
+        payload = span_to_dict(self.build_tree())
+        rebuilt = span_from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.name == "root"
+        assert rebuilt.duration == payload["duration_seconds"]
+        assert rebuilt.children[0].attributes == {"n": 2}
+        text = render_span_tree(rebuilt)
+        assert text.splitlines()[0].startswith("root")
+
+
+class TestExemplars:
+    def test_export_carries_exemplars(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "", buckets=[0.1, 1.0])
+        hist.observe(0.05, exemplar="fast-1")
+        hist.observe(0.07, exemplar="fast-2")  # same bucket: last wins
+        hist.observe(5.0, exemplar="slow-1")
+        hist.observe(0.5)  # no exemplar: bucket stays empty
+        entry = registry_to_dict(registry)["metrics"][0]
+        assert entry["exemplars"] == [
+            [0.1, 0.07, "fast-2"],
+            ["+Inf", 5.0, "slow-1"],
+        ]
+
+    def test_no_exemplars_key_when_none_recorded(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", "", buckets=[1.0]).observe(0.5)
+        entry = registry_to_dict(registry)["metrics"][0]
+        assert "exemplars" not in entry
+
+    def test_merge_keeps_one_exemplar_per_bound(self):
+        def snap(trace_id):
+            registry = MetricsRegistry()
+            registry.histogram(
+                "lat_seconds", "", buckets=[1.0]
+            ).observe(0.5, exemplar=trace_id)
+            return registry_to_dict(registry)
+
+        merged = merge_snapshots([snap("worker-a"), snap("worker-b")])
+        entry = merged["metrics"][0]
+        # later snapshot wins the shared bound; counts still sum
+        assert entry["exemplars"] == [[1.0, 0.5, "worker-b"]]
+        assert entry["count"] == 2
+
+
+class TestMergeSnapshots:
+    def test_mismatched_histogram_bounds_union(self):
+        """Two workers whose histograms were registered with different
+        bucket layouts must still merge: the union of bounds, counts
+        summed where bounds coincide."""
+        a = MetricsRegistry()
+        a.histogram("lat_seconds", "Latency", buckets=[0.1, 1.0]).observe(0.05)
+        b = MetricsRegistry()
+        hb = b.histogram("lat_seconds", "Latency", buckets=[0.5, 1.0])
+        hb.observe(0.3)
+        hb.observe(2.0)
+        merged = merge_snapshots([registry_to_dict(a), registry_to_dict(b)])
+        entry = {m["name"]: m for m in merged["metrics"]}["lat_seconds"]
+        assert entry["count"] == 3
+        bounds = [bound for bound, _ in entry["buckets"]]
+        assert bounds == [0.1, 0.5, 1.0, "+Inf"]
+        by_bound = dict(entry["buckets"])
+        assert by_bound[0.1] == 1     # only worker a
+        assert by_bound[0.5] == 1     # only worker b
+        assert by_bound[1.0] == 2     # 1 (a) + 1 (b), coincident bound
+        assert by_bound["+Inf"] == 3
+
+    def test_counters_sum_and_gauges_sum(self):
+        a = MetricsRegistry()
+        a.counter("req_total", "", route="/x").inc(2)
+        a.gauge("inflight").set(1)
+        b = MetricsRegistry()
+        b.counter("req_total", "", route="/x").inc(3)
+        b.gauge("inflight").set(4)
+        merged = merge_snapshots([registry_to_dict(a), registry_to_dict(b)])
+        by_name = {m["name"]: m for m in merged["metrics"]}
+        assert by_name["req_total"]["value"] == 5.0
+        assert by_name["inflight"]["value"] == 5.0
+
+    def test_concurrent_flushes_converge(self):
+        """Many workers exporting while their registries keep moving:
+        each export is internally consistent and the merge of the final
+        snapshots equals the true totals (satellite: multi-worker
+        aggregation under concurrent flushes)."""
+        registries = [MetricsRegistry() for _ in range(4)]
+        stop = threading.Event()
+        mid_flight_merges = []
+
+        def writer(registry):
+            while not stop.is_set():
+                registry.counter("events_total").inc()
+                registry.histogram(
+                    "lat_seconds", "", buckets=[0.1, 1.0]
+                ).observe(0.05)
+
+        def flusher():
+            while not stop.is_set():
+                mid_flight_merges.append(
+                    merge_snapshots(
+                        [registry_to_dict(r) for r in registries]
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=writer, args=(r,)) for r in registries
+        ] + [threading.Thread(target=flusher)]
+        for t in threads:
+            t.start()
+        import time as _time
+        _time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        final = merge_snapshots([registry_to_dict(r) for r in registries])
+        by_name = {m["name"]: m for m in final["metrics"]}
+        true_total = sum(
+            r.get("events_total").value for r in registries
+        )
+        assert by_name["events_total"]["value"] == true_total
+        hist = by_name["lat_seconds"]
+        assert dict(hist["buckets"])["+Inf"] == hist["count"]
+        # every mid-flight merge was well-formed (monotone cumulative
+        # buckets, count == +Inf bucket)
+        for merged in mid_flight_merges:
+            entry = {m["name"]: m for m in merged["metrics"]}.get(
+                "lat_seconds"
+            )
+            if entry is None:
+                continue
+            counts = [count for _, count in entry["buckets"]]
+            assert counts == sorted(counts)
+            assert counts[-1] == entry["count"]
+
+
+class TestMergeTraceSnapshots:
+    def make_record(self, trace_id, ts):
+        return {"trace_id": trace_id, "ts": ts, "duration_s": 0.01}
+
+    def test_merges_and_sorts_across_workers(self):
+        merged = merge_trace_snapshots([
+            {"worker": 1, "traces": [self.make_record("b", 2.0)]},
+            {"worker": 0, "traces": [
+                self.make_record("a", 1.0), self.make_record("c", 3.0),
+            ]},
+        ])
+        assert merged["workers"] == [0, 1]
+        assert merged["count"] == 3
+        assert [r["trace_id"] for r in merged["traces"]] == ["a", "b", "c"]
+
+    def test_limit_keeps_newest(self):
+        merged = merge_trace_snapshots(
+            [{"worker": 0, "traces": [
+                self.make_record(str(i), float(i)) for i in range(5)
+            ]}],
+            limit=2,
+        )
+        assert [r["trace_id"] for r in merged["traces"]] == ["3", "4"]
+
+    def test_empty_input(self):
+        merged = merge_trace_snapshots([])
+        assert merged == {"count": 0, "workers": [], "traces": []}
+
+
+class TestRenderTraceRecord:
+    def test_header_stages_and_flags(self):
+        record = {
+            "trace_id": "abc123",
+            "verb": "POST",
+            "route": "/reformulate",
+            "status": 200,
+            "duration_s": 0.75,
+            "worker": 2,
+            "slow": True,
+            "degraded": True,
+            "degraded_mode": "cached",
+            "cache": "hit",
+            "stages": {"queue_wait": 0.2, "decode": 0.5},
+        }
+        text = render_trace_record(record)
+        lines = text.splitlines()
+        assert "trace abc123" in lines[0]
+        assert "worker=2" in lines[0]
+        assert "[slow,degraded]" in lines[0]
+        assert "queue_wait=200.00ms" in lines[1]
+        assert any("degraded_mode: cached" in line for line in lines)
+        assert any("cache: hit" in line for line in lines)
+
+    def test_span_tree_rendered_when_present(self):
+        tracer = Tracer()
+        with tracer.span("http.request") as root:
+            with tracer.span("decode"):
+                pass
+        record = {
+            "trace_id": "t",
+            "duration_s": 0.001,
+            "span_tree": span_to_dict(root),
+        }
+        text = render_trace_record(record)
+        assert "http.request" in text
+        assert "    decode" in text

@@ -1,0 +1,177 @@
+"""Unit tests for repro.obs.flight (the request flight recorder)."""
+
+import threading
+
+import pytest
+
+from repro.obs.flight import FlightRecorder, merge_trace_snapshots
+
+
+def make_record(trace_id="t", ts=1.0, duration_s=0.01, **extra):
+    record = {"trace_id": trace_id, "ts": ts, "duration_s": duration_s}
+    record.update(extra)
+    return record
+
+
+class TestObserve:
+    def test_sampled_request_retained(self):
+        recorder = FlightRecorder(capacity=4, slow_threshold_s=1.0)
+        assert recorder.observe(make_record(sampled=True)) is True
+        assert recorder.observe(make_record(sampled=False)) is False
+        assert len(recorder.snapshot()) == 1
+
+    def test_slow_request_kept_despite_unsampled(self):
+        recorder = FlightRecorder(capacity=4, slow_threshold_s=0.5)
+        record = make_record(duration_s=0.6, sampled=False)
+        assert recorder.observe(record) is True
+        assert record["slow"] is True
+        assert record["notable"] is True
+
+    @pytest.mark.parametrize("flag", ["degraded", "shed", "error"])
+    def test_degraded_shed_errored_always_kept(self, flag):
+        recorder = FlightRecorder(capacity=4, slow_threshold_s=10.0)
+        record = make_record(sampled=False, **{flag: True})
+        assert recorder.observe(record) is True
+        assert record["notable"] is True
+        assert record["slow"] is False
+
+    def test_fast_clean_unsampled_dropped(self):
+        recorder = FlightRecorder(capacity=4, slow_threshold_s=10.0)
+        record = make_record(sampled=False)
+        assert recorder.observe(record) is False
+        assert record["notable"] is False
+        assert recorder.snapshot() == []
+
+    def test_normal_burst_cannot_evict_notable(self):
+        """The two-ring guarantee: sampled traffic has its own ring, so
+        a flood of healthy requests never pushes out the slow trace."""
+        recorder = FlightRecorder(capacity=2, slow_threshold_s=0.5)
+        recorder.observe(make_record("slowpoke", ts=0.0, duration_s=0.9))
+        for i in range(10):
+            recorder.observe(
+                make_record(f"ok-{i}", ts=1.0 + i, sampled=True)
+            )
+        ids = [r["trace_id"] for r in recorder.snapshot()]
+        assert "slowpoke" in ids
+        assert len(ids) == 3  # 1 notable + capacity=2 sampled
+
+    def test_rings_are_bounded(self):
+        recorder = FlightRecorder(capacity=3, slow_threshold_s=0.0)
+        for i in range(10):  # threshold 0: everything is slow/notable
+            recorder.observe(make_record(str(i), ts=float(i)))
+        ids = [r["trace_id"] for r in recorder.snapshot()]
+        assert ids == ["7", "8", "9"]
+
+    def test_snapshot_sorted_by_ts(self):
+        recorder = FlightRecorder(capacity=8, slow_threshold_s=0.5)
+        recorder.observe(make_record("late-slow", ts=5.0, duration_s=1.0))
+        recorder.observe(make_record("early", ts=1.0, sampled=True))
+        assert [r["trace_id"] for r in recorder.snapshot()] == [
+            "early", "late-slow",
+        ]
+
+    def test_stats_counters(self):
+        recorder = FlightRecorder(capacity=4, slow_threshold_s=0.5)
+        recorder.observe(make_record(duration_s=0.9))          # notable
+        recorder.observe(make_record(sampled=True))            # sampled
+        recorder.observe(make_record(sampled=False))           # dropped
+        assert recorder.stats() == {
+            "seen": 3, "kept_sampled": 1, "kept_notable": 1, "resident": 2,
+        }
+
+    def test_clear_drops_records_keeps_counters(self):
+        recorder = FlightRecorder(capacity=4, slow_threshold_s=0.0)
+        recorder.observe(make_record())
+        recorder.clear()
+        assert recorder.snapshot() == []
+        assert recorder.stats()["seen"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(slow_threshold_s=-1.0)
+
+
+class TestConcurrency:
+    def test_concurrent_observers_and_snapshots(self):
+        recorder = FlightRecorder(capacity=32, slow_threshold_s=0.5)
+        stop = threading.Event()
+        snapshots = []
+
+        def writer(tag):
+            i = 0
+            while not stop.is_set():
+                recorder.observe(make_record(
+                    f"{tag}-{i}", ts=float(i),
+                    duration_s=0.9 if i % 3 == 0 else 0.001,
+                    sampled=i % 2 == 0,
+                ))
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                snapshots.append(recorder.snapshot())
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in "ab"
+        ] + [threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        stop.wait(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert snapshots  # reader made progress
+        for snapshot in snapshots:
+            assert len(snapshot) <= 64  # both rings bounded
+        stats = recorder.stats()
+        assert stats["seen"] >= stats["kept_sampled"] + stats["kept_notable"]
+
+
+class TestMergeAcrossWorkers:
+    def test_merge_under_concurrent_flushes(self):
+        """Workers spooling while a merger reads: every merge sees a
+        consistent prefix per worker and the final merge sees it all."""
+        recorders = [
+            FlightRecorder(capacity=128, slow_threshold_s=0.0)
+            for _ in range(3)
+        ]
+        stop = threading.Event()
+        merges = []
+
+        def writer(index):
+            i = 0
+            while not stop.is_set():
+                recorders[index].observe(
+                    make_record(f"w{index}-{i}", ts=float(i))
+                )
+                i += 1
+
+        def merger():
+            while not stop.is_set():
+                merges.append(merge_trace_snapshots([
+                    {"worker": i, "traces": r.snapshot()}
+                    for i, r in enumerate(recorders)
+                ]))
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(3)
+        ] + [threading.Thread(target=merger)]
+        for t in threads:
+            t.start()
+        stop.wait(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        final = merge_trace_snapshots([
+            {"worker": i, "traces": r.snapshot()}
+            for i, r in enumerate(recorders)
+        ])
+        assert final["workers"] == [0, 1, 2]
+        assert final["count"] == sum(
+            len(r.snapshot()) for r in recorders
+        )
+        for merged in merges:
+            ts_values = [r["ts"] for r in merged["traces"]]
+            assert ts_values == sorted(ts_values)

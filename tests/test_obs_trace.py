@@ -1,11 +1,24 @@
 """Unit tests for repro.obs.trace and the module-level switch."""
 
+import contextvars
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
 from repro import obs
-from repro.obs.trace import NOOP_SPAN, Span, Tracer
+from repro.obs.trace import (
+    MAX_TRACE_ID_LEN,
+    NOOP_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    annotate_trace,
+    current_trace,
+    new_trace_id,
+    sanitize_trace_id,
+    trace_scope,
+)
 
 
 class TestSpan:
@@ -104,6 +117,140 @@ class TestTracer:
         tracer.reset()
         assert tracer.roots() == []
         assert tracer.last_root() is None
+
+
+class TestSpanErrorMarking:
+    def test_exception_marks_span_errored(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("bad input")
+        root = tracer.last_root()
+        assert root.attributes["error"] is True
+        assert root.attributes["error_type"] == "ValueError"
+        assert root.attributes["error_message"] == "bad input"
+
+    def test_erroring_child_closed_and_stack_restored(self):
+        """The satellite fix: an exception inside a nested span must not
+        leak the child onto the stack — the next span on this context
+        starts from the restored parent."""
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with pytest.raises(RuntimeError):
+                with tracer.span("child"):
+                    raise RuntimeError("x")
+            assert tracer.current() is root
+            with tracer.span("sibling"):
+                pass
+        assert [c.name for c in root.children] == ["child", "sibling"]
+        assert all(c.is_finished for c in root.children)
+        assert tracer.current() is None
+
+    def test_dangling_child_does_not_leak_past_parent_exit(self):
+        """A child opened but never exited (no `with`) cannot corrupt
+        the stack: token-based restore reinstates the outer stack when
+        the parent closes."""
+        tracer = Tracer()
+        with tracer.span("root"):
+            scope = tracer.span("dangling")
+            scope.__enter__()
+            # parent exits with the child still open
+        assert tracer.current() is None
+        with tracer.span("next-root"):
+            assert tracer.current().name == "next-root"
+
+
+class TestTraceContext:
+    def test_generated_id_is_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # parses as hex
+
+    def test_sanitize_passes_clean_ids(self):
+        assert sanitize_trace_id("req-1.2_3") == "req-1.2_3"
+
+    def test_sanitize_strips_unsafe_and_truncates(self):
+        assert sanitize_trace_id("a b\nc\x00d!") == "abcd"
+        long = "x" * 200
+        assert sanitize_trace_id(long) == "x" * MAX_TRACE_ID_LEN
+
+    def test_sanitize_rejects_unusable(self):
+        assert sanitize_trace_id(None) is None
+        assert sanitize_trace_id("") is None
+        assert sanitize_trace_id("\x00\x01!!") is None
+        assert sanitize_trace_id(42) is None
+
+    def test_trace_scope_installs_and_restores(self):
+        assert current_trace() is None
+        with trace_scope(TraceContext("t-1")) as ctx:
+            assert current_trace() is ctx
+            annotate_trace("cache", "hit")
+        assert current_trace() is None
+        assert ctx.annotations == {"cache": "hit"}
+
+    def test_annotate_outside_request_is_noop(self):
+        annotate_trace("ignored", 1)  # must not raise
+
+    def test_root_span_stamped_with_trace_id(self):
+        tracer = Tracer()
+        with trace_scope(TraceContext("t-42")):
+            with tracer.span("root") as root:
+                with tracer.span("child") as child:
+                    pass
+        assert root.attributes["trace_id"] == "t-42"
+        assert "trace_id" not in child.attributes
+
+    def test_no_stamp_without_context(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        assert "trace_id" not in root.attributes
+
+
+class TestThreadPoolPropagation:
+    def test_copied_context_attaches_to_submitting_tree(self):
+        """A pool task running under copy_context() extends the
+        submitting request's open span instead of starting a new root
+        — the mechanism behind reformulate_many's fan-out tracing."""
+        tracer = Tracer()
+        with trace_scope(TraceContext("batch-1")):
+            with tracer.span("batch") as batch_span:
+
+                def solve(i):
+                    with tracer.span(f"decode-{i}"):
+                        annotate_trace(f"task-{i}", True)
+                    return i
+
+                # one copy per task, made on the SUBMITTING thread —
+                # copying inside the pool task would capture the pool
+                # thread's empty context instead
+                contexts = [contextvars.copy_context() for _ in range(4)]
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    results = list(pool.map(
+                        lambda task: task[0].run(solve, task[1]),
+                        zip(contexts, range(4)),
+                    ))
+            ctx = current_trace()
+        assert results == [0, 1, 2, 3]
+        names = sorted(c.name for c in batch_span.children)
+        assert names == [f"decode-{i}" for i in range(4)]
+        # annotations land on the shared TraceContext object
+        assert all(ctx.annotations[f"task-{i}"] for i in range(4))
+        # no orphan roots: the only retained root is the batch span
+        assert [s.name for s in tracer.roots()] == ["batch"]
+
+    def test_fresh_thread_still_starts_empty(self):
+        tracer = Tracer()
+        leaked = {}
+
+        def probe():
+            leaked["current"] = tracer.current()
+
+        with tracer.span("root"):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert leaked["current"] is None
 
 
 class TestModuleSwitch:

@@ -480,3 +480,187 @@ class TestShutdown:
         drain_thread.join(timeout=10.0)
         assert not drain_thread.is_alive()
         assert len(responses) == 1 and responses[0].status == 200
+
+
+class TestRequestId:
+    def test_client_id_echoed_on_200(self, client):
+        response = client.request(
+            "POST", "/reformulate",
+            {"keywords": ["probabilistic", "query"], "k": 2},
+            request_id="my-request-7",
+        )
+        assert response.status == 200
+        assert response.request_id == "my-request-7"
+
+    def test_generated_when_absent(self, client):
+        response = client.healthz()
+        assert response.request_id
+        assert len(response.request_id) == 16
+        int(response.request_id, 16)
+        # health body unchanged: the id rides the header only
+        assert response.json == {"status": "ok", "draining": False}
+
+    def test_unsafe_id_sanitized(self, client):
+        response = client.request(
+            "GET", "/healthz", request_id="a b!\tc" + "x" * 100
+        )
+        assert response.request_id == ("abcx" + "x" * 60)  # 64 chars max
+
+    def test_present_on_400(self, client):
+        response = client.request("POST", "/reformulate", {"keywords": []})
+        assert response.status == 400
+        assert response.request_id
+
+    def test_present_on_404_and_405(self, client):
+        assert client.request("GET", "/nope").request_id
+        assert client.request("GET", "/reformulate").request_id
+
+    def test_present_and_echoed_on_429_shed(self):
+        server = _make_server(max_concurrency=1, queue_depth=0)
+        try:
+            with ServerClient(port=server.port) as client:
+                with server.admission.admit():  # hold the only permit
+                    response = client.request(
+                        "POST", "/reformulate",
+                        {"keywords": ["probabilistic", "query"]},
+                        request_id="shed-me",
+                    )
+                    assert response.status == 429
+                    assert response.request_id == "shed-me"
+        finally:
+            server.shutdown()
+
+
+class TestDebugTraces:
+    def test_trace_retrievable_with_span_tree_and_stages(self):
+        server = _make_server(trace_sample_rate=1.0)
+        obs.reset()
+        try:
+            with obs.enabled():
+                with ServerClient(port=server.port) as client:
+                    assert client.request(
+                        "POST", "/reformulate",
+                        {"keywords": ["probabilistic", "query"], "k": 2},
+                        request_id="trace-me",
+                    ).status == 200
+                    payload = client.debug_traces().json
+            assert payload["workers"] == [0]
+            mine = [
+                r for r in payload["traces"]
+                if r["trace_id"] == "trace-me"
+            ]
+            assert len(mine) == 1
+            record = mine[0]
+            assert record["route"] == "/reformulate"
+            assert record["status"] == 200
+            assert record["cache"] == "miss"
+            assert record["algorithm"] == "astar"
+            assert record["keywords"] == ["probabilistic", "query"]
+            for stage in ("parse", "queue_wait", "serialize",
+                          "assemble", "decode"):
+                assert stage in record["stages"], record["stages"]
+            tree = record["span_tree"]
+            assert tree["name"] == "http.request"
+            assert tree["attributes"]["trace_id"] == "trace-me"
+            names = {child["name"] for child in tree["children"]}
+            assert {"admission", "handle"} <= names
+        finally:
+            obs.reset()
+            server.shutdown()
+
+    def test_unsampled_fast_request_not_retained(self):
+        server = _make_server(trace_sample_rate=0.0, slow_trace_ms=60000)
+        try:
+            with ServerClient(port=server.port) as client:
+                client.reformulate(["probabilistic", "query"], k=2)
+                traces = client.debug_traces().json["traces"]
+            # the /debug/traces request itself is also unsampled
+            assert all(
+                r["route"] != "/reformulate" for r in traces
+            )
+        finally:
+            server.shutdown()
+
+    def test_shed_request_always_captured(self):
+        server = _make_server(
+            max_concurrency=1, queue_depth=0, trace_sample_rate=0.0
+        )
+        try:
+            with ServerClient(port=server.port) as client:
+                with server.admission.admit():
+                    client.request(
+                        "POST", "/reformulate",
+                        {"keywords": ["probabilistic", "query"]},
+                        request_id="shed-trace",
+                    )
+                payload = client.debug_traces().json
+            shed = [
+                r for r in payload["traces"]
+                if r["trace_id"] == "shed-trace"
+            ]
+            assert len(shed) == 1
+            assert shed[0]["shed"] is True
+            assert shed[0]["notable"] is True
+            assert shed[0]["status"] == 429
+            assert "queue_wait" in shed[0]["stages"]
+        finally:
+            server.shutdown()
+
+    def test_degraded_request_always_captured(self):
+        server = _make_server(trace_sample_rate=0.0)
+        try:
+            with ServerClient(port=server.port) as client:
+                response = client.reformulate(
+                    ["probabilistic", "query"], k=2, deadline_ms=1
+                )
+                assert response.json["degraded"] is True
+                payload = client.debug_traces().json
+            degraded = [
+                r for r in payload["traces"] if r.get("degraded")
+            ]
+            assert degraded
+            assert degraded[0]["degraded_mode"] == DEGRADE_VITERBI
+        finally:
+            server.shutdown()
+
+    def test_n_param_limits_and_validates(self, client):
+        assert client.debug_traces(n=1).status == 200
+        assert len(client.debug_traces(n=1).json["traces"]) <= 1
+        assert client.request("GET", "/debug/traces?n=zzz").status == 400
+
+
+class TestAccessLog:
+    def test_one_json_line_per_request_joinable_on_trace_id(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        server = _make_server(
+            access_log_path=str(log_path), trace_sample_rate=1.0
+        )
+        try:
+            with ServerClient(port=server.port) as client:
+                client.request(
+                    "POST", "/reformulate",
+                    {"keywords": ["probabilistic", "query"], "k": 2},
+                    request_id="logged-1",
+                )
+                client.healthz()
+                client.request("POST", "/reformulate", {"keywords": []})
+        finally:
+            server.shutdown()
+        import json as _json
+
+        lines = [
+            _json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert len(lines) == 3
+        by_id = {line["trace_id"]: line for line in lines}
+        record = by_id["logged-1"]
+        assert record["route"] == "/reformulate"
+        assert record["status"] == 200
+        assert "span_tree" not in record  # bulky: flight recorder only
+        assert record["stages"]["queue_wait"] == 0.0
+        statuses = sorted(line["status"] for line in lines)
+        assert statuses == [200, 200, 400]
+
+    def test_no_log_file_when_disabled(self, server):
+        assert server.access_log is None

@@ -269,3 +269,75 @@ class TestDrain:
         pool.shutdown()
         pool.shutdown()  # second call returns immediately
         assert pool.worker_pids == []
+
+
+class TestPoolTracing:
+    @pytest.fixture()
+    def tracing_pool(self, warm_live):
+        pool = PreforkServer(
+            lambda: warm_live,
+            _config(trace_sample_rate=1.0, slow_trace_ms=0.0),
+            workers=2,
+            drain_timeout_s=10.0,
+        )
+        pool.start(ready_timeout_s=60.0)
+        yield pool
+        pool.shutdown()
+
+    def test_every_worker_response_carries_request_id(self, tracing_pool):
+        for i in range(8):
+            response = _fresh_request(
+                tracing_pool.port, "request", "POST", "/reformulate",
+                {"keywords": ["probabilistic", "query"], "k": 2},
+                request_id=f"pool-req-{i}",
+            )
+            assert response.status == 200
+            assert response.request_id == f"pool-req-{i}"
+        # generated ids on requests that do not send one
+        assert _fresh_request(tracing_pool.port, "healthz").request_id
+
+    def test_debug_traces_aggregates_across_workers(self, tracing_pool):
+        """The acceptance path: a slow/degraded request's span tree is
+        retrievable via GET /debug/traces from any worker of a 2-worker
+        pool (snapshots spool on the flush cadence, so poll)."""
+        ids = {f"agg-{i}" for i in range(6)}
+        for trace_id in sorted(ids):
+            response = _fresh_request(
+                tracing_pool.port, "request", "POST", "/reformulate",
+                {"keywords": ["probabilistic", "query"], "k": 2},
+                request_id=trace_id,
+            )
+            assert response.status == 200
+        degraded = _fresh_request(
+            tracing_pool.port, "request", "POST", "/reformulate",
+            {"keywords": ["probabilistic", "query"], "deadline_ms": 1},
+            request_id="agg-degraded",
+        )
+        assert degraded.status == 200
+        assert degraded.json["degraded"] is True
+        wanted = ids | {"agg-degraded"}
+        deadline = time.monotonic() + 30.0
+        seen = set()
+        payload = {}
+        while time.monotonic() < deadline:
+            payload = _fresh_request(
+                tracing_pool.port, "debug_traces"
+            ).json
+            seen = {r["trace_id"] for r in payload["traces"]}
+            if wanted <= seen and payload["workers"] == [0, 1]:
+                break
+            time.sleep(0.2)
+        assert wanted <= seen
+        assert payload["workers"] == [0, 1]
+        by_id = {r["trace_id"]: r for r in payload["traces"]}
+        record = by_id[sorted(ids)[0]]
+        assert record["span_tree"]["name"] == "http.request"
+        assert record["span_tree"]["attributes"]["trace_id"] == (
+            record["trace_id"]
+        )
+        for stage in ("queue_wait", "decode", "serialize"):
+            assert stage in record["stages"], record["stages"]
+        assert record["worker"] in (0, 1)
+        deg = by_id["agg-degraded"]
+        assert deg["degraded"] is True and deg["notable"] is True
+        assert deg["degraded_mode"] is not None
