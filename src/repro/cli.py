@@ -226,6 +226,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON metrics-registry export to this file",
     )
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="fold new rows into an existing relation store as one "
+             "delta layer (incremental offline stage)",
+    )
+    add_data(ingest)
+    ingest.add_argument(
+        "--store", required=True,
+        help="directory-backed relation store (v2 shards or v3 binary)",
+    )
+    ingest.add_argument(
+        "--rows", required=True,
+        help='JSON file: [{"table": ..., "row": {...}}, ...] — the rows '
+             "are also persisted in the layer for worker replay",
+    )
+    ingest.add_argument(
+        "--similar", type=int, default=None,
+        help="similar-list length (default: inherited from the store)",
+    )
+    ingest.add_argument(
+        "--closeness-top", type=int, default=None,
+        help="closeness row length (default: inherited from the store)",
+    )
+    ingest.add_argument("--batch-size", type=int, default=64)
+    ingest.add_argument(
+        "--trace", action="store_true",
+        help="print the ingest's span tree after the run",
+    )
+
     stats = sub.add_parser(
         "stats", help="export the in-process observability metrics"
     )
@@ -388,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_data(info)
     info.add_argument("--store", required=True, help="store file or directory")
+    compact = store_sub.add_parser(
+        "compact",
+        help="fold a store's delta layers back into a fresh base build",
+    )
+    add_data(compact)
+    compact.add_argument(
+        "--store", required=True, help="store directory with delta layers"
+    )
+    compact.add_argument("--batch-size", type=int, default=64)
 
     return parser
 
@@ -440,6 +478,16 @@ def cmd_describe(args, out) -> int:
 
 def _build_reformulator(args, database: Database) -> Reformulator:
     """Shared pipeline construction for reformulate/explain."""
+    if args.relations:
+        # A layered store's journal carries rows the base CSVs don't
+        # have; replay it so the graph matches the store's chain tip
+        # (same reconstruction `repro serve` performs at startup).
+        replayed = _replay_layers(database, args.relations)
+        if replayed:
+            logger.info(
+                "replayed %d delta layer(s) from %s",
+                replayed, args.relations,
+            )
     graph = TATGraph(database, InvertedIndex(database))
     config = ReformulatorConfig(
         method=args.method,
@@ -679,6 +727,15 @@ def cmd_serve(args, out) -> int:
     logger.info(
         "pipeline warming (relations=%s)...", args.relations or "live"
     )
+    # A store that accumulated delta layers persists the ingested rows in
+    # its chain; replay them into the freshly loaded corpus so serving
+    # starts at the chain tip (the same path respawned workers take).
+    replayed = live.sync_ingest()
+    if replayed:
+        logger.info(
+            "replayed %d delta layer(s) from %s (ingest epoch %d)",
+            replayed, args.relations, live.ingest_epoch,
+        )
     live.pipeline()  # before any fork: workers share this copy-on-write
     if args.workers > 0:
         pool = PreforkServer(
@@ -780,9 +837,79 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def _replay_layers(database, store_path) -> int:
+    """Apply a store's persisted delta-layer rows to *database*.
+
+    CLI commands load the corpus from its CSVs, which stay at the base
+    build; the layer chain carries every ingested row, so replaying it
+    reconstructs the merged corpus exactly (the same feed pre-fork
+    workers use).  Returns the number of layers applied.
+    """
+    from repro.storage import layers as layer_io
+
+    applied = 0
+    for _epoch, rows in layer_io.pending_rows(store_path, 0):
+        for item in rows:
+            database.insert(item["table"], dict(item["row"]))
+        applied += 1
+    return applied
+
+
+def cmd_ingest(args, out) -> int:
+    """``ingest``: run the incremental offline stage over new rows."""
+    from repro.offline import DeltaIngestor
+
+    try:
+        with open(args.rows, "r", encoding="utf-8") as handle:
+            rows = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read rows file {args.rows}: {exc}")
+    if not isinstance(rows, list):
+        raise ReproError(f"{args.rows}: expected a JSON list of rows")
+    database = _load(args)
+    replayed = _replay_layers(database, args.store)
+    if replayed:
+        logger.info(
+            "replayed %d existing delta layer(s) before ingesting", replayed
+        )
+    ingestor = DeltaIngestor(
+        database,
+        args.store,
+        n_similar=args.similar,
+        closeness_top=args.closeness_top,
+        batch_size=args.batch_size,
+    )
+    stats = ingestor.ingest(rows)
+    logger.info(
+        "ingested %d rows as layer epoch %d "
+        "(%d terms recomputed, %d new, %d closeness rows invalidated) "
+        "in %.3fs",
+        stats.n_rows, stats.epoch, stats.n_recomputed,
+        stats.n_new_terms, stats.n_invalidated, stats.elapsed_seconds,
+    )
+    print(json.dumps(stats.to_dict(), indent=2), file=out)
+    if args.trace:
+        _print_trace(out)
+    return 0
+
+
 def cmd_store(args, out) -> int:
     """``store``: relation-store maintenance subcommands."""
     database = _load(args)
+    if args.store_command == "compact":
+        from repro.offline import DeltaIngestor
+
+        replayed = _replay_layers(database, args.store)
+        ingestor = DeltaIngestor(
+            database, args.store, batch_size=args.batch_size
+        )
+        if replayed == 0:
+            logger.info("no delta layers; rebuilding the base in place")
+        ingestor.compact()
+        logger.info(
+            "compacted %d delta layer(s) into %s", replayed, args.store
+        )
+        return 0
     graph = TATGraph(database, InvertedIndex(database))
     if args.store_command == "migrate":
         if args.to == "v3":
@@ -807,16 +934,34 @@ def cmd_store(args, out) -> int:
         )
         return 0
     store = TermRelationStore.load(args.store, graph)
-    print(f"format version: {type(store).FORMAT_VERSION}", file=out)
+    layered = hasattr(store, "layers_info")
+    inner = store.base if layered else store
+    if layered:
+        print(
+            f"format version: {inner.FORMAT_VERSION} "
+            f"+ {store.n_layers} delta layer(s)",
+            file=out,
+        )
+        print(f"layer epoch: {store.epoch}", file=out)
+    else:
+        print(f"format version: {type(store).FORMAT_VERSION}", file=out)
     print(f"terms: {len(store)}", file=out)
-    if hasattr(store, "n_shards"):
-        print(f"shards: {store.n_shards}", file=out)
-    if hasattr(store, "blocks_info"):
-        print(f"keys: {store.n_keys}", file=out)
-        for block in store.blocks_info():
+    if hasattr(inner, "n_shards"):
+        print(f"shards: {inner.n_shards}", file=out)
+    if hasattr(inner, "blocks_info"):
+        print(f"keys: {inner.n_keys}", file=out)
+        for block in inner.blocks_info():
             print(
                 f"block.{block['role']}: {block['file']} "
                 f"({block['bytes']} bytes)",
+                file=out,
+            )
+    if layered:
+        for layer in store.layers_info():
+            print(
+                f"layer.{layer['epoch']}: {layer['dir']} "
+                f"({layer['n_terms']} terms, {layer['n_rows']} rows, "
+                f"{layer['n_invalidated']} invalidated)",
                 file=out,
             )
     if hasattr(store, "build_info"):
@@ -834,6 +979,7 @@ COMMANDS = {
     "close": cmd_close,
     "search": cmd_search,
     "precompute": cmd_precompute,
+    "ingest": cmd_ingest,
     "stats": cmd_stats,
     "store": cmd_store,
     "serve": cmd_serve,

@@ -7,7 +7,7 @@ which is what the random-walk engine iterates (Eq 1 of the paper).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -56,12 +56,21 @@ class AdjacencyBuilder:
 
 
 class Adjacency:
-    """Frozen symmetric weighted adjacency with cached transition matrix."""
+    """Symmetric weighted adjacency with cached transition matrix.
+
+    Normally frozen after construction, but :meth:`extend` supports the
+    incremental-ingest path: the matrix can grow in place (new nodes, new
+    edges, rescaled existing edges).  Every in-place mutation bumps
+    :attr:`version` so holders of derived artifacts (the transition
+    matrix, an LU factorization) can detect staleness and refresh.
+    """
 
     def __init__(self, matrix: sparse.csr_matrix) -> None:
         if matrix.shape[0] != matrix.shape[1]:
             raise GraphError(f"adjacency must be square, got {matrix.shape}")
         self.matrix = matrix
+        #: Monotonic mutation counter; bumped by :meth:`extend`.
+        self.version = 0
         self._transition: sparse.csr_matrix = None
 
     @property
@@ -110,3 +119,74 @@ class Adjacency:
             # Column-normalize: scale column j by 1/deg(j).
             self._transition = (self.matrix @ sparse.diags(inv)).tocsr()
         return self._transition
+
+    def extend(
+        self,
+        n_nodes: int,
+        new_edges: Iterable[Tuple[int, int, float]],
+        scale: Optional[np.ndarray] = None,
+    ) -> None:
+        """Grow the adjacency in place (the incremental-ingest primitive).
+
+        Parameters
+        ----------
+        n_nodes:
+            The new matrix dimension; must be >= the current one.  Ids in
+            ``[old_n, n_nodes)`` are the appended nodes.
+        new_edges:
+            Undirected ``(u, v, weight)`` edges to add.  Duplicates (among
+            themselves or with existing edges) accumulate, matching
+            :meth:`AdjacencyBuilder.add_edge` semantics.
+        scale:
+            Optional per-node positive factor array of length ``old_n``.
+            Every *existing* entry ``(u, v)`` is multiplied by
+            ``scale[u] * scale[v]`` before the new edges land — this is how
+            the TAT graph applies a global idf reweight (term nodes carry
+            the idf ratio, tuple nodes carry 1.0) without a rebuild.
+
+        Bumps :attr:`version` and invalidates the cached transition matrix.
+        """
+        old_n = self.matrix.shape[0]
+        if n_nodes < old_n:
+            raise GraphError(
+                f"cannot shrink adjacency from {old_n} to {n_nodes} nodes"
+            )
+        if scale is not None:
+            scale = np.asarray(scale, dtype=np.float64)
+            if scale.shape != (old_n,):
+                raise GraphError(
+                    f"scale must have shape ({old_n},), got {scale.shape}"
+                )
+            if np.any(scale <= 0):
+                raise GraphError("scale factors must be positive")
+        coo = self.matrix.tocoo()
+        data = coo.data
+        if scale is not None:
+            data = data * scale[coo.row] * scale[coo.col]
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for u, v, w in new_edges:
+            if w <= 0:
+                raise GraphError(f"edge weight must be positive, got {w}")
+            if u == v:
+                raise GraphError(f"self loop on node {u} not allowed")
+            if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+                raise GraphError(
+                    f"edge ({u},{v}) out of range for {n_nodes} nodes"
+                )
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((w, w))
+        all_rows = np.concatenate([coo.row, np.array(rows, dtype=np.int64)])
+        all_cols = np.concatenate([coo.col, np.array(cols, dtype=np.int64)])
+        all_vals = np.concatenate([data, np.array(vals, dtype=np.float64)])
+        # csr_matrix sums duplicate (row, col) entries, which is exactly
+        # the accumulate-on-add semantics of AdjacencyBuilder.
+        self.matrix = sparse.csr_matrix(
+            (all_vals, (all_rows, all_cols)),
+            shape=(n_nodes, n_nodes),
+            dtype=np.float64,
+        )
+        self.version += 1
+        self._transition = None

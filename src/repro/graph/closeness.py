@@ -228,7 +228,14 @@ class ClosenessExtractor:
         return None if pinfo is None else pinfo.distance
 
     def _terms_mask(self) -> np.ndarray:
-        """Boolean per-node-id mask of term nodes, cached."""
+        """Boolean per-node-id mask of term nodes, cached.
+
+        Rebuilt automatically when the graph grew under us (delta ingest
+        extends the adjacency in place).
+        """
+        n = self.graph.adjacency.matrix.shape[0]
+        if self._term_mask is not None and self._term_mask.shape[0] != n:
+            self._term_mask = None
         if self._term_mask is None:
             mask = np.zeros(self.graph.adjacency.matrix.shape[0], dtype=bool)
             for term_id in self.graph.registry.term_ids():
@@ -284,6 +291,68 @@ class ClosenessExtractor:
         """Offline stage: warm the cache for a term vocabulary."""
         for node_id in node_ids:
             self.paths_from(node_id)
+
+    # ------------------------------------------------------------------ #
+    # dirty-set refresh (delta ingest)
+    # ------------------------------------------------------------------ #
+
+    def _dirty_ball(self, dirty_ids: Sequence[int]) -> np.ndarray:
+        """Boolean mask of nodes within ``max_depth`` hops of a dirty node.
+
+        Computed on the *current* (already extended) adjacency, so new
+        edges that shorten paths are honoured.
+        """
+        matrix = self.graph.adjacency.matrix
+        n = matrix.shape[0]
+        indptr, indices = matrix.indptr, matrix.indices
+        seen = np.zeros(n, dtype=bool)
+        frontier = np.unique(np.asarray(list(dirty_ids), dtype=np.int64))
+        if frontier.size and (frontier[0] < 0 or frontier[-1] >= n):
+            raise GraphError("dirty node id out of range")
+        seen[frontier] = True
+        for _ in range(self.max_depth):
+            if not frontier.size:
+                break
+            counts = indptr[frontier + 1] - indptr[frontier]
+            nnz = int(counts.sum())
+            if not nnz:
+                break
+            starts = indptr[frontier]
+            slot = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            ) + np.arange(nnz)
+            neighbors = np.unique(indices[slot])
+            neighbors = neighbors[~seen[neighbors]]
+            seen[neighbors] = True
+            frontier = neighbors
+        return seen
+
+    def affected_sources(self, dirty_ids: Sequence[int]) -> List[int]:
+        """Term node ids whose closeness readout may have changed.
+
+        Closeness is purely structural (path counts and structural
+        degrees; edge *weights* never enter), so a source's rows can only
+        change when its ``max_depth``-hop ball contains a structurally
+        dirty node — exactly the ball membership computed here.  Terms
+        outside the ball keep bit-identical rows, which is what lets a
+        delta ingest re-BFS only this set.
+        """
+        ball = self._dirty_ball(dirty_ids)
+        return [int(i) for i in np.flatnonzero(ball & self._terms_mask())]
+
+    def invalidate(self, dirty_ids: Sequence[int]) -> List[int]:
+        """Evict cached searches invalidated by a structural delta.
+
+        Drops every cached source inside the dirty ball (term or tuple)
+        and resets the term mask; returns the affected *term* sources so
+        the caller can schedule their re-extraction.
+        """
+        ball = self._dirty_ball(dirty_ids)
+        for source in [s for s in self._reach_cache if ball[s]]:
+            self.evict(source)
+        for source in [s for s in self._cache if ball[s]]:
+            self.evict(source)
+        return [int(i) for i in np.flatnonzero(ball & self._terms_mask())]
 
     def evict(self, node_id: int) -> None:
         """Drop one source's cached search (offline batch memory bound)."""

@@ -91,6 +91,22 @@ class RandomWalkEngine:
         self.strict = strict
         self._transition = adjacency.transition_matrix()
         self._lu = None  # lazily factorized (I - λT), shared by all solves
+        # Adjacency.version at capture time: the transition matrix and the
+        # LU factorization stay valid exactly as long as the adjacency is
+        # untouched; Adjacency.extend bumps the version and _sync refreshes.
+        self._adjacency_version = adjacency.version
+
+    def _sync(self) -> None:
+        """Refresh derived artifacts if the adjacency mutated in place.
+
+        The cached LU factorization is kept when the adjacency version is
+        unchanged (edges did not move); a bumped version means the
+        transition matrix moved, so both are refreshed/refactorized.
+        """
+        if self.adjacency.version != self._adjacency_version:
+            self._transition = self.adjacency.transition_matrix()
+            self._lu = None
+            self._adjacency_version = self.adjacency.version
 
     # ------------------------------------------------------------------ #
     # preference vectors
@@ -147,6 +163,7 @@ class RandomWalkEngine:
             raise GraphError("preference vector has no mass")
         r = preference / total
 
+        self._sync()
         p = r.copy()
         residual = np.inf
         for iteration in range(1, self.max_iterations + 1):
@@ -176,7 +193,10 @@ class RandomWalkEngine:
         return self.walk(self.indicator_preference(node_id))
 
     def walk_many(
-        self, preferences: "np.ndarray", method: str = "iterative"
+        self,
+        preferences: "np.ndarray",
+        method: str = "iterative",
+        seeds: Optional["np.ndarray"] = None,
     ) -> "np.ndarray":
         """Solve Eq 1 for many preference vectors simultaneously.
 
@@ -186,10 +206,15 @@ class RandomWalkEngine:
         and the diagnostics; this wrapper keeps the array-in/array-out
         surface the callers and benchmarks use.
         """
-        return self.walk_many_result(preferences, method=method).scores
+        return self.walk_many_result(
+            preferences, method=method, seeds=seeds
+        ).scores
 
     def walk_many_result(
-        self, preferences: "np.ndarray", method: str = "iterative"
+        self,
+        preferences: "np.ndarray",
+        method: str = "iterative",
+        seeds: Optional["np.ndarray"] = None,
     ) -> BatchWalkResult:
         """Batched Eq-1 solve with diagnostics.
 
@@ -203,8 +228,23 @@ class RandomWalkEngine:
         the dangling-mass fix) is the normalized solution of the linear
         system ``(I − λT)q = r``: one sparse LU factorization — cached on
         the engine and amortized over the whole vocabulary — turns every
-        further batch into a pair of triangular solves.  The reported
-        residual is verified a posteriori with one Eq-1 application.
+        batch into per-column triangular solves.  Columns are solved one
+        at a time on purpose: SuperLU's blocked multi-RHS path produces
+        bitwise-different low-order bits depending on how columns are
+        batched together, and solving per column makes every result
+        independent of batch composition — a full-vocabulary build and a
+        delta recompute of a handful of terms produce identical bits.
+        The reported residual is verified a posteriori with one Eq-1
+        application.
+
+        ``seeds`` (iterative only) warm-starts the power iteration from
+        the given columns — e.g. the previous epoch's converged vectors
+        after a small corpus delta — instead of from the restart
+        distribution.  Iteration counts drop with seed quality, but the
+        iterate *path* differs from a cold start, so warm-started results
+        match cold-started ones only up to the convergence tolerance; the
+        exactness-critical offline path uses ``direct`` instead.  The
+        direct solver ignores seeds (it is already exact).
         """
         if method not in WALK_METHODS:
             raise GraphError(
@@ -219,13 +259,26 @@ class RandomWalkEngine:
         if np.any(sums <= 0):
             raise GraphError("every preference column needs positive mass")
         r = preferences / sums
+        if seeds is not None:
+            if seeds.shape != r.shape:
+                raise GraphError(
+                    f"seeds must match preferences shape {r.shape}, "
+                    f"got {seeds.shape}"
+                )
+            seed_sums = seeds.sum(axis=0)
+            if np.any(seed_sums <= 0):
+                raise GraphError("every seed column needs positive mass")
+            seeds = seeds / seed_sums
+        self._sync()
         if method == "direct":
             return self._solve_direct(r)
-        return self._iterate_batch(r)
+        return self._iterate_batch(r, seeds=seeds)
 
-    def _iterate_batch(self, r: "np.ndarray") -> BatchWalkResult:
+    def _iterate_batch(
+        self, r: "np.ndarray", seeds: Optional["np.ndarray"] = None
+    ) -> BatchWalkResult:
         """Power iteration with per-column convergence freezing."""
-        p = r.copy()
+        p = r.copy() if seeds is None else seeds.copy()
         n_cols = r.shape[1]
         residuals = np.full(n_cols, np.inf)
         active = np.arange(n_cols)
@@ -278,14 +331,26 @@ class RandomWalkEngine:
         With the dangling fix the fixed point satisfies
         ``p = λTp + (λ·leak + 1 − λ)r`` and has unit mass, i.e. it is the
         L1-normalized solution of ``(I − λT)q = r``.
+
+        Each column is solved (and normalized) individually: SuperLU's
+        multi-RHS solve is bitwise sensitive to batch composition, and the
+        per-column form guarantees reproducible bits regardless of how
+        callers group their preference vectors — the property the delta
+        ingest path relies on for base/delta bit-identity.
         """
-        q = self._factorization().solve(np.ascontiguousarray(r))
-        if q.ndim == 1:
-            q = q[:, None]
-        totals = q.sum(axis=0)
-        if np.any(totals <= 0):  # pragma: no cover - M-matrix inverse >= 0
-            raise ConvergenceError("direct walk solve produced no mass")
-        p = q / totals
+        lu = self._factorization()
+        columns = []
+        for j in range(r.shape[1]):
+            q = lu.solve(np.ascontiguousarray(r[:, j]))
+            total = q.sum()
+            if total <= 0:  # pragma: no cover - M-matrix inverse >= 0
+                raise ConvergenceError("direct walk solve produced no mass")
+            columns.append(q / total)
+        p = (
+            np.column_stack(columns)
+            if columns
+            else np.empty_like(r)
+        )
         # verify: one Eq-1 application must leave p (numerically) fixed
         step = self.damping * (self._transition @ p) + (1 - self.damping) * r
         leaked = 1.0 - step.sum(axis=0)

@@ -14,7 +14,9 @@ weight.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.errors import GraphError, UnknownNodeError
 from repro.index.inverted import FieldRef, FieldTerm, InvertedIndex
@@ -78,6 +80,113 @@ class TATGraph:
                 tuple_id = self.registry.id_of(Node.for_tuple(posting.ref))
                 builder.add_edge(term_id, tuple_id, posting.tf * idf)
         return builder.freeze(len(self.registry))
+
+    # ------------------------------------------------------------------ #
+    # incremental extension (delta ingest)
+    # ------------------------------------------------------------------ #
+
+    def add_tuples(self, refs: Sequence[TupleRef]) -> Set[int]:
+        """Extend the graph in place with freshly inserted rows.
+
+        The rows behind *refs* must already live in ``self.database`` (and
+        must reference only pre-existing rows or rows inside this batch —
+        the append-only ingest contract).  The index is extended
+        incrementally, new tuple/term nodes are registered, and the
+        adjacency grows via :meth:`~repro.graph.adjacency.Adjacency.extend`
+        — no rebuild.  Because idf depends on the corpus-wide document
+        count, every existing containment edge is reweighted exactly by
+        its term's ``idf_new / idf_old`` ratio, so the extended graph
+        carries the same edge weights a from-scratch rebuild would
+        (up to node ordering and float rounding of the ratio).
+
+        Returns the **structural dirty set**: ids of new nodes plus every
+        pre-existing node that gained an edge.  This is the seed for
+        dirty-set closeness refresh (closeness is purely structural).
+        Note that *walk* scores are dirtied globally by any insert — the
+        idf reweight perturbs the whole transition matrix — so callers
+        refreshing similarity rows must pick their own recompute policy
+        (see ``DeltaIngestor``); the dirty set is not a walk-staleness
+        bound.
+        """
+        refs = list(refs)
+        if not refs:
+            return set()
+        old_n = len(self.registry)
+        old_idf: Dict[FieldTerm, float] = {}
+        if self.idf_weighted_edges:
+            old_idf = {t: self.index.idf(t) for t in self.index.terms()}
+        indexed = self.index.add_rows(refs)
+
+        dirty: Set[int] = set()
+        new_edges: List[Tuple[int, int, float]] = []
+        # 1. new tuple nodes + their foreign-key edges
+        for ref in refs:
+            table_name, _pk = ref
+            node_id = self.registry.add(Node.for_tuple(ref))
+            if node_id < old_n:
+                raise GraphError(f"tuple {ref} is already in the graph")
+            dirty.add(node_id)
+            row = self.database.fetch(ref)
+            for fk in self.database.schema.foreign_keys_of(table_name):
+                value = row.get(fk.column)
+                if value is None:
+                    continue
+                parent = self.registry.id_of(
+                    Node.for_tuple((fk.ref_table, value))
+                )
+                new_edges.append((node_id, parent, self.fk_edge_weight))
+        # 2. term nodes (new or existing) + containment edges of new rows
+        for ref, entry in indexed:
+            tuple_id = self.registry.id_of(Node.for_tuple(ref))
+            for term, tf in entry:
+                term_id = self.registry.add(Node.for_term(term))
+                idf = self.index.idf(term) if self.idf_weighted_edges else 1.0
+                new_edges.append((term_id, tuple_id, tf * idf))
+        # 3. exact idf reweight of existing containment edges: a term
+        # node's edges are all containment edges, so scaling its incident
+        # entries by idf_new/idf_old (tuple factors stay 1.0) reproduces
+        # the rebuilt weights without touching FK edges.
+        scale = None
+        if self.idf_weighted_edges and old_idf:
+            scale = np.ones(old_n, dtype=np.float64)
+            for term, before in old_idf.items():
+                term_id = self.registry.get_id(Node.for_term(term))
+                if term_id is not None and term_id < old_n:
+                    scale[term_id] = self.index.idf(term) / before
+        for u, v, _w in new_edges:
+            dirty.add(u)
+            dirty.add(v)
+        self.adjacency.extend(len(self.registry), new_edges, scale=scale)
+        return dirty
+
+    def add_terms(self, terms: Sequence[FieldTerm]) -> Set[int]:
+        """Register term nodes (with all their containment edges) for
+        indexed terms that are not yet in the graph.
+
+        Covers the less common delta shape — vocabulary added to the index
+        out of band (e.g. a field newly marked as text) — and returns the
+        same structural dirty set contract as :meth:`add_tuples`.  Terms
+        already present in the graph are skipped.
+        """
+        dirty: Set[int] = set()
+        new_edges: List[Tuple[int, int, float]] = []
+        for term in terms:
+            node = Node.for_term(term)
+            if self.registry.get_id(node) is not None:
+                continue
+            term_id = self.registry.add(node)
+            dirty.add(term_id)
+            idf = self.index.idf(term) if self.idf_weighted_edges else 1.0
+            for posting in self.index.postings(term):
+                tuple_id = self.registry.id_of(Node.for_tuple(posting.ref))
+                new_edges.append((term_id, tuple_id, posting.tf * idf))
+        if not dirty:
+            return dirty
+        for u, v, _w in new_edges:
+            dirty.add(u)
+            dirty.add(v)
+        self.adjacency.extend(len(self.registry), new_edges)
+        return dirty
 
     # ------------------------------------------------------------------ #
     # structural queries

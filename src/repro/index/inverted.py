@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import IndexError_
 from repro.index.analyzer import Analyzer
@@ -74,14 +74,44 @@ class InvertedIndex:
                 ref: TupleRef = (table_name, row[schema.primary_key])
                 self._index_row(ref, row, schema)
                 self._doc_count += 1
-        for field_term in self._postings:
-            self._field_vocab[field_term.field] = (
-                self._field_vocab.get(field_term.field, 0) + 1
-            )
         self._built = True
         return self
 
-    def _index_row(self, ref: TupleRef, row: Dict[str, object], schema) -> None:
+    def add_rows(
+        self, refs: Sequence[TupleRef]
+    ) -> List[Tuple[TupleRef, List[Tuple[FieldTerm, int]]]]:
+        """Index freshly inserted rows in place (incremental extension).
+
+        The rows must already live in the database and must not have been
+        indexed before.  Returns ``(ref, [(term, tf), ...])`` per ref, in
+        input order — the containment-edge material the TAT graph's
+        :meth:`~repro.graph.tat.TATGraph.add_tuples` consumes.
+
+        Every global statistic shifts accordingly: ``doc_count`` grows, the
+        touched terms' ``df`` grows, and — because idf depends on the
+        document count — **every** term's idf drifts.  Callers holding
+        ``tf · idf`` edge weights must reweight them (see
+        ``TATGraph.add_tuples``).
+        """
+        self._require_built()
+        out: List[Tuple[TupleRef, List[Tuple[FieldTerm, int]]]] = []
+        for ref in refs:
+            table_name, pk = ref
+            table = self.database.table(table_name)
+            schema = table.schema
+            if not schema.text_fields:
+                out.append((ref, []))
+                continue
+            if ref in self._forward:
+                raise IndexError_(f"tuple {ref} is already indexed")
+            entry = self._index_row(ref, table.get(pk), schema)
+            self._doc_count += 1
+            out.append((ref, entry))
+        return out
+
+    def _index_row(
+        self, ref: TupleRef, row: Dict[str, object], schema
+    ) -> List[Tuple[FieldTerm, int]]:
         counts: Dict[FieldTerm, int] = {}
         for field_name in schema.text_fields:
             value = row.get(field_name)
@@ -95,12 +125,19 @@ class InvertedIndex:
                 term = FieldTerm(field, text)
                 counts[term] = counts.get(term, 0) + 1
         if not counts:
-            return
+            return []
         forward_entry: List[Tuple[FieldTerm, int]] = []
         for term, tf in counts.items():
-            self._postings.setdefault(term, []).append(Posting(ref, tf))
+            postings = self._postings.get(term)
+            if postings is None:
+                postings = self._postings[term] = []
+                self._field_vocab[term.field] = (
+                    self._field_vocab.get(term.field, 0) + 1
+                )
+            postings.append(Posting(ref, tf))
             forward_entry.append((term, tf))
         self._forward[ref] = forward_entry
+        return forward_entry
 
     def _require_built(self) -> None:
         if not self._built:

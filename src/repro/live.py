@@ -79,6 +79,10 @@ class LiveReformulator:
         # than re-reading (and re-checksumming) the files.
         self._store_cache: Dict[str, "TermRelationStore"] = {}
         self._mutations_since_build = 0
+        # Newest delta-layer epoch already folded into self.database.
+        # The ingesting process advances it in ingest(); sibling pre-fork
+        # workers advance it by replaying layers in sync_ingest().
+        self._applied_epoch = 0
         # Query-level result LRU: entries are tagged with the pipeline
         # version, so every rebuild makes the resident set unreachable
         # (and pipeline() sweeps it).  Size 0 disables the layer.
@@ -126,6 +130,94 @@ class LiveReformulator:
         with self._rebuild_lock:
             self._store_cache.clear()
             self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # delta ingest
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ingest_epoch(self) -> int:
+        """Newest delta-layer epoch folded into this process's database."""
+        return self._applied_epoch
+
+    def ingest(self, rows: List[Dict[str, object]], **ingest_options):
+        """Fold *rows* into the corpus as one delta layer (incremental).
+
+        Unlike :meth:`insert` + a full offline rerun, this recomputes
+        only the terms occurring in *rows* and writes them as a delta
+        layer beside the configured relation store (see
+        :class:`repro.offline.DeltaIngestor`); the next query rebuilds
+        the serving graph and picks the layer up through the layered
+        store.  Keyword options are forwarded to the ingestor
+        (``n_similar``, ``closeness_top``, ``batch_size``,
+        ``walk_method``).  Returns the run's
+        :class:`~repro.offline.DeltaIngestStats`.
+        """
+        if self.relations is None:
+            raise ReproError(
+                "delta ingest needs a relation store (relations=... path)"
+            )
+        from repro.offline import DeltaIngestor
+
+        with self._rebuild_lock:
+            ingestor = DeltaIngestor(
+                self.database, self.relations, **ingest_options
+            )
+            stats = ingestor.ingest(rows)
+            self._applied_epoch = stats.epoch
+            self._store_cache.clear()
+            self._dirty = True
+            self._mutations_since_build += stats.n_rows
+        if obs.is_enabled():
+            obs.gauge(
+                "repro_live_ingest_epoch",
+                "Delta-layer epoch applied to this process",
+            ).set(self._applied_epoch)
+        return stats
+
+    def sync_ingest(self) -> int:
+        """Catch up with delta layers written by another process.
+
+        The relation store's layer chain doubles as the ingest journal:
+        each layer persists the rows it folded in.  A process whose
+        database copy is behind the chain tip (a sibling pre-fork worker,
+        or a worker respawned from the master's pre-ingest image) replays
+        exactly the pending layers' rows into its own database and marks
+        the pipeline stale so the next query rebuilds against the merged
+        corpus plus the layered store.  Returns the number of layers
+        applied (0 when already at the tip — one small JSON read, cheap
+        enough to poll on the metrics-flusher tick).
+        """
+        if self.relations is None:
+            return 0
+        from repro.storage import layers as layer_io
+
+        if layer_io.latest_epoch(self.relations) <= self._applied_epoch:
+            return 0
+        applied = 0
+        with self._rebuild_lock:
+            pending = layer_io.pending_rows(
+                self.relations, self._applied_epoch
+            )
+            for epoch, rows in pending:
+                for item in rows:
+                    self.database.insert(item["table"], dict(item["row"]))
+                    self._mutations_since_build += 1
+                self._applied_epoch = epoch
+                applied += 1
+            if applied:
+                self._store_cache.clear()
+                self._dirty = True
+        if applied and obs.is_enabled():
+            obs.counter(
+                "repro_live_ingest_syncs_total",
+                "Delta layers replayed from the chain by this process",
+            ).inc(applied)
+            obs.gauge(
+                "repro_live_ingest_epoch",
+                "Delta-layer epoch applied to this process",
+            ).set(self._applied_epoch)
+        return applied
 
     # ------------------------------------------------------------------ #
     # derived pipeline

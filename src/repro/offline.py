@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import logging
+import shutil
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -277,25 +278,44 @@ class TermRelationStore:
         :class:`~repro.storage.binary.BinaryTermRelationStore`, otherwise
         it comes back as a lazily-loading
         :class:`~repro.offline_store.ShardedTermRelationStore` (v2); a
-        plain file is the single-document v1 format.
+        plain file is the single-document v1 format.  A directory store
+        carrying a ``layers/layers.json`` delta chain comes back wrapped
+        in a :class:`~repro.storage.layers.LayeredTermRelationStore`.
         """
         p = Path(path)
         if p.is_dir() or p.name == "manifest.json":
             root = p if p.is_dir() else p.parent
+            manifest_path = root / "manifest.json"
             version = None
-            try:
-                version = json.loads(
-                    (root / "manifest.json").read_text(encoding="utf-8")
-                ).get("format_version")
-            except (OSError, json.JSONDecodeError):
-                pass  # let the per-format loader raise its own error
+            if manifest_path.exists():
+                # A manifest that exists but cannot be read or parsed is a
+                # corrupt store — fail loudly with the path and cause
+                # instead of falling through to a confusing v2 error.
+                try:
+                    version = json.loads(
+                        manifest_path.read_text(encoding="utf-8")
+                    ).get("format_version")
+                except (OSError, json.JSONDecodeError) as exc:
+                    raise ReproError(
+                        f"cannot read store manifest {manifest_path}: {exc}"
+                    ) from exc
             if version == 3:
                 from repro.storage.binary import BinaryTermRelationStore
 
-                return BinaryTermRelationStore.load(root, graph)
-            from repro.offline_store import ShardedTermRelationStore
+                base: TermRelationStore = BinaryTermRelationStore.load(
+                    root, graph
+                )
+            else:
+                from repro.offline_store import ShardedTermRelationStore
 
-            return ShardedTermRelationStore.load(p, graph)
+                base = ShardedTermRelationStore.load(p, graph)
+            from repro.storage import layers as layer_io
+
+            if layer_io.chain_path(root).exists():
+                return layer_io.LayeredTermRelationStore.load(
+                    root, base, graph
+                )
+            return base
         try:
             payload = json.loads(p.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
@@ -579,3 +599,358 @@ class OfflinePrecomputer:
                 if progress is not None:
                     progress(done, len(vocabulary))
         return store
+
+
+@dataclass
+class DeltaIngestStats:
+    """Per-run snapshot of one :meth:`DeltaIngestor.ingest` call."""
+
+    epoch: int = 0
+    n_rows: int = 0
+    n_recomputed: int = 0
+    n_new_terms: int = 0
+    n_invalidated: int = 0
+    elapsed_seconds: float = 0.0
+    graph_seconds: float = 0.0
+    walk_seconds: float = 0.0
+    closeness_seconds: float = 0.0
+    write_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (CLI/HTTP responses)."""
+        return {
+            "epoch": self.epoch,
+            "n_rows": self.n_rows,
+            "n_recomputed": self.n_recomputed,
+            "n_new_terms": self.n_new_terms,
+            "n_invalidated": self.n_invalidated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "graph_seconds": self.graph_seconds,
+            "walk_seconds": self.walk_seconds,
+            "closeness_seconds": self.closeness_seconds,
+            "write_seconds": self.write_seconds,
+        }
+
+
+class DeltaIngestor:
+    """Incrementally folds new rows into a directory-backed store.
+
+    The expensive part of the offline stage is per-term: one contextual
+    walk plus one closeness BFS for every vocabulary term.  An ingest of
+    a few rows only *requires* fresh rows for the terms occurring in
+    those rows — every candidate list the online stage builds for a
+    query keyword reads that keyword's own similar list, so recomputing
+    exactly the ingested terms keeps queries over them bit-identical to
+    a from-scratch build on the merged corpus.  The ingest run:
+
+    1. inserts the rows into the database (and, when a live serving
+       graph is passed, extends it in place via
+       :meth:`~repro.graph.tat.TATGraph.add_tuples`);
+    2. rebuilds the canonical merged graph — same node order and floats
+       a from-scratch build would produce — and recomputes similar +
+       closeness rows for the ingested terms with the batch-invariant
+       direct solver;
+    3. computes the structural dirty ball and marks every other term
+       inside it **invalidated**: their stored closeness rows are stale,
+       and the layered store re-BFSes them lazily (and exactly) at serve
+       time;
+    4. writes the result as one delta layer beside the untouched base
+       (see :mod:`repro.storage.layers`).
+
+    Similar rows of terms *outside* the ingested set keep their stored
+    version although global idf drifted — the documented staleness that
+    :meth:`compact` erases by folding everything into a fresh base.
+
+    Parameters default from the newest layer's parameters, then the base
+    manifest's build info, so stacked layers stay consistent with the
+    build they extend.
+    """
+
+    def __init__(
+        self,
+        database,
+        store_path: PathLike,
+        n_similar: Optional[int] = None,
+        closeness_top: Optional[int] = None,
+        batch_size: int = 64,
+        walk_method: str = DEFAULT_WALK_METHOD,
+    ) -> None:
+        from repro.storage import layers as layer_io
+
+        self.database = database
+        self.store_path = Path(store_path)
+        if not self.store_path.is_dir():
+            raise ReproError(
+                f"{self.store_path}: delta layers need a directory-backed "
+                "store (v2 shards or v3 binary); single-file v1 stores "
+                "cannot stack layers"
+            )
+        manifest_path = self.store_path / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(
+                f"cannot read store manifest {manifest_path}: {exc}"
+            ) from exc
+        self._manifest = manifest
+        build = manifest.get("build") or {}
+        layer_params: Dict[str, object] = {}
+        chain = layer_io.read_chain(self.store_path)
+        for entry in chain["layers"]:  # newest-last wins
+            meta = layer_io.read_layer_meta(self.store_path, entry["dir"])
+            layer_params = dict(meta.get("params", {}))
+
+        def pick(name: str, explicit: Optional[int], default: int) -> int:
+            if explicit is not None:
+                return explicit
+            for source in (layer_params, build):
+                if source.get(name) is not None:
+                    return int(source[name])
+            return default
+
+        self.n_similar = pick("n_similar", n_similar, 20)
+        self.closeness_top = pick("closeness_top", closeness_top, 200)
+        if self.n_similar < 1 or self.closeness_top < 1:
+            raise ReproError("n_similar and closeness_top must be >= 1")
+        if batch_size < 1:
+            raise ReproError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.walk_method = walk_method
+        self.stats = DeltaIngestStats()
+
+    @staticmethod
+    def _check_rows(rows: List[Dict[str, object]]) -> None:
+        if not rows:
+            raise ReproError("ingest needs at least one row")
+        for item in rows:
+            if (
+                not isinstance(item, dict)
+                or not isinstance(item.get("table"), str)
+                or not isinstance(item.get("row"), dict)
+            ):
+                raise ReproError(
+                    'ingest rows must be {"table": str, "row": {...}} '
+                    f"objects, got {item!r}"
+                )
+
+    def ingest(
+        self,
+        rows: List[Dict[str, object]],
+        graph: Optional[TATGraph] = None,
+    ) -> DeltaIngestStats:
+        """Ingest *rows* (``{"table": ..., "row": {...}}``) as one layer.
+
+        The rows must not already exist in the database — the ingestor
+        inserts them.  Pass the currently-serving *graph* (built over the
+        same database) to have it extended in place instead of going
+        stale.  Returns the run's :class:`DeltaIngestStats`; the new
+        layer is on disk when this returns.
+        """
+        from repro.graph.similarity import SimilarityExtractor
+        from repro.index.inverted import InvertedIndex
+        from repro.storage import layers as layer_io
+
+        self._check_rows(rows)
+        registry = obs.registry()
+        start = time.perf_counter()
+        stats = DeltaIngestStats(n_rows=len(rows))
+        self.stats = stats
+        with obs.span("ingest.delta", rows=len(rows)):
+            refs = [
+                self.database.insert(item["table"], dict(item["row"]))
+                for item in rows
+            ]
+            if graph is not None:
+                # keep the caller's serving graph current (dirty set not
+                # needed here: the canonical graph below recomputes it)
+                graph.add_tuples(refs)
+
+            # canonical merged graph: identical node order and floats to
+            # a fresh build over the merged corpus, which is what makes
+            # the recomputed rows bit-compatible with full rebuilds
+            t0 = time.perf_counter()
+            canonical = TATGraph(self.database, InvertedIndex(self.database))
+            stats.graph_seconds = time.perf_counter() - t0
+
+            ref_set = set(refs)
+            ingested_terms = sorted(
+                {
+                    term
+                    for ref in refs
+                    for term, _tf in canonical.index.terms_of(ref)
+                },
+                key=lambda t: canonical.term_node_id(t),
+            )
+            node_ids = [canonical.term_node_id(t) for t in ingested_terms]
+            stats.n_recomputed = len(ingested_terms)
+            stats.n_new_terms = sum(
+                1
+                for term in ingested_terms
+                if all(
+                    p.ref in ref_set
+                    for p in canonical.index.postings(term)
+                )
+            )
+
+            # structural dirty ball -> closeness invalidation set
+            closeness = ClosenessExtractor(canonical)
+            matrix = canonical.adjacency.matrix
+            touched = set()
+            for ref in refs:
+                nid = canonical.tuple_node_id(ref)
+                touched.add(nid)
+                touched.update(
+                    int(n)
+                    for n in matrix.indices[
+                        matrix.indptr[nid]:matrix.indptr[nid + 1]
+                    ]
+                )
+            affected = closeness.affected_sources(sorted(touched))
+            recomputed_keys = {_term_key(t) for t in ingested_terms}
+            invalidated = sorted(
+                {
+                    _term_key(canonical.node(nid).payload)
+                    for nid in affected
+                }
+                - recomputed_keys
+            )
+            stats.n_invalidated = len(invalidated)
+
+            # exact recompute of the ingested terms (direct solver:
+            # per-column solves make the bits batch-independent)
+            similarity = SimilarityExtractor(canonical)
+            delta_store = TermRelationStore(canonical)
+            t0 = time.perf_counter()
+            for lo in range(0, len(node_ids), self.batch_size):
+                similarity.batch_walk(
+                    node_ids[lo:lo + self.batch_size],
+                    method=self.walk_method,
+                )
+            stats.walk_seconds = time.perf_counter() - t0
+            for term, node_id in zip(ingested_terms, node_ids):
+                similar = [
+                    (canonical.node(s.node_id).payload, s.score)
+                    for s in similarity.similar_nodes(node_id, self.n_similar)
+                ]
+                t0 = time.perf_counter()
+                close_row = {
+                    canonical.node(other).payload: score
+                    for other, score in closeness.close_terms(
+                        node_id, self.closeness_top
+                    )
+                }
+                stats.closeness_seconds += time.perf_counter() - t0
+                delta_store.put(term, similar, close_row)
+                similarity.evict(node_id)
+                closeness.evict(node_id)
+
+            t0 = time.perf_counter()
+            epoch = layer_io.latest_epoch(self.store_path) + 1
+            layer_io.write_layer(
+                self.store_path,
+                delta_store,
+                epoch=epoch,
+                rows=rows,
+                invalidated=invalidated,
+                params={
+                    "n_similar": self.n_similar,
+                    "closeness_top": self.closeness_top,
+                    "walk_method": self.walk_method,
+                },
+                build_info={
+                    "delta_epoch": epoch,
+                    "ingested_rows": len(rows),
+                    "recomputed_terms": len(ingested_terms),
+                },
+            )
+            stats.write_seconds = time.perf_counter() - t0
+            stats.epoch = epoch
+        stats.elapsed_seconds = time.perf_counter() - start
+
+        registry.counter(
+            "repro_ingest_total", "Delta ingest runs completed"
+        ).inc()
+        registry.counter(
+            "repro_ingest_rows_total", "Rows folded in by delta ingests"
+        ).inc(stats.n_rows)
+        registry.counter(
+            "repro_ingest_terms_recomputed_total",
+            "Terms recomputed exactly by delta ingests",
+        ).inc(stats.n_recomputed)
+        registry.counter(
+            "repro_ingest_invalidated_total",
+            "Closeness rows invalidated (lazily recomputed at serve time)",
+        ).inc(stats.n_invalidated)
+        registry.histogram(
+            "repro_ingest_seconds", "Wall-clock seconds per delta ingest"
+        ).observe(stats.elapsed_seconds)
+        registry.gauge(
+            "repro_ingest_layer_epoch", "Newest delta layer epoch"
+        ).set(stats.epoch)
+        return stats
+
+    def compact(
+        self,
+        batch_size: Optional[int] = None,
+        workers: int = 1,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> Path:
+        """Fold the base and every layer into a fresh base build.
+
+        Rebuilds the whole store over the current database (erasing the
+        documented similar-row staleness of stacked layers), writes it in
+        the base's format, atomically swaps it into place, and clears the
+        layer chain.  Returns the store path.
+        """
+        from repro.index.inverted import InvertedIndex
+
+        canonical = TATGraph(self.database, InvertedIndex(self.database))
+        precomputer = OfflinePrecomputer(
+            canonical,
+            n_similar=self.n_similar,
+            closeness_top=self.closeness_top,
+        )
+        store = precomputer.build_store(
+            batch_size=batch_size or self.batch_size,
+            walk_method=self.walk_method,
+            progress=progress,
+        )
+        build_info = {
+            "compacted": True,
+            "n_similar": self.n_similar,
+            "closeness_top": self.closeness_top,
+            "walk_method": self.walk_method,
+            "terms": len(store),
+        }
+        tmp = self.store_path.with_name(self.store_path.name + ".compact-new")
+        old = self.store_path.with_name(self.store_path.name + ".compact-old")
+        for leftover in (tmp, old):
+            if leftover.exists():
+                shutil.rmtree(leftover)
+        if self._manifest.get("format_version") == 3:
+            from repro.storage.binary import write_store_v3
+
+            write_store_v3(store, tmp, build_info=build_info)
+        else:
+            from repro.offline_store import write_store_v2
+
+            write_store_v2(
+                store,
+                tmp,
+                n_shards=int(self._manifest.get("n_shards", 8)),
+                build_info=build_info,
+            )
+        self.store_path.rename(old)
+        tmp.rename(self.store_path)
+        shutil.rmtree(old)
+        try:
+            self._manifest = json.loads(
+                (self.store_path / "manifest.json").read_text(
+                    encoding="utf-8"
+                )
+            )
+        except (OSError, json.JSONDecodeError) as exc:  # pragma: no cover
+            raise ReproError(
+                f"compacted store manifest unreadable: {exc}"
+            ) from exc
+        return self.store_path

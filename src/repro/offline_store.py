@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import zlib
 from collections import OrderedDict
 from pathlib import Path
@@ -225,6 +226,11 @@ class ShardedTermRelationStore(TermRelationStore):
         self._shard_cache: "OrderedDict[int, Dict[str, TermRelations]]" = (
             OrderedDict()
         )
+        # Guards the LRU OrderedDict and the hit/miss counters: the
+        # serving layer reads one store from many request threads, and
+        # move_to_end/popitem races corrupt an OrderedDict while bare
+        # `+= 1` drops counts.  An RLock keeps the whole lookup atomic.
+        self._cache_lock = threading.RLock()
         self.shard_hits = 0
         self.shard_misses = 0
 
@@ -247,7 +253,20 @@ class ShardedTermRelationStore(TermRelationStore):
     # ------------------------------------------------------------------ #
 
     def _load_shard(self, index: int) -> Dict[str, TermRelations]:
-        """Decoded contents of one shard, via the LRU cache."""
+        """Decoded contents of one shard, via the LRU cache.
+
+        Thread-safe: the cache lock is held for the whole lookup (cache
+        probe, counters, disk read, insert, eviction), so concurrent
+        readers see consistent counters and a structurally sound LRU.
+        Holding the lock across the read serializes cold loads of
+        different shards, which is an accepted trade — shards are small
+        and every subsequent hit is a dict read under a short critical
+        section.
+        """
+        with self._cache_lock:
+            return self._load_shard_locked(index)
+
+    def _load_shard_locked(self, index: int) -> Dict[str, TermRelations]:
         cached = self._shard_cache.get(index)
         if cached is not None:
             self.shard_hits += 1
@@ -299,11 +318,12 @@ class ShardedTermRelationStore(TermRelationStore):
 
     def cache_stats(self) -> Dict[str, int]:
         """Shard-read counters: hits, misses, currently resident shards."""
-        return {
-            "hits": self.shard_hits,
-            "misses": self.shard_misses,
-            "resident_shards": len(self._shard_cache),
-        }
+        with self._cache_lock:
+            return {
+                "hits": self.shard_hits,
+                "misses": self.shard_misses,
+                "resident_shards": len(self._shard_cache),
+            }
 
     def hit_rate(self) -> float:
         """Fraction of shard lookups served from the LRU."""

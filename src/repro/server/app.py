@@ -492,14 +492,63 @@ class ReformulationServer:
         }
 
     def handle_admin_reload(self) -> Dict[str, Any]:
-        """``POST /admin/reload`` -> drop cached relation stores."""
+        """``POST /admin/reload`` -> drop cached relation stores.
+
+        Per-worker semantics: inside a pre-fork pool this reload only
+        affects the worker that happened to accept the connection (the
+        response names it).  Reload every worker by hitting the endpoint
+        until each worker index answered, or restart the pool.  Corpus
+        deltas should use ``/admin/ingest`` instead — its layer chain
+        fans out to every worker automatically.
+        """
         self.live.reload_relations()
         logger.info("admin reload: relation store cache dropped")
-        return {
+        body = {
             "reloaded": True,
             "stale": self.live.is_stale,
             "version": self.live.version,
         }
+        if self.config.metrics_spool_dir is not None:
+            # pool mode: per-worker semantics — name the worker that
+            # served this reload so callers can tell who was refreshed
+            body["worker"] = self.config.worker_index
+            body["pid"] = os.getpid()
+        return body
+
+    def handle_admin_ingest(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /admin/ingest`` -> fold rows in as one delta layer.
+
+        Body: ``{"rows": [{"table": ..., "row": {...}}, ...]}`` plus
+        optional ``n_similar``/``closeness_top``/``batch_size``.  The
+        accepting worker runs the incremental offline stage
+        (:class:`repro.offline.DeltaIngestor`) and writes a delta layer
+        beside the relation store; sibling pre-fork workers replay the
+        layer's rows from the chain on their next metrics-flush tick, so
+        the whole pool converges on the new epoch without a restart.
+        """
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not rows:
+            raise BadRequestError("rows must be a non-empty list")
+        options: Dict[str, Any] = {}
+        for name in ("n_similar", "closeness_top", "batch_size"):
+            if name in payload:
+                value = payload[name]
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise BadRequestError(f"{name} must be an integer")
+                options[name] = value
+        start = time.perf_counter()
+        stats = self.live.ingest(rows, **options)
+        logger.info(
+            "admin ingest: %d rows -> epoch %d (%d terms recomputed, "
+            "%d invalidated) in %.3fs",
+            stats.n_rows, stats.epoch, stats.n_recomputed,
+            stats.n_invalidated, time.perf_counter() - start,
+        )
+        body = {"ingested": True, "stats": stats.to_dict()}
+        if self.config.metrics_spool_dir is not None:
+            body["worker"] = self.config.worker_index
+            body["pid"] = os.getpid()
+        return body
 
     # ------------------------------------------------------------------ #
     # metrics
@@ -688,6 +737,20 @@ class ReformulationServer:
                     self.write_traces_snapshot()
                 except Exception:  # noqa: BLE001 - keep serving
                     logger.exception("metrics spool write failed")
+                try:
+                    # delta-ingest fan-out: the layer chain doubles as
+                    # the ingest journal, so polling it on the flush
+                    # tick converges every worker on the newest epoch
+                    applied = self.live.sync_ingest()
+                    if applied:
+                        logger.info(
+                            "worker %d replayed %d delta layer(s), "
+                            "now at ingest epoch %d",
+                            self.config.worker_index, applied,
+                            self.live.ingest_epoch,
+                        )
+                except Exception:  # noqa: BLE001 - keep serving
+                    logger.exception("delta-ingest sync failed")
 
         self._flusher = threading.Thread(
             target=loop, name="repro-metrics-flush", daemon=True
@@ -888,7 +951,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _known_routes(cls) -> set:
         return cls.QUERY_ROUTES | {
             "/healthz", "/readyz", "/metrics", "/metrics/aggregate",
-            "/debug/traces", "/admin/reload",
+            "/debug/traces", "/admin/reload", "/admin/ingest",
         }
 
     def _route(
@@ -900,7 +963,11 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> int:
         app = self.app
         if verb == "GET" and route == "/healthz":
-            body = {"status": "ok", "draining": app.draining}
+            body = {
+                "status": "ok",
+                "draining": app.draining,
+                "ingest_epoch": app.live.ingest_epoch,
+            }
             if app.config.metrics_spool_dir is not None:
                 # pool mode: identify which worker answered the probe
                 body["worker"] = app.config.worker_index
@@ -933,6 +1000,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send_json(200, app.debug_traces_dict(limit=limit))
         if verb == "POST" and route == "/admin/reload":
             return self._send_json(200, app.handle_admin_reload())
+        if verb == "POST" and route == "/admin/ingest":
+            return self._send_json(200, app.handle_admin_ingest(payload))
         if route not in self.QUERY_ROUTES:
             return self._send_json(404, {"error": f"no route {route}"})
         if (verb == "GET") != (route == "/similar"):

@@ -56,7 +56,9 @@ class TestHealth:
     def test_healthz(self, client):
         response = client.healthz()
         assert response.status == 200
-        assert response.json == {"status": "ok", "draining": False}
+        assert response.json == {
+            "status": "ok", "draining": False, "ingest_epoch": 0,
+        }
 
     def test_readyz_after_warm_start(self, client, server):
         response = client.readyz()
@@ -498,7 +500,9 @@ class TestRequestId:
         assert len(response.request_id) == 16
         int(response.request_id, 16)
         # health body unchanged: the id rides the header only
-        assert response.json == {"status": "ok", "draining": False}
+        assert response.json == {
+            "status": "ok", "draining": False, "ingest_epoch": 0,
+        }
 
     def test_unsafe_id_sanitized(self, client):
         response = client.request(

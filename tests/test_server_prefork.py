@@ -271,6 +271,173 @@ class TestDrain:
         assert pool.worker_pids == []
 
 
+class TestAdminReloadSemantics:
+    """/admin/reload is per-worker: only the accepting worker refreshes.
+
+    The response names the worker that served it, so operators can tell
+    which copy was reloaded and repeat until every index answered (or
+    use /admin/ingest, whose layer chain fans out automatically).
+    """
+
+    def test_reload_names_exactly_one_worker_per_call(self, pool):
+        seen = set()
+        deadline = time.monotonic() + 30.0
+        while len(seen) < 2 and time.monotonic() < deadline:
+            response = _fresh_request(
+                pool.port, "request", "POST", "/admin/reload", {}
+            )
+            assert response.status == 200
+            body = response.json
+            assert body["reloaded"] is True
+            assert body["worker"] in (0, 1)
+            assert body["pid"] in pool.worker_pids
+            seen.add(body["worker"])
+        assert seen == {0, 1}, "reload never reached both workers"
+
+
+NEW_ROWS = [
+    {
+        "table": "papers",
+        "row": {
+            "pid": 4, "title": "uncertain stream mining",
+            "cid": 1, "year": 2012,
+        },
+    },
+    {"table": "writes", "row": {"wid": 4, "aid": 2, "pid": 4}},
+]
+
+
+class TestPoolIngest:
+    """POST /admin/ingest converges every worker via the layer chain."""
+
+    @pytest.fixture()
+    def ingest_pool(self, tmp_path_factory):
+        from repro.graph.tat import TATGraph
+        from repro.index.inverted import InvertedIndex
+        from repro.offline import OfflinePrecomputer
+        from repro.offline_store import write_store_v2
+
+        database = build_toy_database()
+        graph = TATGraph(database, InvertedIndex(database))
+        store = OfflinePrecomputer(
+            graph, n_similar=8, closeness_top=30
+        ).build_store(walk_method="direct")
+        root = write_store_v2(
+            store,
+            tmp_path_factory.mktemp("pool-store") / "store",
+            n_shards=2,
+            build_info={"n_similar": 8, "closeness_top": 30},
+        )
+        live = LiveReformulator(
+            build_toy_database(),
+            ReformulatorConfig(n_candidates=8),
+            relations=root,
+        )
+        live.pipeline()
+        pool = PreforkServer(
+            lambda: live, _config(), workers=2, drain_timeout_s=10.0
+        )
+        pool.start(ready_timeout_s=60.0)
+        yield pool
+        pool.shutdown()
+
+    def test_ingest_converges_all_workers_without_errors(self, ingest_pool):
+        pool = ingest_pool
+        statuses: list = []
+        errors: list = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                try:
+                    response = _fresh_request(
+                        pool.port, "reformulate",
+                        ["probabilistic", "query"], k=3,
+                    )
+                    statuses.append(response.status)
+                except ServerClientError as exc:
+                    if not stop.is_set():
+                        errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, daemon=True) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            response = _fresh_request(
+                pool.port, "request", "POST", "/admin/ingest",
+                {"rows": NEW_ROWS},
+            )
+            assert response.status == 200
+            body = response.json
+            assert body["ingested"] is True
+            assert body["stats"]["epoch"] == 1
+            assert body["stats"]["n_rows"] == len(NEW_ROWS)
+            assert body["worker"] in (0, 1)
+
+            # the sibling replays the layer on its flush tick; poll the
+            # health probe until every worker pid reports the new epoch
+            epochs: dict = {}
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                probe = _fresh_request(pool.port, "healthz")
+                assert probe.status == 200
+                epochs[probe.json["pid"]] = probe.json["ingest_epoch"]
+                if len(epochs) == 2 and set(epochs.values()) == {1}:
+                    break
+                time.sleep(0.05)
+            assert len(epochs) == 2, "never heard from both workers"
+            assert set(epochs.values()) == {1}, epochs
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        # zero non-{200,429} responses during the swap
+        assert errors == []
+        assert set(statuses) <= {200, 429}
+        assert statuses.count(200) >= 1
+
+    def test_all_workers_serve_ingested_terms_identically(
+        self, ingest_pool
+    ):
+        pool = ingest_pool
+        response = _fresh_request(
+            pool.port, "request", "POST", "/admin/ingest",
+            {"rows": NEW_ROWS},
+        )
+        assert response.status == 200
+        deadline = time.monotonic() + 30.0
+        epochs: dict = {}
+        while time.monotonic() < deadline:
+            probe = _fresh_request(pool.port, "healthz")
+            epochs[probe.json["pid"]] = probe.json["ingest_epoch"]
+            if len(epochs) == 2 and set(epochs.values()) == {1}:
+                break
+            time.sleep(0.05)
+        assert set(epochs.values()) == {1}
+        # the ingested title's terms answer identically from fresh
+        # connections (which hash across both workers)
+        signatures = set()
+        for _ in range(8):
+            result = _fresh_request(
+                pool.port, "reformulate", ["uncertain", "stream"], k=3
+            )
+            assert result.status == 200
+            assert result.json["suggestions"]
+            signatures.add(
+                tuple(suggestions_signature(result.json["suggestions"]))
+            )
+        assert len(signatures) == 1
+
+    def test_ingest_rejects_bad_rows(self, ingest_pool):
+        response = _fresh_request(
+            ingest_pool.port, "request", "POST", "/admin/ingest",
+            {"rows": []},
+        )
+        assert response.status == 400
+
+
 class TestPoolTracing:
     @pytest.fixture()
     def tracing_pool(self, warm_live):
