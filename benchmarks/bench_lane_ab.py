@@ -1,0 +1,167 @@
+"""Bench: lane-vs-lane A/B over one judged workload.
+
+Exercises the :mod:`repro.lanes` routing layer the way the eval harness
+means it to be used:
+
+* **hmm vs enumeration** — the paper's HMM decoder against the
+  rank-based baseline, judged by the three-judge panel and
+  significance-tested with the paired bootstrap
+  (:func:`repro.eval.lanes.compare_lanes`).  The expected direction is
+  the paper's Table III: the HMM lane wins.
+* **relaxation coverage** — every workload query is corrupted with an
+  out-of-vocabulary token, which drives its best-path cohesion to zero;
+  the acceptance bar is the relaxation lane answering **≥ 95 %** of
+  these low-cohesion queries with at least one suggestion
+  (:func:`repro.eval.lanes.fallback_coverage`).
+* **hmm lane bit-identity** — the routed hmm lane must equal the bare
+  pipeline on every workload query (the lane wrapper adds measurement,
+  never behavior).
+
+Script mode (used by the CI smoke job) runs the small corpus and writes
+the numbers as JSON::
+
+    PYTHONPATH=src python benchmarks/bench_lane_ab.py \
+        --smoke --out BENCH_lane_ab.json
+"""
+
+import json
+import time
+
+from repro.eval.lanes import compare_lanes, fallback_coverage
+from repro.experiments import build_context
+from repro.lanes import RouterConfig, build_router
+
+
+def _corrupt(queries, keep=1):
+    """Low-cohesion variants: an out-of-vocab token after *keep* terms.
+
+    An unknown term has no candidate node, so the best path's raw
+    adjacent closeness through it is 0 — below any positive threshold.
+    """
+    return [
+        list(query[:keep]) + [f"zz{i:03d}unknownzz"]
+        for i, query in enumerate(queries)
+    ]
+
+
+def run(scale="medium", n_queries=60, k=10, n_resamples=2000):
+    """Full A/B + coverage + bit-identity report over one workload."""
+    context = build_context(scale, seed=7)
+    pipeline = context.reformulator("tat")
+    router = build_router(
+        pipeline, RouterConfig(fallback_lane="relaxation")
+    )
+    queries = [
+        list(entry.keywords)
+        for entry in context.workloads.mixed_queries(n_queries)
+    ]
+
+    start = time.perf_counter()
+    comparison = compare_lanes(
+        router, context.judges, queries, "hmm", "enumeration",
+        k=k, n_resamples=n_resamples,
+    )
+    ab_seconds = time.perf_counter() - start
+
+    mismatches = 0
+    for query in queries:
+        routed = router.route(query, k=k, lane="hmm")
+        if list(routed.suggestions) != pipeline.reformulate(query, k=k):
+            mismatches += 1
+
+    start = time.perf_counter()
+    coverage = fallback_coverage(router, _corrupt(queries), k=k)
+    coverage_seconds = time.perf_counter() - start
+
+    return {
+        "scale": scale,
+        "n_queries": len(queries),
+        "k": k,
+        "hmm_precision": round(comparison.arm_a.mean_precision, 4),
+        "enumeration_precision": round(comparison.arm_b.mean_precision, 4),
+        "delta": round(comparison.delta, 4),
+        "p_value": round(comparison.bootstrap.p_value, 4),
+        "significant": comparison.bootstrap.significant,
+        "hmm_answered": round(comparison.arm_a.answered, 4),
+        "enumeration_answered": round(comparison.arm_b.answered, 4),
+        "hmm_lane_mismatches": mismatches,
+        "low_cohesion_queries": coverage.n_low_cohesion,
+        "relaxation_answered": coverage.n_answered,
+        "relaxation_coverage": round(coverage.coverage, 4),
+        "ab_seconds": round(ab_seconds, 3),
+        "coverage_seconds": round(coverage_seconds, 3),
+    }
+
+
+def test_lane_ab_quality_and_coverage(benchmark):
+    report = benchmark.pedantic(
+        lambda: run(scale="medium", n_queries=60),
+        rounds=1, iterations=1,
+    )
+
+    print("\n" + "=" * 60)
+    print(f"Lane A/B, {report['n_queries']} queries, k={report['k']}")
+    print(f"  hmm precision        : {report['hmm_precision']:8.4f}")
+    print(f"  enumeration precision: {report['enumeration_precision']:8.4f}")
+    print(f"  delta (p={report['p_value']:.3f})     : "
+          f"{report['delta']:+8.4f}")
+    print(f"  relaxation coverage  : {report['relaxation_coverage']:8.1%} "
+          f"({report['relaxation_answered']}/"
+          f"{report['low_cohesion_queries']} low-cohesion)")
+    print(f"  hmm lane mismatches  : {report['hmm_lane_mismatches']}")
+
+    # the lane wrapper adds no behavior
+    assert report["hmm_lane_mismatches"] == 0
+    # the acceptance bar of the lane subsystem
+    assert report["low_cohesion_queries"] >= 1
+    assert report["relaxation_coverage"] >= 0.95
+    # the paper's direction: the HMM beats rank enumeration
+    assert report["delta"] >= 0.0
+
+
+def run_smoke(out_path, n_queries=24):
+    """CI smoke: small corpus, coverage + bit-identity enforced.
+
+    The precision delta's *significance* is not asserted here — two
+    dozen queries on the small corpus rarely clear p < 0.05; the full
+    pytest bench covers the quality direction.
+    """
+    report = run(scale="small", n_queries=n_queries, n_resamples=500)
+    print(json.dumps(report, indent=2))
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {out_path}")
+    ok = (
+        report["hmm_lane_mismatches"] == 0
+        and report["low_cohesion_queries"] >= 1
+        and report["relaxation_coverage"] >= 0.95
+    )
+    return 0 if ok else 1
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small corpus, coverage + bit-identity checks only",
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_lane_ab.json")
+    args = parser.parse_args()
+    if args.smoke:
+        return run_smoke(args.out, n_queries=args.queries or 24)
+    report = run(n_queries=args.queries or 60)
+    print(json.dumps(report, indent=2))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    ok = (
+        report["hmm_lane_mismatches"] == 0
+        and report["relaxation_coverage"] >= 0.95
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

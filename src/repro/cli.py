@@ -141,6 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None,
         help="write a JSON metrics-registry export to this file",
     )
+    reformulate.add_argument(
+        "--lane", choices=("hmm", "enumeration", "relaxation", "schema"),
+        default="hmm",
+        help="reformulation lane: the HMM decoder (default), the "
+             "rank-based enumeration baseline, Wiese-style relaxation "
+             "(drops/generalizes terms when no cohesive substitution "
+             "exists), or the schema-aware lane (keywords like 'author' "
+             "bind the next keyword to that field)",
+    )
 
     explain = sub.add_parser(
         "explain",
@@ -341,6 +350,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-ring capacity of the in-memory flight recorder "
              "(served at GET /debug/traces)",
     )
+    serve.add_argument(
+        "--lanes", default="hmm,enumeration,relaxation,schema",
+        metavar="NAMES",
+        help="comma-separated reformulation lanes to serve; request "
+             "bodies naming any other lane get a 400",
+    )
+    serve.add_argument(
+        "--default-lane", default="hmm",
+        help="lane used when a request does not name one",
+    )
+    serve.add_argument(
+        "--fallback-lane", default=None,
+        help="lane to re-route through when the routed lane's best-path "
+             "cohesion falls below the threshold (typically 'relaxation'; "
+             "default: no fallback chain)",
+    )
+    serve.add_argument(
+        "--cohesion-threshold", type=float, default=1e-9,
+        help="best-path cohesion below which the fallback chain (and "
+             "the relaxation lane itself) triggers",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -522,6 +552,22 @@ def cmd_reformulate(args, out) -> int:
             "provide either positional keywords or --batch FILE (not both)"
         )
     reformulator = _build_reformulator(args, _load(args))
+    from repro.lanes import build_router
+
+    router = build_router(reformulator)
+
+    def print_result(result) -> None:
+        for suggestion, prov in zip(result.suggestions, result.provenance):
+            note = ""
+            if prov.get("relaxed"):
+                parts = []
+                if prov.get("dropped"):
+                    parts.append(f"dropped: {', '.join(prov['dropped'])}")
+                for was, now in (prov.get("generalized") or {}).items():
+                    parts.append(f"{was} -> {now}")
+                note = f"  [relaxed; {'; '.join(parts)}]" if parts else "  [relaxed]"
+            print(f"  {suggestion.score:.3e}  {suggestion.text}{note}", file=out)
+
     # Segment against the corpus vocabulary so multi-word names survive:
     # `reformulate --data d christian s. jensen spatial` is one name +
     # one word, not four keywords.
@@ -531,25 +577,22 @@ def cmd_reformulate(args, out) -> int:
                 list(reformulator.parser.parse(line.lower()).keywords)
                 for line in _read_batch_file(args.batch)
             ]
-            batches = reformulator.reformulate_many(
-                parsed_queries, k=args.k,
+            batches = router.route_many(
+                parsed_queries, k=args.k, lane=args.lane,
                 algorithm=args.algorithm, workers=args.workers,
             )
-            for keywords, suggestions in zip(parsed_queries, batches):
+            for keywords, result in zip(parsed_queries, batches):
                 print(f"input: {' | '.join(keywords)}", file=out)
-                for suggestion in suggestions:
-                    print(
-                        f"  {suggestion.score:.3e}  {suggestion.text}",
-                        file=out,
-                    )
+                print_result(result)
         else:
             raw_query = " ".join(args.keywords).lower()
             parsed = reformulator.parser.parse(raw_query)
             print(f"input: {' | '.join(parsed.keywords)}", file=out)
-            for suggestion in reformulator.reformulate(
-                list(parsed.keywords), k=args.k, algorithm=args.algorithm
-            ):
-                print(f"  {suggestion.score:.3e}  {suggestion.text}", file=out)
+            result = router.route(
+                list(parsed.keywords), k=args.k, lane=args.lane,
+                algorithm=args.algorithm,
+            )
+            print_result(result)
         if args.trace:
             _print_trace(out)
     if args.metrics_out:
@@ -712,6 +755,9 @@ def cmd_serve(args, out) -> int:
         ),
         relations=args.relations,
     )
+    lanes = tuple(
+        name.strip() for name in args.lanes.split(",") if name.strip()
+    )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -723,6 +769,10 @@ def cmd_serve(args, out) -> int:
         slow_trace_ms=args.slow_ms,
         flight_recorder_size=args.flight_recorder,
         access_log_path=args.access_log,
+        lanes=lanes,
+        default_lane=args.default_lane,
+        fallback_lane=args.fallback_lane,
+        cohesion_threshold=args.cohesion_threshold,
     )
     logger.info(
         "pipeline warming (relations=%s)...", args.relations or "live"

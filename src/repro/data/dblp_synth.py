@@ -123,6 +123,33 @@ class SynthesizedCorpus:
         """The latent topic universe behind the corpus."""
         return self.ground_truth.topic_model
 
+    @property
+    def field_vocabulary(self) -> Dict[str, Tuple[str, str]]:
+        """Schema-referencing keywords for the schema lane."""
+        return dblp_field_vocabulary()
+
+
+def dblp_field_vocabulary() -> Dict[str, Tuple[str, str]]:
+    """Keywords users say when they mean a schema field, not a value.
+
+    The schema lane (:mod:`repro.lanes.schema`) consumes this to bind
+    "author jensen"-style queries: each key, when it appears as a query
+    keyword, constrains the *next* keyword's candidates to the mapped
+    ``(table, column)``.  Declared by the corpus rather than derived so
+    natural synonyms ("venue", "writer") resolve too.
+    """
+    return {
+        "author": ("authors", "name"),
+        "authors": ("authors", "name"),
+        "writer": ("authors", "name"),
+        "conference": ("conferences", "name"),
+        "conferences": ("conferences", "name"),
+        "venue": ("conferences", "name"),
+        "paper": ("papers", "title"),
+        "papers": ("papers", "title"),
+        "title": ("papers", "title"),
+    }
+
 
 def dblp_schema() -> DatabaseSchema:
     """The Figure 1 schema: conferences, authors, papers, writes."""

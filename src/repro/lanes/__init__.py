@@ -1,0 +1,31 @@
+"""Pluggable reformulation lanes over the HMM pipeline.
+
+One *lane* = one complete reformulation strategy behind
+:class:`~repro.lanes.base.Lane`; the
+:class:`~repro.lanes.router.LaneRouter` validates requests, applies the
+relaxation fallback chain, and records per-lane metrics.  See
+``docs/architecture.md`` (Lanes) for the routing diagram.
+"""
+
+from repro.lanes.base import Lane, LaneResult, UnknownLaneError, query_cohesion
+from repro.lanes.enumeration import EnumerationLane
+from repro.lanes.hmm import HmmLane
+from repro.lanes.relaxation import RelaxationLane
+from repro.lanes.router import KNOWN_LANES, LaneRouter, RouterConfig, build_router
+from repro.lanes.schema import SchemaLane, derive_field_vocabulary
+
+__all__ = [
+    "KNOWN_LANES",
+    "EnumerationLane",
+    "HmmLane",
+    "Lane",
+    "LaneResult",
+    "LaneRouter",
+    "RelaxationLane",
+    "RouterConfig",
+    "SchemaLane",
+    "UnknownLaneError",
+    "build_router",
+    "derive_field_vocabulary",
+    "query_cohesion",
+]

@@ -1,0 +1,170 @@
+"""The lane abstraction: one reformulation strategy behind one interface.
+
+A *lane* is a complete reformulation strategy — the paper's HMM decoder,
+the rank-based enumeration baseline, Wiese-style query relaxation, or
+the schema-aware variant — exposed behind a single call::
+
+    result = lane.reformulate(keywords, k=5, budget=0.05)
+
+Every lane returns a :class:`LaneResult`: the ranked suggestions plus
+**per-suggestion provenance** (which lane produced it, whether the query
+was relaxed, which terms were dropped or generalized) and lane-level
+metadata (the cohesion of the best substitution, schema bindings).  The
+:class:`~repro.lanes.router.LaneRouter` selects lanes per request,
+records per-lane metrics, and chains a relaxation fallback when the
+best substitution is not cohesive.
+
+The ``hmm`` lane is a pure wrapper over
+:class:`~repro.core.reformulator.Reformulator` — bit-identical output is
+a contract, locked by ``tests/test_lanes.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scoring import ScoredQuery
+from repro.errors import ReproError
+
+
+class UnknownLaneError(ReproError):
+    """A request named a lane the router does not serve (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class LaneResult:
+    """What one lane returns for one query.
+
+    ``suggestions[i]`` and ``provenance[i]`` are aligned: the provenance
+    dict carries at least ``lane`` and ``relaxed``, plus ``dropped`` /
+    ``generalized`` for relaxed suggestions.  ``cohesion`` is the
+    minimum raw adjacent-pair closeness along the best substitution's
+    path (``None`` when the lane does not measure it); the router
+    compares it against the configured threshold to trigger the
+    relaxation fallback.  ``requested`` / ``fallback_from`` are stamped
+    by the router.
+    """
+
+    lane: str
+    suggestions: Tuple[ScoredQuery, ...]
+    provenance: Tuple[Dict[str, Any], ...]
+    relaxed: bool = False
+    cohesion: Optional[float] = None
+    requested: Optional[str] = None
+    fallback_from: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.suggestions) != len(self.provenance):
+            raise ReproError(
+                "suggestions and provenance must be aligned "
+                f"({len(self.suggestions)} vs {len(self.provenance)})"
+            )
+
+    def with_routing(
+        self, requested: str, fallback_from: Optional[str] = None
+    ) -> "LaneResult":
+        """Copy with the router's request bookkeeping stamped on."""
+        return replace(
+            self, requested=requested, fallback_from=fallback_from
+        )
+
+
+class Lane(abc.ABC):
+    """One reformulation strategy.
+
+    Subclasses set :attr:`name` (the routing key) and
+    :attr:`capabilities` (feature tags: ``substitution``, ``relaxation``,
+    ``schema``, ``batch``, ``cohesion``) and implement
+    :meth:`reformulate`.
+    """
+
+    #: Routing key; must be unique within a router.
+    name: str = "abstract"
+    #: Feature tags consumers may inspect (e.g. ``"batch"`` marks a lane
+    #: with an optimized :meth:`reformulate_batch`).
+    capabilities: frozenset = frozenset()
+
+    @abc.abstractmethod
+    def reformulate(
+        self,
+        query: Sequence[str],
+        k: int = 10,
+        budget: Optional[float] = None,
+        algorithm: str = "astar",
+    ) -> LaneResult:
+        """Top-k suggestions for *query*.
+
+        *budget* is an optional wall-clock allowance in seconds; lanes
+        that explore variants (relaxation) stop expanding when it runs
+        out.  Lanes that run one decode may ignore it.
+        """
+
+    def reformulate_batch(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: int = 10,
+        budget: Optional[float] = None,
+        algorithm: str = "astar",
+        workers: int = 1,
+    ) -> List[LaneResult]:
+        """Batched variant; the default just loops :meth:`reformulate`.
+
+        Lanes tagged ``"batch"`` override this with a shared-plan fast
+        path (the hmm lane delegates to ``reformulate_many``).
+        """
+        del workers  # the generic loop is sequential
+        return [
+            self.reformulate(query, k=k, budget=budget, algorithm=algorithm)
+            for query in queries
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def query_cohesion(
+    pipeline, keywords: Sequence[str], best: Optional[ScoredQuery]
+) -> float:
+    """Cohesion of the best substitution: min raw adjacent closeness.
+
+    The HMM always emits *some* top-k — its smoothed transition matrix
+    has no true zeroes — so a low-quality answer for an incohesive query
+    looks just like a good one.  This measures what smoothing hides: the
+    **raw** (unsmoothed) closeness between the chosen terms of adjacent
+    positions along the best path.  A pair whose closeness is ~0 means
+    no tuple path of bounded length connects the two terms; a position
+    holding an unknown (unsubstitutable) term counts as 0 outright.
+    Single-keyword queries are trivially cohesive (1.0); no decoded
+    suggestion at all is maximally incohesive (0.0).
+    """
+    if best is None:
+        return 0.0
+    keywords = list(keywords)
+    if len(keywords) < 2:
+        return 1.0
+    hmm = pipeline.build_hmm(keywords)
+    worst: Optional[float] = None
+    path = best.state_path
+    for i in range(1, len(path)):
+        a = hmm.states[i - 1][path[i - 1]]
+        b = hmm.states[i][path[i]]
+        if a.is_void or b.is_void:
+            continue  # deletion carries no adjacency constraint
+        if a.node_id is None or b.node_id is None:
+            worst = 0.0  # unknown term: no cohesive substitution exists
+            continue
+        raw = max(0.0, pipeline.closeness.closeness(a.node_id, b.node_id))
+        worst = raw if worst is None else min(worst, raw)
+    return 1.0 if worst is None else worst
+
+
+__all__ = [
+    "Lane",
+    "LaneResult",
+    "UnknownLaneError",
+    "query_cohesion",
+    "ScoredQuery",
+]

@@ -29,6 +29,8 @@ from repro.core.reformulator import Reformulator, ReformulatorConfig
 from repro.core.scoring import ScoredQuery
 from repro.errors import ReproError
 from repro.index.analyzer import Analyzer
+from repro.lanes.base import LaneResult
+from repro.lanes.router import LaneRouter, RouterConfig, build_router
 from repro.serving.result_cache import ResultCache
 from repro.storage.database import Database, TupleRef
 from repro.storage.table import Row
@@ -52,6 +54,12 @@ class LiveReformulator:
         similarity/closeness from the store instead of live extractors;
         terms inserted after the store was built simply have no stored
         relations until the offline stage is rerun.
+    router_config:
+        Lane routing configuration (enabled lanes, default, fallback
+        chain).  The default serves every lane with ``hmm`` as default
+        and no fallback, which keeps :meth:`reformulate` bit-identical
+        to the bare pipeline.  Replaceable per worker via
+        :meth:`configure_router` (the server does this post-fork).
     """
 
     def __init__(
@@ -60,11 +68,16 @@ class LiveReformulator:
         config: Optional[ReformulatorConfig] = None,
         analyzer: Optional[Analyzer] = None,
         relations=None,
+        router_config: Optional[RouterConfig] = None,
     ) -> None:
         self.database = database
         self.config = config or ReformulatorConfig()
         self.analyzer = analyzer
         self.relations = relations
+        self._router_config = router_config or RouterConfig()
+        self._router_config.validate()
+        self._router: Optional[LaneRouter] = None
+        self._router_version = -1
         self._pipeline: Optional[Reformulator] = None
         self._version = 0
         self._dirty = True
@@ -294,6 +307,46 @@ class LiveReformulator:
         return self._pipeline
 
     # ------------------------------------------------------------------ #
+    # lane routing
+    # ------------------------------------------------------------------ #
+
+    def configure_router(self, router_config: RouterConfig) -> None:
+        """Replace the routing configuration (next query rebuilds the router).
+
+        Cheap — validates the config and drops the current router; the
+        pipeline itself is untouched.  The server calls this per worker
+        after the fork so every worker routes with the served config.
+        """
+        router_config.validate()
+        with self._rebuild_lock:
+            self._router_config = router_config
+            self._router = None
+            self._router_version = -1
+
+    @property
+    def router_config(self) -> RouterConfig:
+        """The active routing configuration."""
+        return self._router_config
+
+    def lane_names(self) -> tuple:
+        """Enabled lane names, from config alone (no pipeline build)."""
+        return tuple(self._router_config.lanes)
+
+    def router(self) -> LaneRouter:
+        """The lane router over the current pipeline (rebuilt with it).
+
+        Lanes hold a reference to the pipeline they wrap, so a pipeline
+        rebuild (version bump) invalidates the router too; both are
+        refreshed under the same lock.
+        """
+        with self._rebuild_lock:
+            self._pipeline_locked()
+            if self._router is None or self._router_version != self._version:
+                self._router = build_router(self._pipeline, self._router_config)
+                self._router_version = self._version
+            return self._router
+
+    # ------------------------------------------------------------------ #
     # delegation
     # ------------------------------------------------------------------ #
 
@@ -307,14 +360,36 @@ class LiveReformulator:
     ) -> List[ScoredQuery]:
         """Top-k suggestions over the (possibly rebuilt) pipeline.
 
+        Thin wrapper over :meth:`reformulate_lane` pinned to the ``hmm``
+        lane: with the default router config (no fallback chain) the
+        suggestions are bit-identical to calling the pipeline directly.
+        """
+        result = self.reformulate_lane(
+            keywords, k=k, lane="hmm", algorithm=algorithm
+        )
+        return list(result.suggestions)
+
+    def reformulate_lane(
+        self,
+        keywords: Sequence[str],
+        k: int = 10,
+        lane: Optional[str] = None,
+        algorithm: str = "astar",
+        budget: Optional[float] = None,
+    ) -> LaneResult:
+        """Top-k suggestions through one lane of the router.
+
         Served from the version-aware result LRU when an identical
-        ``(keywords, k, algorithm)`` request already ran against the
-        current pipeline.  A query arriving while :attr:`is_stale` cannot
-        hit — the resident entries predate the pending mutations — so it
-        bypasses the lookup (counted in
+        ``(keywords, k, algorithm, lane)`` request already ran against
+        the current pipeline — the lane component is the router's cache
+        tag, so a lane under an active fallback chain never shares
+        entries with the same lane running chain-free.  A query arriving
+        while :attr:`is_stale` cannot hit — the resident entries predate
+        the pending mutations — so it bypasses the lookup (counted in
         ``repro_live_result_cache_bypass_total``), triggers the rebuild,
         and repopulates the cache at the new version.
         """
+        requested = self._router_config.resolve(lane)  # 400s before any build
         if obs.is_enabled():
             obs.registry().gauge(
                 "repro_live_staleness_at_query",
@@ -328,18 +403,23 @@ class LiveReformulator:
                 "repro_live_result_cache_bypass_total",
                 "Queries that bypassed the result cache due to staleness",
             ).inc()
-        key = ResultCache.key(keywords, k, algorithm)
-        pipeline = self.pipeline()  # may rebuild and bump the version
+        key = ResultCache.key(
+            keywords, k, algorithm, lane=self._router_config.cache_tag(requested)
+        )
+        router = self.router()  # may rebuild and bump the version
         if self.result_cache is not None and not stale:
-            cached = self.result_cache.get(key, self._version)
+            cached = self.result_cache.get_result(key, self._version)
             if cached is not None:
                 obs.annotate_trace("result_cache", "hit")
+                obs.annotate_trace("lane", cached.lane)
                 return cached
             obs.annotate_trace("result_cache", "miss")
-        results = pipeline.reformulate(keywords, k=k, algorithm=algorithm)
+        result = router.route(
+            keywords, k=k, lane=requested, budget=budget, algorithm=algorithm
+        )
         if self.result_cache is not None:
-            self.result_cache.put(key, self._version, results)
-        return results
+            self.result_cache.put_result(key, self._version, result)
+        return result
 
     def reformulate_many(
         self,
@@ -348,17 +428,33 @@ class LiveReformulator:
         algorithm: str = "astar",
         workers: int = 1,
     ) -> List[List[ScoredQuery]]:
-        """Batched suggestions over the (possibly rebuilt) pipeline.
+        """Batched suggestions, pinned to the ``hmm`` lane (see
+        :meth:`reformulate`)."""
+        results = self.reformulate_many_lane(
+            queries, k=k, lane="hmm", algorithm=algorithm, workers=workers
+        )
+        return [list(result.suggestions) for result in results]
 
-        Each batch entry goes through the same version-aware result LRU
-        as :meth:`reformulate`: resident entries are served from memory,
-        only the misses reach the batched decode, and every decoded
-        answer is cached for both future batches and single queries.
-        Staleness is handled like the single-query path — a batch
-        arriving while :attr:`is_stale` bypasses the lookup entirely,
-        counted once per entry in
-        ``repro_live_result_cache_bypass_total``.
+    def reformulate_many_lane(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: int = 10,
+        lane: Optional[str] = None,
+        algorithm: str = "astar",
+        budget: Optional[float] = None,
+        workers: int = 1,
+    ) -> List[LaneResult]:
+        """Batched :meth:`reformulate_lane` over one lane.
+
+        Each batch entry goes through the same version-aware result LRU:
+        resident entries are served from memory, only the misses reach
+        the lane's batched path, and every decoded answer is cached for
+        both future batches and single queries.  Staleness is handled
+        like the single-query path — a batch arriving while
+        :attr:`is_stale` bypasses the lookup entirely, counted once per
+        entry in ``repro_live_result_cache_bypass_total``.
         """
+        requested = self._router_config.resolve(lane)
         queries = [list(query) for query in queries]
         stale = self.is_stale
         if stale and queries:
@@ -367,17 +463,23 @@ class LiveReformulator:
                 "repro_live_result_cache_bypass_total",
                 "Queries that bypassed the result cache due to staleness",
             ).inc(len(queries))
-        pipeline = self.pipeline()  # may rebuild and bump the version
+        router = self.router()  # may rebuild and bump the version
         if self.result_cache is None:
-            return pipeline.reformulate_many(
-                queries, k=k, algorithm=algorithm, workers=workers
+            return router.route_many(
+                queries, k=k, lane=requested, budget=budget,
+                algorithm=algorithm, workers=workers,
             )
         version = self._version
-        keys = [ResultCache.key(query, k, algorithm) for query in queries]
-        results: List[Optional[List[ScoredQuery]]] = [None] * len(queries)
+        tag = self._router_config.cache_tag(requested)
+        keys = [
+            ResultCache.key(query, k, algorithm, lane=tag) for query in queries
+        ]
+        results: List[Optional[LaneResult]] = [None] * len(queries)
         misses: List[int] = []
         for i, key in enumerate(keys):
-            cached = None if stale else self.result_cache.get(key, version)
+            cached = (
+                None if stale else self.result_cache.get_result(key, version)
+            )
             if cached is None:
                 misses.append(i)
             else:
@@ -388,14 +490,15 @@ class LiveReformulator:
             f"/{len(queries)} hits",
         )
         if misses:
-            solved = pipeline.reformulate_many(
+            solved = router.route_many(
                 [queries[i] for i in misses],
-                k=k, algorithm=algorithm, workers=workers,
+                k=k, lane=requested, budget=budget,
+                algorithm=algorithm, workers=workers,
             )
-            for i, suggestions in zip(misses, solved):
-                self.result_cache.put(keys[i], version, suggestions)
-                results[i] = suggestions
-        return [list(suggestions) for suggestions in results]
+            for i, result in zip(misses, solved):
+                self.result_cache.put_result(keys[i], version, result)
+                results[i] = result
+        return list(results)
 
     def similar_terms(self, text: str, top_n: int = 10):
         """Similar terms over the (possibly rebuilt) pipeline."""

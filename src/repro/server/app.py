@@ -55,6 +55,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro import obs
 from repro.core.scoring import ScoredQuery
 from repro.errors import ReproError
+from repro.lanes.base import LaneResult
 from repro.live import LiveReformulator
 from repro.obs.flight import FlightRecorder, merge_trace_snapshots
 from repro.obs.trace import (
@@ -160,6 +161,9 @@ class ReformulationServer:
         self.live = live
         self.config = config or ServerConfig()
         self.config.validate()
+        # Route with the served lane set — in a pre-fork pool __init__
+        # runs post-fork, so every worker re-applies the shared config.
+        self.live.configure_router(self.config.router_config())
         self.admission = AdmissionController(
             self.config.max_concurrency,
             queue_depth=self.config.queue_depth,
@@ -352,23 +356,50 @@ class ReformulationServer:
             raise BadRequestError(f"query {raw!r} has no keywords")
         return keywords
 
+    def _parse_lane(self, payload: Dict[str, Any]) -> str:
+        """Validated lane name from the request (missing → default).
+
+        Resolution is config-only, so an unknown lane 400s before any
+        pipeline build; :class:`~repro.lanes.base.UnknownLaneError` is a
+        :class:`ReproError`, which the dispatch layer maps to 400.
+        """
+        lane = payload.get("lane")
+        if lane is not None and not isinstance(lane, str):
+            raise BadRequestError("lane must be a string")
+        return self.live.router_config.resolve(lane)
+
     def _degraded_single(
-        self, keywords: Sequence[str], k: int, algorithm: str
-    ) -> Tuple[List[ScoredQuery], str]:
+        self, keywords: Sequence[str], k: int, algorithm: str, lane: str
+    ) -> Tuple[LaneResult, str]:
         """Fallback plan for one query: cached full answer, else top-1.
 
         The result cache is only consulted when the pipeline is fresh —
         a stale hit would resurrect pre-mutation suggestions that the
-        normal path deliberately bypasses.
+        normal path deliberately bypasses.  Lookups use the requested
+        lane's cache tag, so a degraded answer can only come from the
+        same lane (and fallback-chain setting) the request asked for.
         """
         cache = self.live.result_cache
         if cache is not None and not self.live.is_stale:
-            cached = cache.get(
-                ResultCache.key(keywords, k, algorithm), self.live.version
+            cached = cache.get_result(
+                ResultCache.key(
+                    keywords, k, algorithm,
+                    lane=self.live.router_config.cache_tag(lane),
+                ),
+                self.live.version,
             )
             if cached is not None:
                 return cached, DEGRADE_CACHED
-        return [self.live.best(keywords)], DEGRADE_VITERBI
+        # Cheapest well-formed answer: the plain Viterbi top-1 — an hmm
+        # decode whichever lane was requested, and labeled as such.
+        best = self.live.best(keywords)
+        result = LaneResult(
+            lane="hmm",
+            suggestions=(best,),
+            provenance=({"lane": "hmm", "relaxed": False},),
+            requested=lane,
+        )
+        return result, DEGRADE_VITERBI
 
     def _count_degraded(self, mode: str, route: str) -> None:
         self._degraded_served += 1
@@ -379,10 +410,27 @@ class ReformulationServer:
         ).inc()
         logger.debug("degraded %s via %s", route, mode)
 
+    @staticmethod
+    def _suggestion_dicts(result: LaneResult) -> List[Dict[str, Any]]:
+        """Suggestion dicts with per-suggestion provenance merged in.
+
+        The ``lane`` provenance key is omitted per suggestion — it is
+        reported once at the response level.
+        """
+        out = []
+        for scored, prov in zip(result.suggestions, result.provenance):
+            entry = scored_to_dict(scored)
+            entry.update(
+                {key: value for key, value in prov.items() if key != "lane"}
+            )
+            out.append(entry)
+        return out
+
     def handle_reformulate(
         self, payload: Dict[str, Any], deadline: Deadline
     ) -> Dict[str, Any]:
         """``POST /reformulate`` body -> response dict."""
+        lane = self._parse_lane(payload)
         keywords = self._parse_query_terms(payload)
         k = _int_field(payload, "k", self.config.default_k)
         algorithm = payload.get("algorithm", "astar")
@@ -392,21 +440,29 @@ class ReformulationServer:
         obs.annotate_trace("keywords", keywords)
         degraded_mode: Optional[str] = None
         if should_degrade(deadline, self.latency, self.config.degrade_safety):
-            suggestions, degraded_mode = self._degraded_single(
-                keywords, k, algorithm
+            result, degraded_mode = self._degraded_single(
+                keywords, k, algorithm, lane
             )
+            obs.annotate_trace("lane", result.lane)
             self._count_degraded(degraded_mode, "/reformulate")
         else:
             start = time.perf_counter()
-            suggestions = self.live.reformulate(
-                keywords, k=k, algorithm=algorithm
+            # The request deadline is handled by degradation above, not
+            # by the lane budget: budgets change relaxation output, and
+            # the result cache does not key on them.
+            result = self.live.reformulate_lane(
+                keywords, k=k, lane=lane, algorithm=algorithm,
             )
             self.latency.observe(time.perf_counter() - start)
         return {
             "keywords": keywords,
             "k": k,
             "algorithm": algorithm,
-            "suggestions": [scored_to_dict(s) for s in suggestions],
+            "lane": result.lane,
+            "lane_requested": lane,
+            "relaxed": result.relaxed,
+            "fallback_from": result.fallback_from,
+            "suggestions": self._suggestion_dicts(result),
             "degraded": degraded_mode is not None,
             "degraded_mode": degraded_mode,
             "version": self.live.version,
@@ -430,6 +486,7 @@ class ReformulationServer:
         workers = min(
             _int_field(payload, "workers", 1), self.config.max_batch_workers
         )
+        lane = self._parse_lane(payload)
         obs.annotate_trace("algorithm", algorithm)
         obs.annotate_trace("keywords", [f"<batch of {len(parsed)}>"])
         degraded_mode: Optional[str] = None
@@ -439,19 +496,21 @@ class ReformulationServer:
             modes = set()
             results = []
             for keywords in parsed:
-                suggestions, mode = self._degraded_single(
-                    keywords, k, algorithm
+                result, mode = self._degraded_single(
+                    keywords, k, algorithm, lane
                 )
                 modes.add(mode)
-                results.append(suggestions)
+                results.append(result)
             degraded_mode = (
                 DEGRADE_VITERBI if DEGRADE_VITERBI in modes else DEGRADE_CACHED
             )
+            if results:
+                obs.annotate_trace("lane", results[0].lane)
             self._count_degraded(degraded_mode, "/reformulate/batch")
         else:
             start = time.perf_counter()
-            results = self.live.reformulate_many(
-                parsed, k=k, algorithm=algorithm, workers=workers
+            results = self.live.reformulate_many_lane(
+                parsed, k=k, lane=lane, algorithm=algorithm, workers=workers
             )
             elapsed = time.perf_counter() - start
             # Per-query latency is what the degrade decision needs.
@@ -459,15 +518,19 @@ class ReformulationServer:
         return {
             "k": k,
             "algorithm": algorithm,
+            "lane_requested": lane,
             "degraded": degraded_mode is not None,
             "degraded_mode": degraded_mode,
             "version": self.live.version,
             "results": [
                 {
                     "keywords": keywords,
-                    "suggestions": [scored_to_dict(s) for s in suggestions],
+                    "lane": result.lane,
+                    "relaxed": result.relaxed,
+                    "fallback_from": result.fallback_from,
+                    "suggestions": self._suggestion_dicts(result),
                 }
-                for keywords, suggestions in zip(parsed, results)
+                for keywords, result in zip(parsed, results)
             ],
         }
 
@@ -656,6 +719,7 @@ class ReformulationServer:
             "shed": shed_reason is not None,
             "shed_reason": shed_reason,
             "cache": annotations.get("result_cache"),
+            "lane": annotations.get("lane"),
             "algorithm": annotations.get("algorithm"),
             "keywords": annotations.get("keywords"),
             "error": annotations.get("error"),

@@ -168,6 +168,7 @@ class ServerClient:
         algorithm: Optional[str] = None,
         deadline_ms: Optional[int] = None,
         query: Optional[str] = None,
+        lane: Optional[str] = None,
     ) -> ServerResponse:
         """``POST /reformulate`` (pre-tokenized keywords or a raw query)."""
         payload: Dict[str, Any] = {}
@@ -181,6 +182,8 @@ class ServerClient:
             payload["algorithm"] = algorithm
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if lane is not None:
+            payload["lane"] = lane
         return self.request("POST", "/reformulate", payload)
 
     def reformulate_batch(
@@ -190,6 +193,7 @@ class ServerClient:
         algorithm: Optional[str] = None,
         workers: Optional[int] = None,
         deadline_ms: Optional[int] = None,
+        lane: Optional[str] = None,
     ) -> ServerResponse:
         """``POST /reformulate/batch``."""
         payload: Dict[str, Any] = {
@@ -203,6 +207,8 @@ class ServerClient:
             payload["workers"] = workers
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if lane is not None:
+            payload["lane"] = lane
         return self.request("POST", "/reformulate/batch", payload)
 
     def similar(self, term: str, n: int = 10) -> ServerResponse:

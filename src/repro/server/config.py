@@ -31,9 +31,10 @@ else the single-best Viterbi decode, and marks the response
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ReproError
+from repro.lanes.router import KNOWN_LANES, RouterConfig
 
 
 class ServerConfigError(ReproError):
@@ -102,6 +103,26 @@ class ServerConfig:
     #: Opened in append mode per worker, so a pre-fork pool can share one
     #: path — each line is a single O_APPEND write.
     access_log_path: Optional[str] = None
+    #: Reformulation lanes the daemon serves (``{"lane": ...}`` request
+    #: field); names outside this set get a 400.
+    lanes: Tuple[str, ...] = KNOWN_LANES
+    #: Lane used when a request does not name one.
+    default_lane: str = "hmm"
+    #: Lane to re-route through when the routed lane's best-path cohesion
+    #: falls below ``cohesion_threshold`` (``None`` disables the chain).
+    fallback_lane: Optional[str] = None
+    #: Cohesion threshold of the fallback chain (and the relaxation
+    #: lane's own incohesion trigger).
+    cohesion_threshold: float = 1e-9
+
+    def router_config(self) -> RouterConfig:
+        """The lane-routing slice of this config, for the live wrapper."""
+        return RouterConfig(
+            lanes=tuple(self.lanes),
+            default_lane=self.default_lane,
+            fallback_lane=self.fallback_lane,
+            cohesion_threshold=self.cohesion_threshold,
+        )
 
     def validate(self) -> None:
         """Raise :class:`ServerConfigError` on out-of-range values."""
@@ -135,3 +156,7 @@ class ServerConfig:
             raise ServerConfigError("slow_trace_ms must be >= 0")
         if self.flight_recorder_size < 1:
             raise ServerConfigError("flight_recorder_size must be >= 1")
+        try:
+            self.router_config().validate()
+        except ReproError as exc:
+            raise ServerConfigError(str(exc)) from None

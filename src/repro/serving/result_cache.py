@@ -1,8 +1,8 @@
 """Query-level result LRU with version-aware invalidation.
 
 Caches complete ``reformulate`` outputs keyed on
-``(keywords, k, algorithm)`` together with the pipeline **version** the
-result was computed against.  :class:`~repro.live.LiveReformulator`
+``(keywords, k, algorithm, lane)`` together with the pipeline **version**
+the result was computed against.  :class:`~repro.live.LiveReformulator`
 owns one of these: its ``version`` counter increments on every rebuild,
 so entries computed against an older pipeline are unreachable and get
 evicted — stale suggestions are never served after an insert.
@@ -55,7 +55,9 @@ class ResultCache:
         if max_entries < 1:
             raise ReformulationError("result cache needs max_entries >= 1")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[Hashable, Tuple[int, Tuple[ScoredQuery, ...]]]" = (
+        # value is either a Tuple[ScoredQuery, ...] (get/put) or a frozen
+        # LaneResult (get_result/put_result); the version tag is shared.
+        self._entries: "OrderedDict[Hashable, Tuple[int, object]]" = (
             OrderedDict()
         )
         self._lock = threading.Lock()
@@ -65,20 +67,56 @@ class ResultCache:
         self._evictions_stale = 0
 
     @staticmethod
-    def key(keywords: Sequence[str], k: int, algorithm: str) -> Hashable:
-        """Canonical cache key of one request."""
-        return (tuple(keywords), int(k), algorithm)
+    def key(
+        keywords: Sequence[str], k: int, algorithm: str, lane: str = "hmm"
+    ) -> Hashable:
+        """Canonical cache key of one request.
+
+        *lane* is the router's :meth:`~repro.lanes.router.LaneRouter.cache_tag`
+        — the requested lane plus, when a fallback chain applies to it,
+        the chain and its threshold.  Different lanes (or the same lane
+        with and without an active fallback chain) can return different
+        suggestions for identical keywords, so the tag is part of the
+        identity: a degraded ``relaxation`` answer can never be served
+        for an ``hmm`` request.
+        """
+        return (tuple(keywords), int(k), algorithm, lane)
 
     # ------------------------------------------------------------------ #
     # lookup / insert
     # ------------------------------------------------------------------ #
 
     def get(self, key: Hashable, version: int) -> Optional[List[ScoredQuery]]:
-        """The cached result, or None on miss.
+        """The cached suggestion list, or None on miss.
 
         An entry computed against a different *version* counts as a miss
         and is dropped on the spot (lazy staleness sweep).
         """
+        results = self._get_value(key, version)
+        return None if results is None else list(results)
+
+    def put(
+        self, key: Hashable, version: int, results: Sequence[ScoredQuery]
+    ) -> None:
+        """Store one result list under *key* at *version*."""
+        self._put_value(key, version, tuple(results))
+
+    def get_result(self, key: Hashable, version: int):
+        """A cached :class:`~repro.lanes.base.LaneResult`, or None.
+
+        Same lookup semantics as :meth:`get`, but the stored value is
+        returned as-is — lane results are frozen dataclasses, so no
+        defensive copy is needed.  Lane-aware callers (the live wrapper)
+        use this pair; :meth:`get`/:meth:`put` keep the original
+        list-of-suggestions contract for existing callers.
+        """
+        return self._get_value(key, version)
+
+    def put_result(self, key: Hashable, version: int, result) -> None:
+        """Store one lane result under *key* at *version*."""
+        self._put_value(key, version, result)
+
+    def _get_value(self, key: Hashable, version: int):
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -86,7 +124,7 @@ class ResultCache:
                 self._count("repro_result_cache_misses_total",
                             "Result-cache lookups that missed")
                 return None
-            entry_version, results = entry
+            entry_version, value = entry
             if entry_version != version:
                 del self._entries[key]
                 self._evictions_stale += 1
@@ -99,14 +137,11 @@ class ResultCache:
             self._hits += 1
             self._count("repro_result_cache_hits_total",
                         "Result-cache lookups served from memory")
-            return list(results)
+            return value
 
-    def put(
-        self, key: Hashable, version: int, results: Sequence[ScoredQuery]
-    ) -> None:
-        """Store one result list under *key* at *version*."""
+    def _put_value(self, key: Hashable, version: int, value) -> None:
         with self._lock:
-            self._entries[key] = (int(version), tuple(results))
+            self._entries[key] = (int(version), value)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)

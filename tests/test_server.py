@@ -453,14 +453,14 @@ class TestShutdown:
         live = server.live
         started = threading.Event()
         release = threading.Event()
-        original = live.reformulate
+        original = live.reformulate_lane
 
         def slow_reformulate(*args, **kwargs):
             started.set()
             assert release.wait(timeout=10.0)
             return original(*args, **kwargs)
 
-        live.reformulate = slow_reformulate
+        live.reformulate_lane = slow_reformulate
         responses = []
 
         def fire():

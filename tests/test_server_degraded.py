@@ -70,8 +70,9 @@ class TestFallbackAgreesWithTopkRank1:
     def test_degraded_single_matches_raw_decode(self, server, live, keywords):
         """``_degraded_single`` with a cold cache == the raw top-1 decode
         == rank-1 of the full A* lane on the same assembled plan."""
-        suggestions, mode = server._degraded_single(keywords, 4, "astar")
+        result, mode = server._degraded_single(keywords, 4, "astar", "hmm")
         assert mode == DEGRADE_VITERBI
+        suggestions = list(result.suggestions)
         assert len(suggestions) == 1
         hmm = live.pipeline().build_hmm(keywords)
         top1 = viterbi_top1_vec(hmm)

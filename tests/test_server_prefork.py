@@ -147,6 +147,52 @@ class TestAggregatedMetrics:
             time.sleep(0.2)
         assert total >= n_requests
 
+    def test_per_lane_series_aggregate_across_workers(self, pool):
+        """repro_lane_requests_total merges per lane across the pool.
+
+        Every query is distinct: the counter tracks lane *executions*,
+        and a repeat query would be served from each worker's result
+        cache without touching the lane.
+        """
+        hmm_queries = [
+            ["probabilistic", "query"], ["uncertain", "data"],
+            ["pattern", "mining"], ["probabilistic", "pattern"],
+        ]
+        enum_queries = [
+            ["frequent", "pattern"], ["uncertain", "query"], ["mining"],
+        ]
+        for keywords in hmm_queries:
+            assert _fresh_request(
+                pool.port, "reformulate", keywords, k=3, lane="hmm",
+            ).status == 200
+        for keywords in enum_queries:
+            assert _fresh_request(
+                pool.port, "reformulate", keywords, k=3, lane="enumeration",
+            ).status == 200
+        n_hmm, n_enum = len(hmm_queries), len(enum_queries)
+
+        def lane_total(text, lane):
+            return sum(
+                float(line.rsplit(" ", 1)[1])
+                for line in text.splitlines()
+                if line.startswith("repro_lane_requests_total")
+                and f'lane="{lane}"' in line
+            )
+
+        deadline = time.monotonic() + 30.0
+        totals = (0.0, 0.0)
+        while time.monotonic() < deadline:
+            aggregate = _fresh_request(pool.port, "metrics_aggregate").text
+            totals = (
+                lane_total(aggregate, "hmm"),
+                lane_total(aggregate, "enumeration"),
+            )
+            if totals[0] >= n_hmm and totals[1] >= n_enum:
+                break
+            time.sleep(0.2)
+        assert totals[0] >= n_hmm
+        assert totals[1] >= n_enum
+
     def test_worker_up_series(self, pool):
         _fresh_request(pool.port, "reformulate", ["pattern"], k=2)
         deadline = time.monotonic() + 30.0
